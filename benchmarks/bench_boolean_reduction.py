@@ -1,0 +1,42 @@
+"""E12 — the Boolean-query reduction of Lemma A.1 on Example A.2.
+
+Expected shape: the reduction is linear-time, preserves the verdict, and the
+head-variable pair of Chaudhuri–Vardi is contained.
+"""
+
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.cq.reductions import to_boolean_pair
+from repro.workloads.paper_examples import chaudhuri_vardi_example
+
+
+def test_boolean_reduction(benchmark, record):
+    q1, q2 = chaudhuri_vardi_example()
+    b1, b2 = benchmark(to_boolean_pair, q1, q2)
+    assert b1.is_boolean and b2.is_boolean
+    record(
+        experiment="E12",
+        added_atoms=len(b1.atoms) - len(q1.atoms),
+        paper_claim="Lemma A.1 adds one unary guard per head variable",
+    )
+
+
+def test_head_query_decision(benchmark, record):
+    q1, q2 = chaudhuri_vardi_example()
+    result = benchmark(decide_containment, q1, q2)
+    assert result.status == ContainmentStatus.CONTAINED
+    record(experiment="E12", verdict=result.status.value, method=result.method)
+
+
+def test_boolean_vs_head_verdicts_agree(benchmark, record):
+    q1, q2 = chaudhuri_vardi_example()
+    b1, b2 = to_boolean_pair(q1, q2)
+
+    def both():
+        return (
+            decide_containment(q1, q2).status,
+            decide_containment(b1, b2).status,
+        )
+
+    with_head, boolean = benchmark(both)
+    assert with_head == boolean
+    record(experiment="E12", verdicts_agree=True)

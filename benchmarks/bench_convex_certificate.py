@@ -1,0 +1,37 @@
+"""E11 — Theorem 6.1: convex-combination certificates for valid Max-IIs.
+
+Expected shape: a certificate is found exactly for the Γn-valid inequalities,
+and for Example 3.8 the multipliers are (1/3, 1/3, 1/3) as in the paper's
+proof.
+"""
+
+import pytest
+
+from repro.core.convex_certificate import find_convex_certificate
+from repro.infotheory.maxiip import decide_max_ii
+from repro.workloads.generators import random_max_ii
+from repro.workloads.paper_examples import example_3_8_inequality
+
+
+def test_certificate_for_example_38(benchmark, record):
+    branches = list(example_3_8_inequality().branches)
+    certificate = benchmark(find_convex_certificate, branches, ("X1", "X2", "X3"))
+    assert certificate is not None
+    record(
+        experiment="E11",
+        lambdas=[round(value, 4) for value in certificate.lambdas],
+        paper_claim="λ = (1/3, 1/3, 1/3) in the proof of Example 3.8",
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_certificate_existence_matches_validity(benchmark, record, seed):
+    inequality = random_max_ii(3, 2, terms_per_branch=2, seed=seed)
+    valid = decide_max_ii(inequality, over="gamma").valid
+
+    certificate = benchmark(
+        find_convex_certificate, list(inequality.branches), inequality.ground
+    )
+    assert (certificate is not None) == valid
+    record(experiment="E11", seed=seed, gamma_valid=valid,
+           certificate_found=certificate is not None)

@@ -1,0 +1,50 @@
+"""E13 — the non-Shannon frontier: Zhang–Yeung via the copy-lemma prover.
+
+The paper's decidable fragment never needs to reason beyond ``Γn``
+(Theorem 3.6).  This benchmark quantifies what lies beyond: the Zhang–Yeung
+inequality is rejected by the plain Shannon prover but proved by a single
+copy step, at the cost of one LP over five variables instead of four.  The
+recorded shape: ``shannon_verdict = False``, ``copy_verdict = True``, and the
+copy-lemma LP is roughly an order of magnitude larger.
+"""
+
+from repro.infotheory.copy_lemma import CopyLemmaProver, zhang_yeung_copy_step
+from repro.infotheory.non_shannon import zhang_yeung_inequality
+from repro.infotheory.shannon import ShannonProver
+
+GROUND = ("A", "B", "C", "D")
+
+
+def test_shannon_prover_rejects_zhang_yeung(benchmark, record):
+    inequality = zhang_yeung_inequality(GROUND)
+    prover = ShannonProver(GROUND)
+    verdict = benchmark(prover.is_valid, inequality.expression)
+    assert verdict is False
+    record(
+        experiment="E13",
+        prover="shannon",
+        verdict=verdict,
+        elementals=len(prover.elementals),
+        paper_claim="ZY98 is valid over Γ*4 but not a Shannon inequality",
+    )
+
+
+def test_copy_lemma_prover_accepts_zhang_yeung(benchmark, record):
+    inequality = zhang_yeung_inequality(GROUND)
+    prover = CopyLemmaProver(GROUND, [zhang_yeung_copy_step(GROUND)])
+    verdict = benchmark(prover.is_valid, inequality.expression)
+    assert verdict is True
+    shape = prover.constraint_count()
+    record(
+        experiment="E13",
+        prover="copy-lemma",
+        verdict=verdict,
+        elementals=shape["elementals"],
+        copy_equalities=shape["copy_equalities"],
+        columns=shape["columns"],
+    )
+
+
+def test_copy_lemma_prover_construction(benchmark, record):
+    prover = benchmark(CopyLemmaProver, GROUND, [zhang_yeung_copy_step(GROUND)])
+    record(experiment="E13", stage="construction", **prover.constraint_count())

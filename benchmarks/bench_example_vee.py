@@ -1,0 +1,33 @@
+"""E1 — Example 4.3 (Eric Vee): triangle ⊑ length-2 path.
+
+Regenerates the paper's headline example: the full Theorem 3.1 decision,
+the number of homomorphisms / branches, and the verdict.  The expected
+"shape": CONTAINED, 3 homomorphisms Q2 → Q1, 3 simple branches.
+"""
+
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.core.containment_inequality import build_containment_inequality
+from repro.cq.homomorphism import count_query_to_query_homomorphisms
+from repro.workloads.paper_examples import vee_example
+
+
+def test_vee_decision(benchmark, record):
+    pair = vee_example()
+    result = benchmark(decide_containment, pair.q1, pair.q2)
+    assert result.status == ContainmentStatus.CONTAINED
+    record(
+        experiment="E1",
+        verdict=result.status.value,
+        method=result.method,
+        homomorphisms=count_query_to_query_homomorphisms(pair.q2, pair.q1),
+        branches=len(result.inequality.branches),
+        paper_claim="contained (Example 4.3)",
+    )
+
+
+def test_vee_inequality_construction(benchmark, record):
+    pair = vee_example()
+    inequality = benchmark(build_containment_inequality, pair.q1, pair.q2)
+    assert len(inequality.branches) == 3
+    assert inequality.all_branches_simple
+    record(experiment="E1", branches=3, simple=True)

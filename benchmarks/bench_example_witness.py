@@ -1,0 +1,49 @@
+"""E3 / A3 — Example 3.5: normal witness exists, product witness does not.
+
+Two views of the same experiment:
+
+* the LP-driven refutation (Theorem 3.1 + Lemma E.1 witness construction),
+* the blind brute-force searches (ablation A3): the normal-relation
+  enumeration finds a witness while the product-relation enumeration must
+  exhaust without finding one — exactly the paper's point.
+"""
+
+from repro.core.brute_force import search_normal_witness, search_product_witness
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.workloads.paper_examples import example_3_5
+
+
+def test_example_35_lp_refutation(benchmark, record):
+    pair = example_3_5()
+    result = benchmark(decide_containment, pair.q1, pair.q2)
+    assert result.status == ContainmentStatus.NOT_CONTAINED
+    assert result.witness is not None
+    record(
+        experiment="E3",
+        verdict=result.status.value,
+        witness_hom_q1=result.witness.hom_q1,
+        witness_hom_q2=result.witness.hom_q2,
+        witness_kind="normal",
+        paper_claim="not contained; normal witness {(u,u,v,v)} (Example 3.5)",
+    )
+
+
+def test_example_35_normal_enumeration(benchmark, record):
+    pair = example_3_5()
+    witness = benchmark(search_normal_witness, pair.q1, pair.q2)
+    assert witness is not None
+    record(experiment="E3/A3", search="normal-enumeration", found=True)
+
+
+def test_example_35_product_enumeration_fails(benchmark, record):
+    pair = example_3_5()
+    witness = benchmark(
+        search_product_witness, pair.q1, pair.q2, 3
+    )
+    assert witness is None
+    record(
+        experiment="E3/A3",
+        search="product-enumeration",
+        found=False,
+        paper_claim="no product witness exists (Example 3.5)",
+    )

@@ -1,0 +1,40 @@
+"""E9 — LP-based decision vs. brute-force refutation (who wins, and where).
+
+The LP-based Theorem 3.1 procedure decides both directions in one shot; the
+brute-force baselines can only refute, and their cost explodes with the
+witness size.  Expected shape: on pairs with small witnesses brute force is
+competitive; as soon as no witness exists (containment holds) brute force
+burns its entire budget without an answer while the LP procedure still
+answers quickly.
+"""
+
+import pytest
+
+from repro.core.brute_force import brute_force_refute
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.workloads.paper_examples import example_3_5, vee_example
+
+
+@pytest.mark.parametrize("pair_name", ["vee(contained)", "example35(not-contained)"])
+def test_lp_decision(benchmark, record, pair_name):
+    pair = vee_example() if pair_name.startswith("vee") else example_3_5()
+    result = benchmark(decide_containment, pair.q1, pair.q2)
+    assert (result.status == ContainmentStatus.CONTAINED) == pair.contained
+    record(experiment="E9", engine="lp", pair=pair_name, verdict=result.status.value)
+
+
+@pytest.mark.parametrize("pair_name", ["vee(contained)", "example35(not-contained)"])
+def test_brute_force_refutation(benchmark, record, pair_name):
+    pair = vee_example() if pair_name.startswith("vee") else example_3_5()
+    witness = benchmark(
+        brute_force_refute, pair.q1, pair.q2, 2, 3, 50
+    )
+    # Brute force finds the witness exactly when containment fails.
+    assert (witness is None) == pair.contained
+    record(
+        experiment="E9",
+        engine="brute-force",
+        pair=pair_name,
+        witness_found=witness is not None,
+        note="inconclusive when no witness exists",
+    )

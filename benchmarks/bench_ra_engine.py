@@ -1,0 +1,77 @@
+"""A4 — ablation: bag relational-algebra plans vs homomorphism backtracking.
+
+The two evaluators compute the same bag-set answers by construction (asserted
+here and in the property tests); this benchmark records how their runtimes
+compare on graph workloads, and how large the compiled plans are.  The
+expected shape: the hash-join based plan engine wins as the database grows,
+while backtracking wins on tiny databases where building hash buckets is pure
+overhead.
+"""
+
+import pytest
+
+from repro.cq.evaluation import evaluate_bag
+from repro.ra.compile import bag_database, compile_query, evaluate_query_bag
+from repro.workloads.generators import path_query, star_query
+from repro.workloads.graph_families import random_graph_database
+
+
+@pytest.mark.parametrize("domain_size", [8, 16])
+def test_plan_evaluation_path3(benchmark, record, domain_size):
+    query = path_query(3)
+    database = random_graph_database(domain_size, 0.3, seed=5)
+    result = benchmark(evaluate_query_bag, query, database)
+    assert result == evaluate_bag(query, database)
+    record(
+        experiment="A4",
+        engine="ra-plan",
+        query="path3",
+        domain=domain_size,
+        edges=len(database.tuples("R")),
+        total_count=sum(result.values()),
+    )
+
+
+@pytest.mark.parametrize("domain_size", [8, 16])
+def test_backtracking_evaluation_path3(benchmark, record, domain_size):
+    query = path_query(3)
+    database = random_graph_database(domain_size, 0.3, seed=5)
+    result = benchmark(evaluate_bag, query, database)
+    record(
+        experiment="A4",
+        engine="backtracking",
+        query="path3",
+        domain=domain_size,
+        edges=len(database.tuples("R")),
+        total_count=sum(result.values()),
+    )
+
+
+def test_plan_evaluation_star4(benchmark, record):
+    query = star_query(4)
+    database = random_graph_database(12, 0.3, seed=7)
+    result = benchmark(evaluate_query_bag, query, database)
+    assert result == evaluate_bag(query, database)
+    record(experiment="A4", engine="ra-plan", query="star4", domain=12)
+
+
+def test_plan_compilation_only(benchmark, record):
+    query = path_query(6)
+    plan = benchmark(compile_query, query)
+    record(
+        experiment="A4",
+        stage="compile",
+        operators=plan.operator_count(),
+        depth=plan.depth(),
+    )
+
+
+def test_bag_database_conversion(benchmark, record):
+    database = random_graph_database(40, 0.2, seed=3)
+    converted = benchmark(bag_database, database)
+    record(
+        experiment="A4",
+        stage="storage-bridge",
+        relations=len(converted),
+        rows=sum(len(rel) for rel in converted.values()),
+    )

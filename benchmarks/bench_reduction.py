@@ -1,0 +1,52 @@
+"""E4 — the Section 5 reduction Max-IIP ≤m BagCQC-A (Example 5.2 and random inputs).
+
+The expected shape: the reduction is polynomial-time (milliseconds here),
+always emits an acyclic Q2, and preserves Γn-validity.
+"""
+
+import pytest
+
+from repro.core.reduction import reduce_max_iip_to_containment, uniformize
+from repro.cq.decompositions import is_acyclic
+from repro.infotheory.expressions import MaxInformationInequality
+from repro.infotheory.maxiip import decide_max_ii
+from repro.workloads.generators import random_max_ii
+from repro.workloads.paper_examples import example_5_2_inequality
+
+
+def test_reduce_example_52(benchmark, record):
+    inequality = MaxInformationInequality.single(example_5_2_inequality())
+    result = benchmark(reduce_max_iip_to_containment, inequality)
+    assert is_acyclic(result.q2)
+    record(
+        experiment="E4",
+        q1_atoms=result.details["q1_atoms"],
+        q2_atoms=result.details["q2_atoms"],
+        q1_variables=result.details["q1_variables"],
+        q2_variables=result.details["q2_variables"],
+        uniform_n=result.details["n"],
+        uniform_q=result.details["q"],
+        paper_claim="Example 5.2: n=2, q=3, acyclic Q2",
+    )
+
+
+def test_uniformize_example_52(benchmark, record):
+    inequality = MaxInformationInequality.single(example_5_2_inequality())
+    uniform = benchmark(uniformize, inequality)
+    valid_original = decide_max_ii(inequality, over="gamma").valid
+    valid_uniform = decide_max_ii(uniform.as_max_ii(), over="gamma").valid
+    assert valid_original == valid_uniform
+    record(experiment="E4", validity_preserved=True, n=uniform.unconditioned_count)
+
+
+@pytest.mark.parametrize("branches", [1, 2, 3])
+def test_reduce_random_max_ii(benchmark, record, branches):
+    inequality = random_max_ii(3, branches, terms_per_branch=2, seed=branches)
+    result = benchmark(reduce_max_iip_to_containment, inequality)
+    assert is_acyclic(result.q2)
+    record(
+        experiment="E4",
+        branches=branches,
+        q1_atoms=result.details["q1_atoms"],
+        q2_atoms=result.details["q2_atoms"],
+    )

@@ -1,0 +1,70 @@
+"""E10 — set-semantics vs. bag-semantics containment on query families.
+
+Motivates the problem (paper Section 1): the Chandra–Merlin set-semantics
+test and the bag-semantics decision disagree on natural families.  Expected
+shape: bag containment implies set containment on every tested pair, the
+converse fails on a positive fraction of pairs, and the set-semantics test is
+orders of magnitude cheaper.
+"""
+
+import pytest
+
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.cq.chandra_merlin import set_contained
+from repro.workloads.generators import (
+    random_chordal_simple_query,
+    random_query,
+)
+
+
+def _pairs(count=6):
+    pairs = []
+    for seed in range(count):
+        q1 = random_query(3, 3, relations=(("R", 2),), seed=seed)
+        q2 = random_chordal_simple_query(2, clique_size=2, seed=seed + 50)
+        pairs.append((q1, q2))
+    return pairs
+
+
+def test_set_semantics_sweep(benchmark, record):
+    pairs = _pairs()
+
+    def sweep():
+        return [set_contained(q1, q2) for q1, q2 in pairs]
+
+    verdicts = benchmark(sweep)
+    record(
+        experiment="E10",
+        engine="chandra-merlin(set)",
+        pairs=len(pairs),
+        positive=sum(verdicts),
+    )
+
+
+def test_bag_semantics_sweep(benchmark, record):
+    pairs = _pairs()
+
+    def sweep():
+        return [decide_containment(q1, q2).status for q1, q2 in pairs]
+
+    statuses = benchmark(sweep)
+    set_verdicts = [set_contained(q1, q2) for q1, q2 in pairs]
+    bag_positive = sum(1 for s in statuses if s == ContainmentStatus.CONTAINED)
+    disagreements = sum(
+        1
+        for status, set_ok in zip(statuses, set_verdicts)
+        if set_ok and status == ContainmentStatus.NOT_CONTAINED
+    )
+    # Soundness: bag containment implies set containment on every pair.
+    for status, set_ok in zip(statuses, set_verdicts):
+        if status == ContainmentStatus.CONTAINED:
+            assert set_ok
+    record(
+        experiment="E10",
+        engine="bag(theorem-3.1)",
+        pairs=len(pairs),
+        bag_positive=bag_positive,
+        set_positive=sum(set_verdicts),
+        set_yes_bag_no=disagreements,
+        paper_claim="bag containment strictly stronger than set containment",
+    )

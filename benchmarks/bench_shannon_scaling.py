@@ -1,0 +1,58 @@
+"""E8 / A2 — Shannon prover scaling in the number of variables.
+
+The number of elemental inequalities is n + C(n,2)·2^(n-2); the LP grows
+accordingly.  The expected shape: super-polynomial growth in n, still
+comfortably solvable for n ≤ 7 on a laptop (the regime every example of the
+paper lives in).
+"""
+
+import pytest
+
+from repro.infotheory.expressions import LinearExpression
+from repro.infotheory.polymatroid import elemental_inequalities
+from repro.infotheory.shannon import ShannonProver
+
+
+def _chain_inequality(ground):
+    """h(V) ≤ Σ_i h(X_i | X_1 ... X_{i-1}) stated as a Shannon-provable expression."""
+    expression = LinearExpression.entropy_term(ground, ground, -1.0)
+    previous = []
+    for variable in ground:
+        expression = expression + LinearExpression.conditional_term(
+            ground, {variable}, set(previous)
+        )
+        previous.append(variable)
+    return expression
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_prover_construction_scaling(benchmark, record, n):
+    ground = tuple(f"X{i}" for i in range(n))
+    prover = benchmark(ShannonProver, ground)
+    record(
+        experiment="E8",
+        n=n,
+        elemental_inequalities=len(elemental_inequalities(ground)),
+        coordinates=2**n - 1,
+    )
+    assert len(prover.elementals) == len(elemental_inequalities(ground))
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_chain_rule_validity_scaling(benchmark, record, n):
+    ground = tuple(f"X{i}" for i in range(n))
+    prover = ShannonProver(ground)
+    expression = _chain_inequality(ground)
+    valid = benchmark(prover.is_valid, expression)
+    assert valid
+    record(experiment="E8", n=n, valid=True, inequality="chain rule")
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_certificate_extraction_scaling(benchmark, record, n):
+    ground = tuple(f"X{i}" for i in range(n))
+    prover = ShannonProver(ground)
+    expression = _chain_inequality(ground)
+    certificate = benchmark(prover.certificate, expression)
+    assert certificate is not None and certificate.verify(expression)
+    record(experiment="E8", n=n, certificate_terms=len(certificate))

@@ -1,0 +1,46 @@
+"""E7 — Theorem 3.1 decision procedure: scaling with the number of variables.
+
+The paper's claim is an exponential-time decision procedure (the LP is over
+2^|vars(Q1)| coordinates and there are exponentially many homomorphisms in
+general).  The expected shape: runtime grows steeply with |vars(Q1)| but the
+procedure remains laptop-feasible for the small queries the paper's examples
+use (n ≤ 6 here).
+"""
+
+import pytest
+
+from repro.core.containment import decide_containment
+from repro.workloads.generators import (
+    cycle_query,
+    path_query,
+    random_chordal_simple_query,
+    random_query,
+)
+
+
+@pytest.mark.parametrize("length", [3, 4, 5, 6])
+def test_cycle_vs_path_scaling(benchmark, record, length):
+    """Q1 = length-n cycle, Q2 = 2-path: the generalized Vee example."""
+    q1 = cycle_query(length)
+    q2 = path_query(2)
+    result = benchmark(decide_containment, q1, q2)
+    record(
+        experiment="E7",
+        family="cycle-vs-path2",
+        q1_variables=len(q1.variables),
+        verdict=result.status.value,
+    )
+
+
+@pytest.mark.parametrize("num_atoms", [3, 4, 5])
+def test_random_q1_scaling(benchmark, record, num_atoms):
+    q1 = random_query(num_atoms, num_atoms + 1, relations=(("R", 2),), seed=num_atoms)
+    q2 = random_chordal_simple_query(2, clique_size=2, seed=num_atoms)
+    result = benchmark(decide_containment, q1, q2)
+    record(
+        experiment="E7",
+        family="random",
+        q1_variables=len(q1.variables),
+        q2_variables=len(q2.variables),
+        verdict=result.status.value,
+    )

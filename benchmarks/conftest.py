@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark corresponds to one experiment id of DESIGN.md / EXPERIMENTS.md
+and, besides timing, records the headline quantities of that experiment in
+``benchmark.extra_info`` so that the JSON output regenerates the tables of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def record(benchmark):
+    """Attach experiment metadata to a benchmark run."""
+
+    def _record(**info):
+        benchmark.extra_info.update(info)
+
+    return _record

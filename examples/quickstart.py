@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: decide bag containment for the paper's running example.
+
+Runs the Vee example (Example 4.3) and Example 3.5 through the public API,
+showing both a CONTAINED verdict (with the Eq. (8) inequality behind it) and
+a NOT_CONTAINED verdict (with a concrete, verified witness database).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import decide_containment, parse_query
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def show_result(result) -> None:
+    print(f"verdict : {result.status.value}")
+    print(f"method  : {result.method}")
+    if result.inequality is not None:
+        print(f"branches of the Eq. (8) inequality: {len(result.inequality.branches)}")
+    if result.witness is not None:
+        witness = result.witness
+        print(
+            f"witness : |hom(Q1, D)| = {witness.hom_q1}  >  "
+            f"|hom(Q2, D)| = {witness.hom_q2}"
+        )
+        print(f"          {witness.description}")
+        print(f"          database: {witness.database}")
+
+
+def main() -> None:
+    banner("Example 4.3 (Eric Vee): triangle ⊑ length-2 path")
+    q1 = parse_query("R(x1,x2), R(x2,x3), R(x3,x1)", name="triangle")
+    q2 = parse_query("R(y1,y2), R(y1,y3)", name="path2")
+    print(f"Q1 = {q1}")
+    print(f"Q2 = {q2}")
+    show_result(decide_containment(q1, q2))
+
+    banner("Example 3.5: two disjoint patterns ⋢ the acyclic A-B-C query")
+    q1 = parse_query(
+        "A(x1,x2), B(x1,x2), C(x1,x2), A(xp1,xp2), B(xp1,xp2), C(xp1,xp2)",
+        name="two-patterns",
+    )
+    q2 = parse_query("A(y1,y2), B(y1,y3), C(y4,y2)", name="abc")
+    print(f"Q1 = {q1}")
+    print(f"Q2 = {q2}")
+    show_result(decide_containment(q1, q2))
+
+    banner("Queries with head variables (Lemma A.1 applied automatically)")
+    q1 = parse_query("Q1(x, z) :- P(x), S(u, x), S(v, z), R(z)")
+    q2 = parse_query("Q2(x, z) :- P(x), S(u, y), S(v, y), R(z)")
+    print(f"Q1 = {q1}")
+    print(f"Q2 = {q2}")
+    show_result(decide_containment(q1, q2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — a reproduction of *Bag Query Containment and Information Theory* (PODS 2020).
+
+The library implements, from scratch, both sides of the paper's equivalence:
+
+* the **database side** — conjunctive queries, bag-set semantics,
+  homomorphism counting, tree/junction decompositions, witnesses
+  (:mod:`repro.cq`, :mod:`repro.core`);
+* the **information-theory side** — entropic functions, polymatroids, the
+  cones ``Mn ⊆ Nn ⊆ Γ*n ⊆ Γn``, Shannon provers and Max-II decision
+  procedures (:mod:`repro.infotheory`, :mod:`repro.lp`);
+
+and the bridges between them: the Eq. (8) containment inequality, the
+Theorem 3.1 decision procedure, the Theorem 3.4 witness constructions and the
+Section 5 reduction from Max-IIP to acyclic bag containment.
+
+Quickstart
+----------
+>>> from repro import parse_query, decide_containment
+>>> q1 = parse_query("R(x1,x2), R(x2,x3), R(x3,x1)")   # triangle
+>>> q2 = parse_query("R(y1,y2), R(y1,y3)")             # length-2 path
+>>> decide_containment(q1, q2).status.value
+'contained'
+"""
+
+from repro.cq import (
+    Atom,
+    ConjunctiveQuery,
+    Relation,
+    Structure,
+    canonical_structure,
+    evaluate_bag,
+    evaluate_set,
+    parse_query,
+    set_contained,
+)
+from repro.cq.homomorphism import (
+    count_homomorphisms,
+    count_query_homomorphisms,
+    query_to_query_homomorphisms,
+)
+from repro.core import (
+    ContainmentResult,
+    ContainmentStatus,
+    WitnessDatabase,
+    build_containment_inequality,
+    decide_containment,
+    dominates,
+    find_convex_certificate,
+    reduce_max_iip_to_containment,
+    sufficient_containment_check,
+    theorem_3_1_decision,
+)
+from repro.infotheory import (
+    LinearExpression,
+    MaxInformationInequality,
+    SetFunction,
+    ShannonProver,
+    decide_max_ii,
+    relation_entropy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Relation",
+    "Structure",
+    "parse_query",
+    "canonical_structure",
+    "evaluate_bag",
+    "evaluate_set",
+    "set_contained",
+    "count_homomorphisms",
+    "count_query_homomorphisms",
+    "query_to_query_homomorphisms",
+    "ContainmentStatus",
+    "ContainmentResult",
+    "WitnessDatabase",
+    "decide_containment",
+    "theorem_3_1_decision",
+    "sufficient_containment_check",
+    "build_containment_inequality",
+    "dominates",
+    "reduce_max_iip_to_containment",
+    "find_convex_certificate",
+    "SetFunction",
+    "LinearExpression",
+    "MaxInformationInequality",
+    "ShannonProver",
+    "decide_max_ii",
+    "relation_entropy",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Entropy-based relation analysis (``repro.analysis``).
+
+Lee's information-theoretic analysis of relational databases (references
+[22, 23] of the paper, revisited in its Section 6) characterizes classical
+database constraints through the entropy ``h`` of the uniform distribution on
+a relation ``P``:
+
+* a functional dependency ``X → Y`` holds iff ``h(Y | X) = 0``;
+* a multivalued dependency ``X ↠ Y`` holds iff ``I(Y ; V∖(X∪Y) | X) = 0``;
+* ``P`` admits a lossless acyclic join decomposition along a tree ``T`` iff
+  ``E_T(h) = h(V)`` — the same remarkable expression ``E_T`` (Eq. (7)) that
+  drives the containment machinery.
+
+This subpackage turns those characterizations into a small data-profiling
+toolkit over :class:`repro.cq.structures.Relation` objects: dependency
+discovery, lossless-join checks and decomposition suggestions.  It is the
+substrate behind the ``dependency_discovery`` example.
+"""
+
+from repro.analysis.dependencies import (
+    FunctionalDependency,
+    MultivaluedDependency,
+    decomposition_gap,
+    discover_functional_dependencies,
+    discover_multivalued_dependencies,
+    is_lossless_decomposition,
+    key_attributes,
+    suggest_binary_decompositions,
+)
+from repro.analysis.profile import RelationProfile, profile_relation
+
+__all__ = [
+    "FunctionalDependency",
+    "MultivaluedDependency",
+    "discover_functional_dependencies",
+    "discover_multivalued_dependencies",
+    "key_attributes",
+    "is_lossless_decomposition",
+    "decomposition_gap",
+    "suggest_binary_decompositions",
+    "RelationProfile",
+    "profile_relation",
+]

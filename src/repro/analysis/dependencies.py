@@ -1,0 +1,287 @@
+"""Entropy-based discovery of database dependencies (Lee's theorems).
+
+Everything here operates on the entropy ``h`` of the uniform distribution on
+a relation (computed once by :func:`repro.infotheory.entropy.relation_entropy`)
+and applies the characterizations quoted in Section 6 of the paper:
+
+* ``X → Y``  (functional dependency)    ⇔  ``h(Y | X) = 0``;
+* ``X ↠ Y``  (multivalued dependency)   ⇔  ``I(Y ; rest | X) = 0``;
+* a join decomposition with bag tree ``T`` is lossless ⇔ ``E_T(h) = h(V)``.
+
+Discovery is exhaustive over candidate left-hand sides up to a configurable
+size, returning only *minimal* dependencies (no strict subset of the
+left-hand side already determines the right-hand side), which is what a data
+profiler would report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.cq.structures import Relation
+from repro.exceptions import StructureError
+from repro.infotheory.entropy import relation_entropy
+from repro.infotheory.setfunction import SetFunction
+
+DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``determinant → dependent``."""
+
+    determinant: FrozenSet[str]
+    dependent: str
+
+    def __str__(self) -> str:
+        lhs = ", ".join(sorted(self.determinant)) or "∅"
+        return f"{{{lhs}}} -> {self.dependent}"
+
+
+@dataclass(frozen=True)
+class MultivaluedDependency:
+    """A multivalued dependency ``determinant ↠ dependents``."""
+
+    determinant: FrozenSet[str]
+    dependents: FrozenSet[str]
+
+    def __str__(self) -> str:
+        lhs = ", ".join(sorted(self.determinant)) or "∅"
+        rhs = ", ".join(sorted(self.dependents))
+        return f"{{{lhs}}} ->> {{{rhs}}}"
+
+
+def _entropy_of(relation_or_entropy) -> SetFunction:
+    if isinstance(relation_or_entropy, SetFunction):
+        return relation_or_entropy
+    if isinstance(relation_or_entropy, Relation):
+        if not relation_or_entropy.rows:
+            raise StructureError("cannot analyse an empty relation")
+        return relation_entropy(relation_or_entropy)
+    raise StructureError(
+        "expected a Relation or a SetFunction, got "
+        f"{type(relation_or_entropy).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Functional dependencies
+# ---------------------------------------------------------------------- #
+def functional_dependency_holds(
+    relation_or_entropy,
+    determinant: Sequence[str],
+    dependent: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Lee's criterion: ``X → A`` holds iff ``h(A | X) = 0``."""
+    entropy = _entropy_of(relation_or_entropy)
+    return abs(entropy.conditional([dependent], determinant)) <= tolerance
+
+
+def discover_functional_dependencies(
+    relation: Relation,
+    max_determinant_size: Optional[int] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[FunctionalDependency]:
+    """All minimal functional dependencies of a relation.
+
+    A dependency ``X → A`` is reported only when no strict subset of ``X``
+    already determines ``A`` and ``A ∉ X``.  ``max_determinant_size`` bounds
+    the left-hand sides considered (defaults to all attributes but one).
+    """
+    entropy = _entropy_of(relation)
+    attributes = tuple(relation.attributes)
+    limit = (
+        len(attributes) - 1
+        if max_determinant_size is None
+        else min(max_determinant_size, len(attributes) - 1)
+    )
+    found: List[FunctionalDependency] = []
+    minimal_for: Dict[str, List[FrozenSet[str]]] = {a: [] for a in attributes}
+    for size in range(0, limit + 1):
+        for determinant in itertools.combinations(attributes, size):
+            determinant_set = frozenset(determinant)
+            for dependent in attributes:
+                if dependent in determinant_set:
+                    continue
+                if any(known <= determinant_set for known in minimal_for[dependent]):
+                    continue
+                if functional_dependency_holds(entropy, determinant, dependent, tolerance):
+                    minimal_for[dependent].append(determinant_set)
+                    found.append(
+                        FunctionalDependency(
+                            determinant=determinant_set, dependent=dependent
+                        )
+                    )
+    return found
+
+
+def key_attributes(
+    relation: Relation, tolerance: float = DEFAULT_TOLERANCE
+) -> List[FrozenSet[str]]:
+    """All minimal keys: attribute sets ``X`` with ``h(V | X) = 0``.
+
+    Every relation has at least the trivial key ``V`` itself.
+    """
+    entropy = _entropy_of(relation)
+    attributes = tuple(relation.attributes)
+    others = frozenset(attributes)
+    keys: List[FrozenSet[str]] = []
+    for size in range(0, len(attributes) + 1):
+        for candidate in itertools.combinations(attributes, size):
+            candidate_set = frozenset(candidate)
+            if any(key <= candidate_set for key in keys):
+                continue
+            if abs(entropy.conditional(others - candidate_set, candidate_set)) <= tolerance:
+                keys.append(candidate_set)
+    return keys
+
+
+# ---------------------------------------------------------------------- #
+# Multivalued dependencies
+# ---------------------------------------------------------------------- #
+def multivalued_dependency_holds(
+    relation_or_entropy,
+    determinant: Sequence[str],
+    dependents: Sequence[str],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Lee's criterion: ``X ↠ Y`` holds iff ``I(Y ; V∖(X∪Y) | X) = 0``."""
+    entropy = _entropy_of(relation_or_entropy)
+    determinant_set = frozenset(determinant)
+    dependents_set = frozenset(dependents) - determinant_set
+    rest = entropy.ground_set - determinant_set - dependents_set
+    if not dependents_set or not rest:
+        return True
+    return abs(entropy.mutual_information(dependents_set, rest, determinant_set)) <= tolerance
+
+
+def discover_multivalued_dependencies(
+    relation: Relation,
+    max_determinant_size: Optional[int] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[MultivaluedDependency]:
+    """All non-trivial multivalued dependencies with minimal determinants.
+
+    For each determinant ``X`` the reported right-hand sides are the finest
+    non-trivial blocks: a dependency ``X ↠ Y`` is skipped when ``Y`` (or its
+    complement) is empty, when ``X ↠ Y`` already follows from a functional
+    dependency (``h(Y|X) = 0`` is reported separately), or when a strictly
+    smaller determinant yields the same split.
+    """
+    entropy = _entropy_of(relation)
+    attributes = tuple(relation.attributes)
+    limit = (
+        len(attributes) - 2
+        if max_determinant_size is None
+        else min(max_determinant_size, len(attributes) - 2)
+    )
+    found: List[MultivaluedDependency] = []
+    seen_splits: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+    for size in range(0, max(limit, -1) + 1):
+        for determinant in itertools.combinations(attributes, size):
+            determinant_set = frozenset(determinant)
+            remaining = [a for a in attributes if a not in determinant_set]
+            if len(remaining) < 2:
+                continue
+            # Enumerate splits of the remaining attributes up to complement symmetry.
+            anchor, rest = remaining[0], remaining[1:]
+            for subset_size in range(0, len(rest) + 1):
+                for extra in itertools.combinations(rest, subset_size):
+                    dependents = frozenset((anchor,) + extra)
+                    complement = frozenset(remaining) - dependents
+                    if not complement:
+                        continue
+                    if any(
+                        known_det <= determinant_set and known_dep in (dependents, complement)
+                        for known_det, known_dep in seen_splits
+                    ):
+                        continue
+                    if multivalued_dependency_holds(
+                        entropy, determinant_set, dependents, tolerance
+                    ):
+                        found.append(
+                            MultivaluedDependency(
+                                determinant=determinant_set, dependents=dependents
+                            )
+                        )
+                        seen_splits.append((determinant_set, dependents))
+    return found
+
+
+# ---------------------------------------------------------------------- #
+# Lossless join decompositions (the E_T criterion)
+# ---------------------------------------------------------------------- #
+def decomposition_gap(
+    relation_or_entropy, bags: Sequence[Sequence[str]], tolerance: float = DEFAULT_TOLERANCE
+) -> float:
+    """The non-negative gap ``Σ_t h(χ(t) | separator) − h(V)`` for a bag chain.
+
+    The bags are arranged in the given order as a path tree decomposition
+    (each bag's parent is the previous bag), which matches how practitioners
+    write decompositions ``R(V) ≈ Π_{B1}(R) ⋈ Π_{B2}(R) ⋈ ...``.  A zero gap
+    means the decomposition is lossless (Lee's acyclic-join criterion); a
+    positive gap quantifies how much information the decomposition loses
+    about the joint distribution.
+    """
+    entropy = _entropy_of(relation_or_entropy)
+    bag_sets = [frozenset(bag) for bag in bags]
+    if not bag_sets:
+        raise StructureError("a decomposition needs at least one bag")
+    covered = frozenset().union(*bag_sets)
+    if covered != entropy.ground_set:
+        missing = sorted(entropy.ground_set - covered)
+        raise StructureError(f"decomposition does not cover attributes {missing}")
+    total = 0.0
+    previous: FrozenSet[str] = frozenset()
+    union_so_far: FrozenSet[str] = frozenset()
+    for bag in bag_sets:
+        separator = bag & union_so_far
+        total += entropy.conditional(bag, separator)
+        union_so_far |= bag
+        previous = bag
+    del previous
+    gap = total - entropy(entropy.ground_set)
+    return max(gap, 0.0) if abs(gap) <= tolerance else gap
+
+
+def is_lossless_decomposition(
+    relation_or_entropy, bags: Sequence[Sequence[str]], tolerance: float = 1e-7
+) -> bool:
+    """True when projecting onto ``bags`` and re-joining loses no tuples."""
+    return decomposition_gap(relation_or_entropy, bags) <= tolerance
+
+
+def suggest_binary_decompositions(
+    relation: Relation, tolerance: float = 1e-7
+) -> List[Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """All lossless two-way splits ``(X ∪ S, Y ∪ S)`` of the attribute set.
+
+    Each suggestion is a pair of overlapping attribute sets covering all
+    attributes whose join reconstructs the relation exactly — the classical
+    BCNF/4NF decomposition step, driven here purely by entropy.
+    """
+    entropy = _entropy_of(relation)
+    attributes = tuple(relation.attributes)
+    suggestions: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+    full = frozenset(attributes)
+    for separator_size in range(0, len(attributes) - 1):
+        for separator in itertools.combinations(attributes, separator_size):
+            separator_set = frozenset(separator)
+            remaining = [a for a in attributes if a not in separator_set]
+            if len(remaining) < 2:
+                continue
+            anchor, rest = remaining[0], remaining[1:]
+            for subset_size in range(0, len(rest)):
+                for extra in itertools.combinations(rest, subset_size):
+                    left = separator_set | {anchor} | set(extra)
+                    right = full - (left - separator_set)
+                    if left == full or right == full:
+                        continue
+                    if is_lossless_decomposition(entropy, [left, right], tolerance):
+                        pair = (frozenset(left), frozenset(right))
+                        if pair not in suggestions and (pair[1], pair[0]) not in suggestions:
+                            suggestions.append(pair)
+    return suggestions

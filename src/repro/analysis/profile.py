@@ -1,0 +1,132 @@
+"""One-call entropy profile of a relation.
+
+:func:`profile_relation` packages the individual analyses of
+:mod:`repro.analysis.dependencies` together with the structural properties
+that matter to the paper's machinery (total uniformity, normality of the
+entropy, the modular gap) into a single report object that the examples
+print.  The profile is intentionally redundant with the lower-level
+functions — its role is to give library users a "show me everything about
+this relation" entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.dependencies import (
+    FunctionalDependency,
+    MultivaluedDependency,
+    discover_functional_dependencies,
+    discover_multivalued_dependencies,
+    key_attributes,
+)
+from repro.cq.structures import Relation
+from repro.exceptions import StructureError
+from repro.infotheory.entropy import relation_entropy
+from repro.infotheory.imeasure import is_normal_function
+from repro.infotheory.setfunction import SetFunction
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """Everything the analysis layer knows about one relation.
+
+    Attributes
+    ----------
+    attributes:
+        The relation's attribute tuple.
+    row_count / distinct_per_attribute:
+        Basic cardinality statistics.
+    entropy:
+        The entropy function of the uniform distribution on the relation.
+    total_entropy / marginal_entropies:
+        ``h(V)`` and the single-attribute marginals ``h(A)`` in bits.
+    functional_dependencies / multivalued_dependencies / keys:
+        Minimal dependencies discovered via Lee's criteria.
+    is_totally_uniform:
+        Definition 4.5 — every marginal of the uniform distribution is
+        uniform (the shape of the Theorem 4.4 witnesses).
+    entropy_is_normal:
+        Whether the entropy has a non-negative I-measure (a *normal*
+        function); normal witnesses are what Theorem 3.4(ii) guarantees.
+    modular_gap:
+        ``Σ_A h(A) − h(V)`` — non-negative by subadditivity and zero exactly
+        when the attributes are mutually independent.
+    """
+
+    attributes: Tuple[str, ...]
+    row_count: int
+    distinct_per_attribute: Dict[str, int]
+    entropy: SetFunction = field(compare=False)
+    total_entropy: float
+    marginal_entropies: Dict[str, float]
+    functional_dependencies: List[FunctionalDependency]
+    multivalued_dependencies: List[MultivaluedDependency]
+    keys: List[FrozenSet[str]]
+    is_totally_uniform: bool
+    entropy_is_normal: bool
+    modular_gap: float
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report lines (used by the example scripts)."""
+        lines = [
+            f"attributes            : {', '.join(self.attributes)}",
+            f"rows                  : {self.row_count}",
+            f"total entropy h(V)    : {self.total_entropy:.4f} bits",
+            "marginals             : "
+            + ", ".join(f"h({a})={value:.3f}" for a, value in self.marginal_entropies.items()),
+            f"totally uniform       : {self.is_totally_uniform}",
+            f"entropy is normal     : {self.entropy_is_normal}",
+            f"independence gap      : {self.modular_gap:.4f} bits",
+            f"minimal keys          : "
+            + ("; ".join("{" + ", ".join(sorted(k)) + "}" for k in self.keys) or "none"),
+        ]
+        if self.functional_dependencies:
+            lines.append("functional deps       : " + "; ".join(map(str, self.functional_dependencies)))
+        else:
+            lines.append("functional deps       : none")
+        if self.multivalued_dependencies:
+            lines.append("multivalued deps      : " + "; ".join(map(str, self.multivalued_dependencies)))
+        else:
+            lines.append("multivalued deps      : none")
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+def profile_relation(
+    relation: Relation,
+    max_determinant_size: int = None,
+) -> RelationProfile:
+    """Compute the full :class:`RelationProfile` of a non-empty relation."""
+    if not relation.rows:
+        raise StructureError("cannot profile an empty relation")
+    entropy = relation_entropy(relation)
+    marginals = {
+        attribute: entropy(frozenset([attribute])) for attribute in relation.attributes
+    }
+    modular_gap = sum(marginals.values()) - entropy(entropy.ground_set)
+    distinct = {
+        attribute: len(relation.project([attribute]).rows)
+        for attribute in relation.attributes
+    }
+    return RelationProfile(
+        attributes=tuple(relation.attributes),
+        row_count=len(relation.rows),
+        distinct_per_attribute=distinct,
+        entropy=entropy,
+        total_entropy=entropy(entropy.ground_set),
+        marginal_entropies=marginals,
+        functional_dependencies=discover_functional_dependencies(
+            relation, max_determinant_size=max_determinant_size
+        ),
+        multivalued_dependencies=discover_multivalued_dependencies(
+            relation, max_determinant_size=max_determinant_size
+        ),
+        keys=key_attributes(relation),
+        is_totally_uniform=relation.is_totally_uniform(),
+        entropy_is_normal=is_normal_function(entropy),
+        modular_gap=max(0.0, modular_gap),
+    )

@@ -1,0 +1,140 @@
+"""Command-line interface.
+
+Three sub-commands expose the main workflows::
+
+    python -m repro contain "R(x,y), R(y,z), R(z,x)" "R(a,b), R(a,c)"
+    python -m repro inspect "A(y1,y2), B(y1,y3), C(y4,y2)"
+    python -m repro dominate --base "R:0,1;1,2;2,0" --dominating "R:a,b;a,c"
+
+``contain`` decides bag containment and prints the verdict, the decision
+method and (for refutations) the witness database.  ``inspect`` reports the
+structural properties that determine which fragment of the paper a query
+falls into.  ``dominate`` runs the DOM problem on two structures given in a
+compact facts syntax (``Rel:v1,v2;v1,v3 Rel2:...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.containment import decide_containment
+from repro.core.domination import dominates
+from repro.cq.decompositions import (
+    has_simple_junction_tree,
+    has_totally_disconnected_junction_tree,
+    is_acyclic,
+    is_chordal,
+)
+from repro.cq.parser import parse_query
+from repro.cq.structures import Structure
+from repro.exceptions import ReproError
+
+
+def _parse_structure(text: str) -> Structure:
+    """Parse the compact facts syntax ``Rel:v1,v2;v3,v4 Rel2:v5``."""
+    facts = []
+    for block in text.split():
+        if ":" not in block:
+            raise ReproError(f"cannot parse structure block {block!r}")
+        relation, rows_text = block.split(":", 1)
+        for row_text in rows_text.split(";"):
+            if not row_text:
+                continue
+            facts.append((relation, tuple(value.strip() for value in row_text.split(","))))
+    if not facts:
+        raise ReproError("the structure has no facts")
+    return Structure.from_facts(facts)
+
+
+def _print_result(result, out) -> None:
+    print(f"verdict : {result.status.value}", file=out)
+    print(f"method  : {result.method}", file=out)
+    if result.inequality is not None and not result.inequality.is_trivially_false:
+        print(f"branches: {len(result.inequality.branches)}", file=out)
+    if result.witness is not None:
+        witness = result.witness
+        print(
+            f"witness : |hom(Q1,D)| = {witness.hom_q1} > |hom(Q2,D)| = {witness.hom_q2}",
+            file=out,
+        )
+        for relation, row in witness.database.facts():
+            print(f"    {relation}{row}", file=out)
+
+
+def _cmd_contain(args, out) -> int:
+    q1 = parse_query(args.q1, name="Q1")
+    q2 = parse_query(args.q2, name="Q2")
+    result = decide_containment(q1, q2, method=args.method)
+    _print_result(result, out)
+    return 0 if result.status.value != "unknown" else 2
+
+
+def _cmd_inspect(args, out) -> int:
+    query = parse_query(args.query, name="Q")
+    print(f"query     : {query}", file=out)
+    print(f"variables : {len(query.variables)}", file=out)
+    print(f"atoms     : {len(query.atoms)}", file=out)
+    print(f"acyclic   : {is_acyclic(query)}", file=out)
+    chordal = is_chordal(query)
+    print(f"chordal   : {chordal}", file=out)
+    if chordal:
+        print(f"simple junction tree : {has_simple_junction_tree(query)}", file=out)
+        print(
+            f"totally disconnected : {has_totally_disconnected_junction_tree(query)}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_dominate(args, out) -> int:
+    base = _parse_structure(args.base)
+    dominating = _parse_structure(args.dominating)
+    result = dominates(base, dominating)
+    _print_result(result, out)
+    return 0 if result.status.value != "unknown" else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bag query containment via information theory (PODS 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    contain = subparsers.add_parser("contain", help="decide Q1 ⊑ Q2 under bag semantics")
+    contain.add_argument("q1", help="the contained query, e.g. 'R(x,y), R(y,z)'")
+    contain.add_argument("q2", help="the containing query")
+    contain.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "theorem-3.1", "sufficient", "brute-force"],
+    )
+    contain.set_defaults(handler=_cmd_contain)
+
+    inspect = subparsers.add_parser("inspect", help="report a query's structural class")
+    inspect.add_argument("query")
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    dominate = subparsers.add_parser("dominate", help="decide structure domination (DOM)")
+    dominate.add_argument("--base", required=True, help="structure A in 'R:0,1;1,2' syntax")
+    dominate.add_argument("--dominating", required=True, help="structure B")
+    dominate.set_defaults(handler=_cmd_dominate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.handler(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""The paper's primary contribution: bag containment ⇔ max-information inequalities.
+
+* :mod:`repro.core.et_expression` — the tree-decomposition expression ``E_T``
+  of Eq. (7) and its inclusion–exclusion form Eq. (32);
+* :mod:`repro.core.containment_inequality` — the Max-II of Eq. (8) built from
+  a query pair ``(Q1, Q2)``;
+* :mod:`repro.core.witness` — witness relations and databases for
+  non-containment (Fact 3.2, Theorem 3.4, Lemma E.1);
+* :mod:`repro.core.containment` — the containment decision procedures
+  (Theorem 3.1 complete algorithm, the Theorem 4.2 sufficient condition, and
+  refutation by witness search);
+* :mod:`repro.core.brute_force` — brute-force refutation baselines;
+* :mod:`repro.core.domination` — the structure-domination problem DOM and the
+  homomorphism-domination-exponent reduction (Section 2.1);
+* :mod:`repro.core.reduction` — the many-one reduction Max-IIP ≤m BagCQC-A of
+  Section 5 (uniformization, adornment, query construction);
+* :mod:`repro.core.convex_certificate` — Theorem 6.1 certificates.
+"""
+
+from repro.core.et_expression import (
+    et_expression,
+    et_expression_inclusion_exclusion,
+    et_substituted,
+)
+from repro.core.containment_inequality import (
+    ContainmentInequality,
+    build_containment_inequality,
+)
+from repro.core.witness import (
+    WitnessDatabase,
+    fact_32_margin,
+    is_fact_32_witness,
+    normal_witness_relation,
+    product_witness_relation,
+    verify_witness,
+    witness_from_normal_coefficients,
+    witness_from_modular_weights,
+)
+from repro.core.containment import (
+    ContainmentResult,
+    ContainmentStatus,
+    decide_containment,
+    sufficient_containment_check,
+    theorem_3_1_decision,
+)
+from repro.core.brute_force import (
+    brute_force_refute,
+    search_product_witness,
+    search_small_database_witness,
+)
+from repro.core.domination import (
+    dominates,
+    exponent_domination_holds,
+    structure_to_query,
+)
+from repro.core.reduction import (
+    UniformExpression,
+    UniformMaxII,
+    build_query_pair,
+    reduce_max_iip_to_containment,
+    uniformize,
+)
+from repro.core.convex_certificate import ConvexCertificate, find_convex_certificate
+
+__all__ = [
+    "et_expression",
+    "et_expression_inclusion_exclusion",
+    "et_substituted",
+    "ContainmentInequality",
+    "build_containment_inequality",
+    "WitnessDatabase",
+    "normal_witness_relation",
+    "product_witness_relation",
+    "witness_from_normal_coefficients",
+    "witness_from_modular_weights",
+    "verify_witness",
+    "fact_32_margin",
+    "is_fact_32_witness",
+    "ContainmentStatus",
+    "ContainmentResult",
+    "decide_containment",
+    "theorem_3_1_decision",
+    "sufficient_containment_check",
+    "brute_force_refute",
+    "search_product_witness",
+    "search_small_database_witness",
+    "dominates",
+    "exponent_domination_holds",
+    "structure_to_query",
+    "UniformExpression",
+    "UniformMaxII",
+    "uniformize",
+    "build_query_pair",
+    "reduce_max_iip_to_containment",
+    "ConvexCertificate",
+    "find_convex_certificate",
+]

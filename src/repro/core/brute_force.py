@@ -1,0 +1,196 @@
+"""Brute-force refutation baselines.
+
+These searches look for explicit witnesses of non-containment without any
+information theory: they enumerate small product relations, small normal
+relations, random relations and (for the E9 benchmark) entire small
+databases.  They serve three purposes:
+
+* a baseline to compare the LP-driven decision procedure against,
+* an independent cross-check of NOT_CONTAINED verdicts,
+* a refutation fallback for query pairs outside the decidable fragments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional
+
+from repro.cq.evaluation import enumerate_databases
+from repro.cq.homomorphism import count_query_homomorphisms
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structures import Relation
+from repro.core.witness import (
+    WitnessDatabase,
+    is_fact_32_witness,
+    verify_witness,
+    witness_from_relation,
+)
+from repro.utils.subsets import proper_subsets
+
+
+def search_product_witness(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    max_column_size: int = 3,
+    max_rows: int = 256,
+) -> Optional[WitnessDatabase]:
+    """Enumerate small product relations ``∏_x S_x`` as Fact 3.2 witnesses.
+
+    A relation qualifies when ``|P| > |hom(Q2, Π_Q1(P))|`` — the exact witness
+    notion of Fact 3.2 / Theorem 3.4(i); the separating database is then
+    re-verified by counting before being returned.
+    """
+    variables = q1.variables
+    for sizes in itertools.product(range(1, max_column_size + 1), repeat=len(variables)):
+        total = 1
+        for size in sizes:
+            total *= size
+        if total > max_rows or total <= 1:
+            continue
+        relation = Relation.product_relation(
+            {variable: range(size) for variable, size in zip(variables, sizes)}
+        )
+        if not is_fact_32_witness(q1, q2, relation):
+            continue
+        witness = witness_from_relation(
+            q1,
+            q2,
+            relation,
+            annotate=False,
+            description=f"product witness with column sizes {sizes}",
+        )
+        if witness is not None:
+            return witness
+    return None
+
+
+def search_normal_witness(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    max_total_copies: int = 4,
+    max_rows: int = 256,
+) -> Optional[WitnessDatabase]:
+    """Enumerate small normal relations as Fact 3.2 witnesses (Theorem 3.4(ii))."""
+    variables = q1.variables
+    steps = [frozenset(w) for w in proper_subsets(variables)]
+    for total in range(1, max_total_copies + 1):
+        if 2**total > max_rows:
+            break
+        for combo in itertools.combinations_with_replacement(steps, total):
+            relation = None
+            for low_part in combo:
+                step = Relation.step_relation(variables, low_part)
+                relation = step if relation is None else relation.domain_product(step)
+            if not is_fact_32_witness(q1, q2, relation):
+                continue
+            witness = witness_from_relation(
+                q1,
+                q2,
+                relation,
+                annotate=False,
+                description=f"normal witness from steps {[sorted(w) for w in combo]}",
+            )
+            if witness is not None:
+                return witness
+    return None
+
+
+def _random_relations(
+    variables, domain_size: int, samples: int, seed: int
+) -> Iterator[Relation]:
+    generator = random.Random(seed)
+    domain = list(range(domain_size))
+    for _ in range(samples):
+        size = generator.randint(2, max(2, domain_size ** min(3, len(variables))))
+        rows = {
+            tuple(generator.choice(domain) for _ in variables) for _ in range(size)
+        }
+        yield Relation(attributes=tuple(variables), rows=rows)
+
+
+def search_random_relation_witness(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    domain_size: int = 3,
+    samples: int = 200,
+    seed: int = 0,
+) -> Optional[WitnessDatabase]:
+    """Random search over arbitrary ``vars(Q1)``-relations."""
+    for relation in _random_relations(q1.variables, domain_size, samples, seed):
+        witness = witness_from_relation(
+            q1, q2, relation, description="random-relation witness"
+        )
+        if witness is not None:
+            return witness
+    return None
+
+
+def search_small_database_witness(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    domain_size: int = 2,
+    max_tuples_per_relation: Optional[int] = None,
+    limit: int = 200000,
+) -> Optional[WitnessDatabase]:
+    """Exhaustively enumerate tiny databases and compare homomorphism counts.
+
+    Doubly exponential; only usable for very small vocabularies and domains.
+    ``limit`` caps the number of databases examined.
+    """
+    vocabulary = q1.vocabulary.merged_with(q2.vocabulary)
+    examined = 0
+    for database in enumerate_databases(vocabulary, domain_size, max_tuples_per_relation):
+        examined += 1
+        if examined > limit:
+            return None
+        witness = verify_witness(
+            q1, q2, database, description="exhaustive small-database witness"
+        )
+        if witness is not None:
+            return witness
+    return None
+
+
+def brute_force_refute(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    max_column_size: int = 3,
+    max_total_copies: int = 3,
+    random_samples: int = 100,
+    seed: int = 0,
+) -> Optional[WitnessDatabase]:
+    """Try the cheap witness searches in order of increasing cost."""
+    searchers = (
+        lambda: search_product_witness(q1, q2, max_column_size=max_column_size),
+        lambda: search_normal_witness(q1, q2, max_total_copies=max_total_copies),
+        lambda: search_random_relation_witness(q1, q2, samples=random_samples, seed=seed),
+    )
+    for searcher in searchers:
+        witness = searcher()
+        if witness is not None:
+            return witness
+    return None
+
+
+def containment_holds_on_small_databases(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    domain_size: int = 2,
+    max_tuples_per_relation: Optional[int] = 3,
+    limit: int = 50000,
+) -> bool:
+    """Check ``Q1(D) ≤ Q2(D)`` on every enumerated small database.
+
+    Only a *necessary* condition for containment, used by tests to
+    cross-check CONTAINED verdicts on small examples.
+    """
+    vocabulary = q1.vocabulary.merged_with(q2.vocabulary)
+    examined = 0
+    for database in enumerate_databases(vocabulary, domain_size, max_tuples_per_relation):
+        examined += 1
+        if examined > limit:
+            break
+        if count_query_homomorphisms(q1, database) > count_query_homomorphisms(q2, database):
+            return False
+    return True

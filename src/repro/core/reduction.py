@@ -1,0 +1,368 @@
+"""The many-one reduction ``Max-IIP ≤m BagCQC-A`` (paper Section 5).
+
+The reduction runs in three stages, mirroring the paper:
+
+1. **Uniformization** (Lemma 5.3, :func:`uniformize`): an arbitrary Max-II
+   with integer coefficients is rewritten so that every branch has the
+   ``(n, p, q)``-uniform shape of Eq. (22)
+
+       ``E(h) = n·h(U) + Σ_{j=0..p} h(Y_j | X_j) − q·h(V)``
+
+   over an enlarged variable set that contains a fresh *distinguished*
+   variable ``U``, with the chain condition (``X_0 = ∅``,
+   ``X_j ⊆ Y_{j-1} ∩ Y_j``) and the connectedness condition (``U ∈ X_j`` for
+   ``j ≥ 1``).  Validity over ``Γ*n`` (and over ``Γn``) is preserved.
+
+2. **Adornment** (Lemma 5.4): handled implicitly — the constructed query
+   ``Q1`` consists of ``q`` variable-disjoint adorned copies, and the
+   homomorphisms ``Q2 → Q1`` realize exactly the adorned branches required by
+   the lemma.
+
+3. **Query construction** (Section 5.3, :func:`build_query_pair`): an acyclic
+   query ``Q2`` (a chain of ``R_j`` atoms glued by the fresh variables ``Z̃``
+   plus isolated ``S_m`` atoms) and a query ``Q1`` made of ``q`` adorned
+   copies, each a conjunction of ``k`` sub-queries — one per branch of the
+   uniform Max-II.  The resulting pair satisfies
+   ``Q1 ⊑ Q2  ⇔  the input Max-II is valid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.cq.decompositions import is_acyclic
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import ReductionError
+from repro.infotheory.expressions import (
+    LinearExpression,
+    MaxInformationInequality,
+)
+from repro.utils.ordering import stable_unique
+
+
+# ---------------------------------------------------------------------- #
+# Uniform expressions (Eq. (22))
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class UniformExpression:
+    """An ``(n, p, q)``-uniform expression (paper Eq. (22)).
+
+    ``chain`` lists the pairs ``(Y_j, X_j)`` for ``j = 0..p``;
+    ``unconditioned_count`` is ``n`` (the multiplicity of the ``h(U)`` term)
+    and ``total_coefficient`` is ``q`` (the multiplicity of ``-h(V)``).
+    """
+
+    ground: Tuple[str, ...]
+    distinguished: str
+    unconditioned_count: int
+    chain: Tuple[Tuple[FrozenSet[str], FrozenSet[str]], ...]
+    total_coefficient: int
+
+    def __post_init__(self) -> None:
+        if self.distinguished not in self.ground:
+            raise ReductionError("the distinguished variable must be in the ground set")
+        if not self.chain:
+            raise ReductionError("a uniform expression needs at least one chain term")
+        first_y, first_x = self.chain[0]
+        if first_x:
+            raise ReductionError("the chain must start with X_0 = ∅")
+        previous_y = first_y
+        for index, (targets, given) in enumerate(self.chain[1:], start=1):
+            if not given <= previous_y or not given <= targets:
+                raise ReductionError(
+                    f"chain condition fails at position {index}: "
+                    f"X_j must be contained in Y_(j-1) ∩ Y_j"
+                )
+            if self.distinguished not in given:
+                raise ReductionError(
+                    f"connectedness fails at position {index}: U must be in X_j"
+                )
+            previous_y = targets
+
+    @property
+    def chain_length(self) -> int:
+        """``p`` — the largest chain index."""
+        return len(self.chain) - 1
+
+    def to_linear(self) -> LinearExpression:
+        """Flatten to ``n·h(U) + Σ_j h(Y_j|X_j) − q·h(V)``."""
+        ground = self.ground
+        expression = LinearExpression.entropy_term(
+            ground, {self.distinguished}, float(self.unconditioned_count)
+        )
+        for targets, given in self.chain:
+            expression = expression + LinearExpression.conditional_term(
+                ground, targets, given
+            )
+        expression = expression - LinearExpression.entropy_term(
+            ground, ground, float(self.total_coefficient)
+        )
+        return expression
+
+
+@dataclass(frozen=True)
+class UniformMaxII:
+    """A Uniform-Max-IIP instance: branches sharing the same ``(n, p, q)`` and ``U``."""
+
+    branches: Tuple[UniformExpression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise ReductionError("a uniform Max-II needs at least one branch")
+        first = self.branches[0]
+        for branch in self.branches:
+            same = (
+                branch.ground == first.ground
+                and branch.distinguished == first.distinguished
+                and branch.unconditioned_count == first.unconditioned_count
+                and branch.chain_length == first.chain_length
+                and branch.total_coefficient == first.total_coefficient
+            )
+            if not same:
+                raise ReductionError(
+                    "all branches of a uniform Max-II must share n, p, q, U and the ground set"
+                )
+
+    @property
+    def ground(self) -> Tuple[str, ...]:
+        return self.branches[0].ground
+
+    @property
+    def distinguished(self) -> str:
+        return self.branches[0].distinguished
+
+    @property
+    def unconditioned_count(self) -> int:
+        return self.branches[0].unconditioned_count
+
+    @property
+    def chain_length(self) -> int:
+        return self.branches[0].chain_length
+
+    @property
+    def total_coefficient(self) -> int:
+        return self.branches[0].total_coefficient
+
+    def as_max_ii(self) -> MaxInformationInequality:
+        """The plain Max-II ``0 ≤ max_ℓ E_ℓ(h)`` over the enlarged ground set."""
+        return MaxInformationInequality(
+            branches=tuple(branch.to_linear() for branch in self.branches)
+        )
+
+
+def _integer_coefficients(expression: LinearExpression) -> Dict[FrozenSet[str], int]:
+    """Validate and round the (integer) coefficients of a branch."""
+    result: Dict[FrozenSet[str], int] = {}
+    for subset, coefficient in expression.coefficients.items():
+        rounded = round(coefficient)
+        if abs(coefficient - rounded) > 1e-9:
+            raise ReductionError(
+                "the reduction requires integer coefficients "
+                f"(got {coefficient} on {sorted(subset)})"
+            )
+        if rounded:
+            result[subset] = int(rounded)
+    return result
+
+
+def uniformize(
+    inequality: MaxInformationInequality, distinguished: str = "U0"
+) -> UniformMaxII:
+    """Lemma 5.3: rewrite a Max-II with integer coefficients in uniform shape.
+
+    The returned instance is over ``vars(inequality) ∪ {distinguished}`` and
+    is valid over ``Γ*n`` (and over ``Γn``) iff the input is.
+    """
+    original_ground = inequality.ground
+    if distinguished in original_ground:
+        raise ReductionError(
+            f"the distinguished variable {distinguished!r} clashes with an input variable"
+        )
+    ground = tuple(original_ground) + (distinguished,)
+    full = frozenset(original_ground)
+    uvar = frozenset([distinguished])
+
+    per_branch: List[Tuple[List[FrozenSet[str]], List[FrozenSet[str]]]] = []
+    for branch in inequality.branches:
+        coefficients = _integer_coefficients(branch)
+        positives: List[FrozenSet[str]] = []
+        negatives: List[FrozenSet[str]] = []
+        for subset, coefficient in coefficients.items():
+            if coefficient > 0:
+                positives.extend([subset] * coefficient)
+            else:
+                negatives.extend([subset] * (-coefficient))
+        per_branch.append((positives, negatives))
+
+    n = max((len(negatives) for _, negatives in per_branch), default=0)
+
+    # Build the chain of every branch (before padding), following Eq. (23)–(25).
+    raw_chains: List[List[Tuple[FrozenSet[str], FrozenSet[str]]]] = []
+    for positives, negatives in per_branch:
+        padded_positives = positives + [full] * (n - len(negatives))
+        chain: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+        # Term 0 of the uniform chain: h(U | ∅).
+        chain.append((uvar, frozenset()))
+        # The conditional part: h(U ∪ V | U ∪ X_j) for X_0 = ∅ and the negatives.
+        chain.append((uvar | full, uvar))
+        for negative in negatives:
+            chain.append((uvar | full, uvar | negative))
+        # The unconditioned part: h(U ∪ Y_i | U).
+        for positive in padded_positives:
+            chain.append((uvar | positive, uvar))
+        raw_chains.append(chain)
+
+    chain_terms = 1 + max(len(chain) for chain in raw_chains)
+    branches = []
+    for chain in raw_chains:
+        padded = list(chain) + [(uvar, uvar)] * (chain_terms - len(chain))
+        branches.append(
+            UniformExpression(
+                ground=ground,
+                distinguished=distinguished,
+                unconditioned_count=n,
+                chain=tuple(padded),
+                total_coefficient=n + 1,
+            )
+        )
+    return UniformMaxII(branches=tuple(branches))
+
+
+# ---------------------------------------------------------------------- #
+# Query construction (Section 5.3)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReductionResult:
+    """Output of the full reduction: the query pair plus the uniform instance."""
+
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+    uniform: UniformMaxII
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+def _copy_name(variable: str, branch: int, position: int) -> str:
+    return f"{variable}__c{branch}_{position}"
+
+
+def _adorned_name(variable: str, copy: int) -> str:
+    return f"{variable}__a{copy}"
+
+
+def build_query_pair(uniform: UniformMaxII) -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Section 5.3: build ``(Q1, Q2)`` with acyclic ``Q2`` from a uniform Max-II.
+
+    ``Q1 ⊑ Q2`` holds iff the uniform Max-II is valid (Theorem 5.1 combined
+    with Theorems 4.2 / 4.4).
+    """
+    branches = uniform.branches
+    k = len(branches)
+    n = uniform.unconditioned_count
+    p = uniform.chain_length
+    q = uniform.total_coefficient
+    distinguished = uniform.distinguished
+    u1, u2 = f"{distinguished}_1", f"{distinguished}_2"
+
+    def substitute_u(subset: FrozenSet[str]) -> Tuple[str, ...]:
+        """Replace the distinguished variable by the pair (U1, U2), sorted layout."""
+        names: List[str] = []
+        for variable in sorted(subset):
+            if variable == distinguished:
+                names.extend([u1, u2])
+            else:
+                names.append(variable)
+        return tuple(names)
+
+    # Per branch i (1-based) and chain position j: the ordered variable layouts.
+    y_layout: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+    x_layout: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+    for i, branch in enumerate(branches, start=1):
+        for j, (targets, given) in enumerate(branch.chain):
+            y_layout[(i, j)] = substitute_u(targets)
+            x_layout[(i, j)] = substitute_u(given)
+
+    # ------------------------------------------------------------------ #
+    # Q2
+    # ------------------------------------------------------------------ #
+    q2_atoms: List[Atom] = []
+    for m in range(1, n + 1):
+        q2_atoms.append(Atom(f"S{m}", (f"us{m}_a", f"us{m}_b")))
+    z_vars = tuple(f"z{i}" for i in range(1, k + 1))
+    for j in range(p + 1):
+        args: List[str] = []
+        if j >= 1:
+            for i in range(1, k + 1):
+                args.extend(
+                    _copy_name(variable, i, j - 1) for variable in x_layout[(i, j)]
+                )
+        for i in range(1, k + 1):
+            args.extend(_copy_name(variable, i, j) for variable in y_layout[(i, j)])
+        args.extend(z_vars)
+        q2_atoms.append(Atom(f"R{j}", tuple(args)))
+    q2 = ConjunctiveQuery(atoms=tuple(q2_atoms), head=(), name="Q2_reduction")
+
+    # ------------------------------------------------------------------ #
+    # Q1: q adorned copies, each the conjunction of k sub-queries.
+    # ------------------------------------------------------------------ #
+    q1_atoms: List[Atom] = []
+    for copy in range(1, q + 1):
+        u1_c, u2_c = _adorned_name(u1, copy), _adorned_name(u2, copy)
+        for m in range(1, n + 1):
+            q1_atoms.append(Atom(f"S{m}", (u1_c, u2_c)))
+        for i in range(1, k + 1):
+            z_hat = tuple(
+                u2_c if position == i else u1_c for position in range(1, k + 1)
+            )
+            for j in range(p + 1):
+                args: List[str] = []
+                if j >= 1:
+                    for i_prime in range(1, k + 1):
+                        if i_prime == i:
+                            args.extend(
+                                _adorned_name(variable, copy)
+                                for variable in x_layout[(i, j)]
+                            )
+                        else:
+                            args.extend([u1_c] * len(x_layout[(i_prime, j)]))
+                for i_prime in range(1, k + 1):
+                    if i_prime == i:
+                        args.extend(
+                            _adorned_name(variable, copy)
+                            for variable in y_layout[(i, j)]
+                        )
+                    else:
+                        args.extend([u1_c] * len(y_layout[(i_prime, j)]))
+                args.extend(z_hat)
+                q1_atoms.append(Atom(f"R{j}", tuple(args)))
+    q1 = ConjunctiveQuery(
+        atoms=tuple(stable_unique(q1_atoms)), head=(), name="Q1_reduction"
+    )
+    return q1, q2
+
+
+def reduce_max_iip_to_containment(
+    inequality: MaxInformationInequality, distinguished: str = "U0"
+) -> ReductionResult:
+    """The full reduction: uniformize, then build the query pair.
+
+    The returned ``Q2`` is guaranteed acyclic (asserted), so the output is an
+    instance of ``BagCQC-A``: the input Max-II is valid iff ``Q1 ⊑ Q2``.
+    """
+    uniform = uniformize(inequality, distinguished=distinguished)
+    q1, q2 = build_query_pair(uniform)
+    if not is_acyclic(q2):
+        raise ReductionError(
+            "internal error: the constructed Q2 is not acyclic; please report this input"
+        )
+    details = {
+        "branches": len(uniform.branches),
+        "n": uniform.unconditioned_count,
+        "p": uniform.chain_length,
+        "q": uniform.total_coefficient,
+        "q1_variables": len(q1.variables),
+        "q2_variables": len(q2.variables),
+        "q1_atoms": len(q1.atoms),
+        "q2_atoms": len(q2.atoms),
+    }
+    return ReductionResult(q1=q1, q2=q2, uniform=uniform, details=details)

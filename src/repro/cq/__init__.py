@@ -1,0 +1,97 @@
+"""Conjunctive-query substrate.
+
+This package implements everything the paper assumes about conjunctive
+queries and relational structures (paper Sections 2.1–2.2 and Appendix A):
+
+* atoms, conjunctive queries and vocabularies (:mod:`repro.cq.query`),
+* a small textual parser (:mod:`repro.cq.parser`),
+* relational structures / database instances and named relations
+  (:mod:`repro.cq.structures`),
+* generalized projections and the induced database ``Π_Q(P)`` of Eq. (4)
+  (:mod:`repro.cq.projection`),
+* homomorphism enumeration and counting (:mod:`repro.cq.homomorphism`),
+* bag-set and set semantics evaluation (:mod:`repro.cq.evaluation`),
+* Gaifman graphs, tree decompositions, join trees and junction trees
+  (:mod:`repro.cq.gaifman`, :mod:`repro.cq.decompositions`),
+* the Boolean-query, bag-bag and projection-saturation reductions of
+  Appendix A (:mod:`repro.cq.reductions`),
+* the Chandra–Merlin set-semantics containment baseline
+  (:mod:`repro.cq.chandra_merlin`).
+"""
+
+from repro.cq.query import Atom, ConjunctiveQuery, Vocabulary
+from repro.cq.parser import parse_atom, parse_query
+from repro.cq.structures import Relation, Structure, canonical_structure
+from repro.cq.projection import (
+    annotate_relation,
+    generalized_projection,
+    induced_database,
+)
+from repro.cq.homomorphism import (
+    count_homomorphisms,
+    count_query_homomorphisms,
+    exists_homomorphism,
+    homomorphisms,
+    query_homomorphisms,
+)
+from repro.cq.evaluation import (
+    bag_contained_on,
+    evaluate_bag,
+    evaluate_set,
+)
+from repro.cq.gaifman import gaifman_graph
+from repro.cq.decompositions import (
+    TreeDecomposition,
+    candidate_tree_decompositions,
+    has_simple_junction_tree,
+    heuristic_tree_decomposition,
+    is_acyclic,
+    is_chordal,
+    join_tree,
+    junction_tree,
+)
+from repro.cq.reductions import (
+    bag_bag_to_bag_set,
+    desaturate_database,
+    saturate_database,
+    saturate_query,
+    to_boolean_pair,
+)
+from repro.cq.chandra_merlin import set_contained
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Vocabulary",
+    "parse_atom",
+    "parse_query",
+    "Relation",
+    "Structure",
+    "canonical_structure",
+    "generalized_projection",
+    "induced_database",
+    "annotate_relation",
+    "homomorphisms",
+    "count_homomorphisms",
+    "exists_homomorphism",
+    "query_homomorphisms",
+    "count_query_homomorphisms",
+    "evaluate_bag",
+    "evaluate_set",
+    "bag_contained_on",
+    "gaifman_graph",
+    "TreeDecomposition",
+    "is_acyclic",
+    "is_chordal",
+    "join_tree",
+    "junction_tree",
+    "has_simple_junction_tree",
+    "heuristic_tree_decomposition",
+    "candidate_tree_decompositions",
+    "to_boolean_pair",
+    "bag_bag_to_bag_set",
+    "saturate_query",
+    "saturate_database",
+    "desaturate_database",
+    "set_contained",
+]

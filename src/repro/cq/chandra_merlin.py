@@ -1,0 +1,51 @@
+"""Set-semantics containment of conjunctive queries (Chandra–Merlin).
+
+Under set semantics on set databases, ``Q1 ⊆ Q2`` holds if and only if there
+is a homomorphism from ``Q2`` to the canonical database of ``Q1`` that maps
+the head of ``Q2`` to the head of ``Q1`` (Chandra and Merlin, STOC 1977,
+reference [7] of the paper).  This module provides that classical test; it
+serves as the baseline comparator for the "set vs. bag" experiment (E10 in
+DESIGN.md): bag containment implies set containment but not conversely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structures import canonical_structure
+from repro.cq.homomorphism import query_homomorphisms
+from repro.exceptions import QueryError
+
+
+def containment_homomorphism(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> Optional[Dict[str, str]]:
+    """Return a homomorphism witnessing ``Q1 ⊆ Q2`` under set semantics.
+
+    The witness is a homomorphism ``Q2 → Q1`` (as variable maps between the
+    canonical structures) that maps the ``i``-th head variable of ``Q2`` to
+    the ``i``-th head variable of ``Q1``.  Returns ``None`` when no such
+    homomorphism exists, i.e. when set containment fails.
+    """
+    if len(q1.head) != len(q2.head):
+        raise QueryError("queries must have the same number of head variables")
+    fixed = dict(zip(q2.head, q1.head))
+    # A head variable of Q2 repeated with two different targets is impossible.
+    for variable, value in zip(q2.head, q1.head):
+        if fixed[variable] != value:
+            return None
+    target = canonical_structure(q1)
+    for assignment in query_homomorphisms(q2, target, fixed=fixed):
+        return assignment
+    return None
+
+
+def set_contained(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide ``Q1 ⊆ Q2`` under set semantics (the Chandra–Merlin test)."""
+    return containment_homomorphism(q1, q2) is not None
+
+
+def set_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide set-semantics equivalence of two conjunctive queries."""
+    return set_contained(q1, q2) and set_contained(q2, q1)

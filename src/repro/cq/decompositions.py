@@ -1,0 +1,398 @@
+"""Tree decompositions, join trees and junction trees (paper Def. 2.6, Sec. 3.1).
+
+The paper uses three flavours of decompositions:
+
+* an *acyclic* query admits a tree decomposition whose bags are variable sets
+  of atoms (a *join tree*);
+* a *chordal* query (chordal Gaifman graph) admits a *junction tree*: a tree
+  decomposition whose bags are the maximal cliques of the Gaifman graph;
+* a junction tree is *simple* when adjacent bags share at most one variable,
+  and *totally disconnected* when adjacent bags share no variable.
+
+For chordal graphs the multiset of separators (intersections of adjacent
+bags) is the same for every junction tree — it is the multiset of minimal
+vertex separators.  Consequently a chordal query "admits a simple junction
+tree" exactly when the junction tree produced by the standard
+maximum-spanning-tree construction is simple, which is what
+:func:`has_simple_junction_tree` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import networkx as nx
+from networkx.algorithms import approximation as nx_approx
+
+from repro.cq.gaifman import gaifman_graph, maximal_cliques
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import DecompositionError
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """A tree decomposition ``(T, χ)`` of a query.
+
+    ``tree`` is an undirected forest over opaque node identifiers and
+    ``bags`` maps each node to its bag ``χ(t)`` (a frozenset of variables).
+    """
+
+    tree: nx.Graph = field(compare=False)
+    bags: Dict[object, FrozenSet[str]] = field(compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> Tuple:
+        return tuple(sorted(self.bags, key=str))
+
+    @property
+    def edges(self) -> Tuple[Tuple, ...]:
+        return tuple(
+            tuple(sorted(edge, key=str)) for edge in sorted(
+                (tuple(sorted(e, key=str)) for e in self.tree.edges), key=str
+            )
+        )
+
+    def bag(self, node) -> FrozenSet[str]:
+        return self.bags[node]
+
+    def all_variables(self) -> FrozenSet[str]:
+        """Union of all bags."""
+        result: set = set()
+        for bag in self.bags.values():
+            result |= bag
+        return frozenset(result)
+
+    def width(self) -> int:
+        """Tree-width style width: max bag size minus one."""
+        return max((len(bag) for bag in self.bags.values()), default=0) - 1
+
+    def separators(self) -> List[FrozenSet[str]]:
+        """The intersections ``χ(t1) ∩ χ(t2)`` over all tree edges."""
+        return [
+            self.bags[t1] & self.bags[t2] for t1, t2 in self.tree.edges
+        ]
+
+    def is_simple(self) -> bool:
+        """Every pair of adjacent bags shares at most one variable."""
+        return all(len(sep) <= 1 for sep in self.separators())
+
+    def is_totally_disconnected(self) -> bool:
+        """Every pair of adjacent bags shares no variable.
+
+        Equivalently (footnote 5 of the paper) the decomposition could drop
+        all its edges.
+        """
+        return all(len(sep) == 0 for sep in self.separators())
+
+    def signature(self) -> Tuple:
+        """A canonical, hashable description used to deduplicate decompositions."""
+        bag_list = tuple(sorted(tuple(sorted(bag)) for bag in self.bags.values()))
+        edge_list = tuple(
+            sorted(
+                tuple(
+                    sorted(
+                        (tuple(sorted(self.bags[a])), tuple(sorted(self.bags[b])))
+                    )
+                )
+                for a, b in self.tree.edges
+            )
+        )
+        return bag_list, edge_list
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self, query: Optional[ConjunctiveQuery] = None) -> None:
+        """Check the forest, running-intersection and coverage properties.
+
+        Raises :class:`DecompositionError` on the first violation.  When
+        ``query`` is omitted only the forest and running-intersection
+        properties are checked.
+        """
+        if set(self.tree.nodes) != set(self.bags):
+            raise DecompositionError("tree nodes and bag keys differ")
+        if self.tree.number_of_nodes() and not nx.is_forest(self.tree):
+            raise DecompositionError("the decomposition graph is not a forest")
+        for variable in self.all_variables():
+            nodes_with = [t for t, bag in self.bags.items() if variable in bag]
+            induced = self.tree.subgraph(nodes_with)
+            if nodes_with and not nx.is_connected(induced):
+                raise DecompositionError(
+                    f"running intersection fails for variable {variable!r}"
+                )
+        if query is not None:
+            for atom in query.atoms:
+                if not any(atom.variable_set <= bag for bag in self.bags.values()):
+                    raise DecompositionError(
+                        f"atom {atom} is not covered by any bag"
+                    )
+
+    def is_valid(self, query: Optional[ConjunctiveQuery] = None) -> bool:
+        """Boolean version of :meth:`validate`."""
+        try:
+            self.validate(query)
+        except DecompositionError:
+            return False
+        return True
+
+    def is_decomposition_witnessing_acyclicity(self, query: ConjunctiveQuery) -> bool:
+        """True when every bag equals ``vars(A)`` for some atom ``A`` (Def. 2.6)."""
+        atom_var_sets = {atom.variable_set for atom in query.atoms}
+        return all(bag in atom_var_sets for bag in self.bags.values())
+
+    def is_junction_tree(self, query: ConjunctiveQuery) -> bool:
+        """True when every bag is a maximal clique of the Gaifman graph."""
+        cliques = set(maximal_cliques(gaifman_graph(query)))
+        return all(bag in cliques for bag in self.bags.values())
+
+    # ------------------------------------------------------------------ #
+    # Rooting and atom assignment
+    # ------------------------------------------------------------------ #
+    def rooted_parents(self) -> Dict[object, Optional[object]]:
+        """Parent map after rooting each connected component at its smallest node."""
+        parent: Dict[object, Optional[object]] = {}
+        for component in nx.connected_components(self.tree):
+            root = min(component, key=str)
+            parent[root] = None
+            for child, par in nx.bfs_predecessors(self.tree.subgraph(component), root):
+                parent[child] = par
+        for node in self.bags:
+            parent.setdefault(node, None)
+        return parent
+
+    def topological_order(self) -> List:
+        """Nodes ordered so that every parent precedes its children."""
+        parent = self.rooted_parents()
+        order: List = []
+        visited: set = set()
+        roots = [node for node, par in parent.items() if par is None]
+        children: Dict[object, List] = {node: [] for node in parent}
+        for node, par in parent.items():
+            if par is not None:
+                children[par].append(node)
+        stack = sorted(roots, key=str)
+        while stack:
+            node = stack.pop(0)
+            if node in visited:
+                continue
+            visited.add(node)
+            order.append(node)
+            stack = sorted(children[node], key=str) + stack
+        return order
+
+    def assign_atoms(self, query: ConjunctiveQuery) -> Dict[object, Tuple[Atom, ...]]:
+        """Assign every atom to exactly one node whose bag covers it.
+
+        Nodes whose bag equals the atom's variable set are preferred, so that
+        join-tree bags (which are atom variable sets by construction) are
+        always covered by their own atoms — this keeps the counting dynamic
+        program free of unconstrained bag variables.
+        """
+        assignment: Dict[object, List[Atom]] = {node: [] for node in self.bags}
+        ordered_nodes = self.nodes
+        for atom in query.atoms:
+            exact = [
+                node for node in ordered_nodes if self.bags[node] == atom.variable_set
+            ]
+            covering = exact or [
+                node for node in ordered_nodes if atom.variable_set <= self.bags[node]
+            ]
+            if not covering:
+                raise DecompositionError(f"atom {atom} is not covered by any bag")
+            assignment[covering[0]].append(atom)
+        return {node: tuple(atoms) for node, atoms in assignment.items()}
+
+
+# ---------------------------------------------------------------------- #
+# Acyclicity (GYO reduction) and join trees
+# ---------------------------------------------------------------------- #
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """α-acyclicity test via the GYO (Graham–Yu–Özsoyoğlu) reduction.
+
+    Repeatedly (a) remove variables that occur in exactly one hyperedge and
+    (b) remove hyperedges contained in another hyperedge; the query is
+    acyclic iff the hypergraph reduces to at most one empty edge.
+    """
+    edges = [set(atom.variable_set) for atom in query.atoms]
+    changed = True
+    while changed:
+        changed = False
+        # Remove "ear" variables appearing in exactly one edge.
+        variable_count: Dict[str, int] = {}
+        for edge in edges:
+            for variable in edge:
+                variable_count[variable] = variable_count.get(variable, 0) + 1
+        for edge in edges:
+            lonely = {v for v in edge if variable_count[v] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        # Remove edges contained in another edge.
+        edges.sort(key=len)
+        survivors: List[set] = []
+        for i, edge in enumerate(edges):
+            contained = any(
+                edge <= other for j, other in enumerate(edges) if j != i and (
+                    len(other) > len(edge) or (len(other) == len(edge) and j > i)
+                )
+            )
+            if contained:
+                changed = True
+            else:
+                survivors.append(edge)
+        edges = survivors
+    return all(not edge for edge in edges)
+
+
+def join_tree(query: ConjunctiveQuery) -> TreeDecomposition:
+    """A tree decomposition witnessing acyclicity (bags = atom variable sets).
+
+    The bags are the *maximal* atom variable sets; the tree is a maximum
+    weight spanning forest of their intersection graph, which satisfies the
+    running-intersection property exactly when the query is acyclic.
+
+    Raises :class:`DecompositionError` when the query is not acyclic.
+    """
+    if not is_acyclic(query):
+        raise DecompositionError(f"query {query.name} is not acyclic")
+    var_sets = []
+    for atom in query.atoms:
+        if atom.variable_set not in var_sets:
+            var_sets.append(atom.variable_set)
+    maximal = [
+        vs for vs in var_sets
+        if not any(vs < other for other in var_sets)
+    ]
+    decomposition = _spanning_forest_decomposition(maximal)
+    decomposition.validate(query)
+    return decomposition
+
+
+# ---------------------------------------------------------------------- #
+# Chordality and junction trees
+# ---------------------------------------------------------------------- #
+def is_chordal(query: ConjunctiveQuery) -> bool:
+    """True when the Gaifman graph of the query is chordal."""
+    graph = gaifman_graph(query)
+    if graph.number_of_nodes() <= 3:
+        return True
+    return nx.is_chordal(graph)
+
+
+def junction_tree(query: ConjunctiveQuery) -> TreeDecomposition:
+    """A junction tree of a chordal query (bags = maximal cliques).
+
+    Built as a maximum weight spanning forest of the clique graph, the
+    textbook construction (Def. 2.1 of Wainwright–Jordan, cited by the
+    paper).  Raises :class:`DecompositionError` when the query is not
+    chordal.
+    """
+    if not is_chordal(query):
+        raise DecompositionError(f"query {query.name} is not chordal")
+    cliques = maximal_cliques(gaifman_graph(query))
+    decomposition = _spanning_forest_decomposition(cliques)
+    decomposition.validate(query)
+    return decomposition
+
+
+def has_simple_junction_tree(query: ConjunctiveQuery) -> bool:
+    """True when the query is chordal and admits a *simple* junction tree.
+
+    Because the separators of a junction tree of a chordal graph do not
+    depend on the choice of junction tree, checking the one produced by
+    :func:`junction_tree` is enough.
+    """
+    if not is_chordal(query):
+        return False
+    return junction_tree(query).is_simple()
+
+
+def has_totally_disconnected_junction_tree(query: ConjunctiveQuery) -> bool:
+    """True when the query is chordal and its junction tree has empty separators."""
+    if not is_chordal(query):
+        return False
+    return junction_tree(query).is_totally_disconnected()
+
+
+# ---------------------------------------------------------------------- #
+# General-purpose (heuristic) decompositions
+# ---------------------------------------------------------------------- #
+def heuristic_tree_decomposition(query: ConjunctiveQuery) -> TreeDecomposition:
+    """A (not necessarily optimal) tree decomposition via min-fill-in.
+
+    Used for the *sufficient* containment condition on queries that are
+    neither acyclic nor chordal: any tree decomposition of ``Q2`` yields a
+    sound sufficient check (see Theorem 4.2 and the discussion in
+    Section 4.1).
+    """
+    graph = gaifman_graph(query)
+    if graph.number_of_nodes() == 0:
+        raise DecompositionError("query has no variables")
+    components = list(nx.connected_components(graph))
+    tree = nx.Graph()
+    bags: Dict[object, FrozenSet[str]] = {}
+    next_id = 0
+    for component in components:
+        subgraph = graph.subgraph(component).copy()
+        _, decomposition_graph = nx_approx.treewidth_min_fill_in(subgraph)
+        local_ids: Dict[frozenset, int] = {}
+        for bag in decomposition_graph.nodes:
+            local_ids[bag] = next_id
+            bags[next_id] = frozenset(bag)
+            tree.add_node(next_id)
+            next_id += 1
+        for bag_a, bag_b in decomposition_graph.edges:
+            tree.add_edge(local_ids[bag_a], local_ids[bag_b])
+    result = TreeDecomposition(tree=tree, bags=bags)
+    result.validate(query)
+    return result
+
+
+def candidate_tree_decompositions(query: ConjunctiveQuery) -> List[TreeDecomposition]:
+    """A small set of useful tree decompositions of ``query``.
+
+    Includes the join tree when the query is acyclic, the junction tree when
+    it is chordal, and the min-fill heuristic decomposition otherwise.
+    Duplicates (same bags and edges) are removed.
+    """
+    candidates: List[TreeDecomposition] = []
+    if is_acyclic(query):
+        candidates.append(join_tree(query))
+    if is_chordal(query):
+        candidates.append(junction_tree(query))
+    if not candidates:
+        candidates.append(heuristic_tree_decomposition(query))
+    unique: List[TreeDecomposition] = []
+    seen = set()
+    for candidate in candidates:
+        signature = candidate.signature()
+        if signature not in seen:
+            seen.add(signature)
+            unique.append(candidate)
+    return unique
+
+
+# ---------------------------------------------------------------------- #
+# Shared construction
+# ---------------------------------------------------------------------- #
+def _spanning_forest_decomposition(bags: List[FrozenSet[str]]) -> TreeDecomposition:
+    """Maximum-weight spanning forest over bags, weighted by intersection size."""
+    graph = nx.Graph()
+    for index, bag in enumerate(bags):
+        graph.add_node(index)
+    for i in range(len(bags)):
+        for j in range(i + 1, len(bags)):
+            weight = len(bags[i] & bags[j])
+            if weight > 0:
+                graph.add_edge(i, j, weight=weight)
+    forest = nx.Graph()
+    forest.add_nodes_from(graph.nodes)
+    for component in nx.connected_components(graph):
+        subgraph = graph.subgraph(component)
+        spanning = nx.maximum_spanning_tree(subgraph, weight="weight")
+        forest.add_edges_from(spanning.edges)
+    return TreeDecomposition(tree=forest, bags={i: bag for i, bag in enumerate(bags)})

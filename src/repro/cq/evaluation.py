@@ -1,0 +1,102 @@
+"""Query evaluation under bag-set and set semantics (paper Problem 2.3).
+
+Under *bag-set* semantics the input database is a set and the answer of
+``Q(x)`` is the mapping ``d ↦ |Q(D)[d]|`` counting, for every head tuple
+``d``, the homomorphisms that agree with ``d`` on the head variables — the
+SQL ``COUNT(*) ... GROUP BY`` semantics.  Under *set* semantics the answer is
+just the set of head tuples with a non-zero count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Tuple
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structures import Structure
+from repro.cq.homomorphism import query_homomorphisms
+
+HeadTuple = Tuple
+BagAnswer = Dict[HeadTuple, int]
+
+
+def evaluate_bag(query: ConjunctiveQuery, database: Structure) -> BagAnswer:
+    """Evaluate ``query`` on ``database`` under bag-set semantics.
+
+    Returns a dictionary mapping each head tuple with a non-zero multiplicity
+    to its multiplicity.  For a Boolean query the dictionary has the single
+    key ``()`` whose value is ``|hom(Q, D)|`` (and is empty when the count is
+    zero).
+    """
+    answer: BagAnswer = {}
+    for assignment in query_homomorphisms(query, database):
+        head_tuple = tuple(assignment[v] for v in query.head)
+        answer[head_tuple] = answer.get(head_tuple, 0) + 1
+    return answer
+
+
+def evaluate_set(query: ConjunctiveQuery, database: Structure) -> FrozenSet[HeadTuple]:
+    """Evaluate ``query`` on ``database`` under set semantics."""
+    return frozenset(evaluate_bag(query, database))
+
+
+def bag_multiplicity(
+    query: ConjunctiveQuery, database: Structure, head_tuple: HeadTuple
+) -> int:
+    """The multiplicity ``|Q(D)[d]|`` of a single head tuple ``d``."""
+    fixed = dict(zip(query.head, head_tuple))
+    return sum(1 for _ in query_homomorphisms(query, database, fixed=fixed))
+
+
+def bag_contained_on(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, database: Structure
+) -> bool:
+    """Check the pointwise inequality ``Q1(D) ≤ Q2(D)`` on one database.
+
+    The two queries must have the same number of head variables.  This is the
+    per-database test whose universal quantification over all databases is
+    the containment problem ``Q1 ⊑ Q2``.
+    """
+    if len(q1.head) != len(q2.head):
+        raise ValueError("queries must have the same number of head variables")
+    answer1 = evaluate_bag(q1, database)
+    answer2 = evaluate_bag(q2, database)
+    return all(count <= answer2.get(head, 0) for head, count in answer1.items())
+
+
+def set_contained_on(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, database: Structure
+) -> bool:
+    """Check ``Q1(D) ⊆ Q2(D)`` under set semantics on one database."""
+    if len(q1.head) != len(q2.head):
+        raise ValueError("queries must have the same number of head variables")
+    return evaluate_set(q1, database) <= evaluate_set(q2, database)
+
+
+def enumerate_databases(
+    vocabulary, domain_size: int, max_tuples_per_relation: int = None
+):
+    """Enumerate all databases over ``[0, domain_size)`` for a vocabulary.
+
+    Used by brute-force containment refutation on tiny instances.  The number
+    of databases is doubly exponential; callers must keep ``domain_size`` and
+    the vocabulary small.  ``max_tuples_per_relation`` optionally caps the
+    relation sizes to bound the enumeration further.
+    """
+    domain = tuple(range(domain_size))
+    relation_names = vocabulary.relations()
+    all_tuples = {
+        name: list(itertools.product(domain, repeat=vocabulary.arity(name)))
+        for name in relation_names
+    }
+
+    def subsets(tuples):
+        limit = len(tuples) if max_tuples_per_relation is None else min(
+            len(tuples), max_tuples_per_relation
+        )
+        for size in range(limit + 1):
+            yield from itertools.combinations(tuples, size)
+
+    for choice in itertools.product(*(subsets(all_tuples[n]) for n in relation_names)):
+        relations = {name: frozenset(rows) for name, rows in zip(relation_names, choice)}
+        yield Structure(domain=frozenset(domain), relations=relations)

@@ -1,0 +1,44 @@
+"""Gaifman graphs of conjunctive queries.
+
+The Gaifman graph of a query has the query variables as vertices and an edge
+between two variables whenever they co-occur in some atom.  Chordality of the
+query (Section 3.1) is chordality of this graph.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cq.query import ConjunctiveQuery
+
+
+def gaifman_graph(query: ConjunctiveQuery) -> nx.Graph:
+    """Build the Gaifman graph of ``query``.
+
+    Every variable becomes a node even if it never co-occurs with another
+    variable (atoms with a single distinct variable produce isolated nodes).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(query.variables)
+    for atom in query.atoms:
+        distinct = tuple(atom.variables)
+        for i, u in enumerate(distinct):
+            for v in distinct[i + 1:]:
+                graph.add_edge(u, v)
+    return graph
+
+
+def is_clique(graph: nx.Graph, nodes) -> bool:
+    """True when ``nodes`` induce a clique in ``graph``."""
+    nodes = list(nodes)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if not graph.has_edge(u, v):
+                return False
+    return True
+
+
+def maximal_cliques(graph: nx.Graph):
+    """All maximal cliques of ``graph`` as frozensets (deterministic order)."""
+    cliques = [frozenset(c) for c in nx.find_cliques(graph)] if graph.number_of_nodes() else []
+    return sorted(cliques, key=lambda c: (len(c), sorted(c)))

@@ -1,0 +1,343 @@
+"""Homomorphism enumeration and counting.
+
+Homomorphism counts are the central quantity of the paper: the answer of a
+Boolean conjunctive query ``Q`` on a database ``D`` under bag-set semantics
+is ``|hom(Q, D)|``, and ``Q1 ⊑ Q2`` means ``|hom(Q1, D)| ≤ |hom(Q2, D)|`` for
+every ``D``.
+
+Two counting engines are provided:
+
+* a generic backtracking engine (:func:`query_homomorphisms`) that works for
+  every query and also powers structure-to-structure homomorphism counting;
+* a tree-decomposition engine
+  (:func:`count_homomorphisms_via_decomposition`), the Yannakakis-style
+  dynamic program, which is exponentially faster on acyclic / bounded-width
+  queries and serves as the "substrate" baseline for the A1 ablation
+  benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.structures import Structure, canonical_structure
+from repro.exceptions import QueryError
+
+Assignment = Dict[str, object]
+
+
+# ---------------------------------------------------------------------- #
+# Backtracking engine
+# ---------------------------------------------------------------------- #
+def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
+    """Order atoms so that each one shares variables with earlier atoms.
+
+    A greedy connectivity-first order keeps the partial assignment as
+    constrained as possible, which prunes the backtracking search early.
+    """
+    remaining = list(query.atoms)
+    ordered: List[Atom] = []
+    bound: set = set()
+    while remaining:
+        best_index = 0
+        best_score = (-1, 0)
+        for index, atom in enumerate(remaining):
+            shared = len(atom.variable_set & bound)
+            # Prefer atoms with many already-bound variables, then small atoms.
+            score = (shared, -len(atom.variable_set))
+            if score > best_score:
+                best_score = score
+                best_index = index
+        atom = remaining.pop(best_index)
+        ordered.append(atom)
+        bound.update(atom.variable_set)
+    return ordered
+
+
+def _matches(
+    atom: Atom, structure: Structure, assignment: Assignment
+) -> Iterator[Assignment]:
+    """Yield extensions of ``assignment`` that satisfy ``atom`` in ``structure``."""
+    for row in structure.tuples(atom.relation):
+        if len(row) != len(atom.args):
+            continue
+        extension: Assignment = {}
+        ok = True
+        for variable, value in zip(atom.args, row):
+            bound = assignment.get(variable, extension.get(variable))
+            if bound is None:
+                extension[variable] = value
+            elif bound != value:
+                ok = False
+                break
+        if ok:
+            yield extension
+
+
+def query_homomorphisms(
+    query: ConjunctiveQuery,
+    structure: Structure,
+    fixed: Optional[Mapping[str, object]] = None,
+) -> Iterator[Assignment]:
+    """Enumerate the homomorphisms (satisfying assignments) of ``query`` in ``structure``.
+
+    ``fixed`` optionally pre-binds some variables (used to evaluate queries
+    with head variables and to restrict to ``hom_φ`` in Section 4.2).
+    Each yielded assignment maps every variable of the query to a domain
+    element of ``structure``.
+    """
+    ordered = _order_atoms(query)
+    base: Assignment = dict(fixed) if fixed else {}
+    for variable, value in base.items():
+        if value not in structure.domain:
+            return
+
+    def backtrack(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        atom = ordered[index]
+        for extension in _matches(atom, structure, assignment):
+            assignment.update(extension)
+            yield from backtrack(index + 1, assignment)
+            for variable in extension:
+                del assignment[variable]
+
+    yield from backtrack(0, base)
+
+
+def count_query_homomorphisms(
+    query: ConjunctiveQuery,
+    structure: Structure,
+    fixed: Optional[Mapping[str, object]] = None,
+    method: str = "auto",
+) -> int:
+    """Count ``|hom(Q, D)|`` (restricted to assignments extending ``fixed``).
+
+    ``method`` is one of ``"auto"``, ``"backtracking"`` or ``"decomposition"``.
+    ``"auto"`` uses the tree-decomposition dynamic program when the query is
+    acyclic and no variables are fixed, and backtracking otherwise.
+    """
+    if method not in {"auto", "backtracking", "decomposition"}:
+        raise QueryError(f"unknown homomorphism counting method {method!r}")
+    if method in {"auto", "decomposition"} and not fixed:
+        from repro.cq.decompositions import is_acyclic, join_tree
+
+        try:
+            if is_acyclic(query):
+                return count_homomorphisms_via_decomposition(
+                    query, structure, join_tree(query)
+                )
+            if method == "decomposition":
+                from repro.cq.decompositions import heuristic_tree_decomposition
+
+                return count_homomorphisms_via_decomposition(
+                    query, structure, heuristic_tree_decomposition(query)
+                )
+        except QueryError:
+            # A bag would materialize too many assignments; fall back to the
+            # memory-frugal backtracking count.
+            pass
+    return sum(1 for _ in query_homomorphisms(query, structure, fixed=fixed))
+
+
+def exists_query_homomorphism(
+    query: ConjunctiveQuery,
+    structure: Structure,
+    fixed: Optional[Mapping[str, object]] = None,
+) -> bool:
+    """True when at least one homomorphism of ``query`` into ``structure`` exists."""
+    for _ in query_homomorphisms(query, structure, fixed=fixed):
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# Structure-to-structure homomorphisms
+# ---------------------------------------------------------------------- #
+def _structure_as_query(structure: Structure) -> Tuple[ConjunctiveQuery, Tuple]:
+    """View a structure as a Boolean query (facts become atoms).
+
+    Returns the query together with the tuple of isolated domain elements
+    (elements that appear in no fact); those are unconstrained and multiply
+    the homomorphism count by ``|target domain|`` each.
+    """
+    atoms = []
+    used = set()
+    for name, row in structure.facts():
+        atoms.append(Atom(name, tuple(f"__elem_{value!r}" for value in row)))
+        used.update(row)
+    isolated = tuple(sorted((structure.domain - used), key=str))
+    if not atoms:
+        raise QueryError("structure with no facts cannot be viewed as a query")
+    return ConjunctiveQuery(atoms=tuple(atoms), head=()), isolated
+
+
+def homomorphisms(source: Structure, target: Structure) -> Iterator[Dict]:
+    """Enumerate homomorphisms ``source → target`` as domain-element maps."""
+    query, isolated = _structure_as_query(source)
+    reverse = {f"__elem_{value!r}": value for value in source.domain}
+    target_domain = sorted(target.domain, key=str)
+
+    def attach_isolated(core: Dict) -> Iterator[Dict]:
+        if not isolated:
+            yield core
+            return
+        import itertools
+
+        for values in itertools.product(target_domain, repeat=len(isolated)):
+            mapping = dict(core)
+            mapping.update(dict(zip(isolated, values)))
+            yield mapping
+
+    for assignment in query_homomorphisms(query, target):
+        core = {reverse[variable]: value for variable, value in assignment.items()}
+        yield from attach_isolated(core)
+
+
+def count_homomorphisms(source: Structure, target: Structure) -> int:
+    """Count ``|hom(source, target)|`` between two structures."""
+    query, isolated = _structure_as_query(source)
+    base = count_query_homomorphisms(query, target)
+    return base * (len(target.domain) ** len(isolated))
+
+
+def exists_homomorphism(source: Structure, target: Structure) -> bool:
+    """True when a homomorphism ``source → target`` exists."""
+    query, _ = _structure_as_query(source)
+    return exists_query_homomorphism(query, target)
+
+
+def query_to_query_homomorphisms(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> List[Dict[str, str]]:
+    """All homomorphisms ``source → target`` between queries.
+
+    Queries are identified with their canonical structures (Section 2.2):
+    a homomorphism maps variables of ``source`` to variables of ``target``
+    such that every atom of ``source`` becomes an atom of ``target``.
+    The result is the set ``hom(Q2, Q1)`` appearing in Eq. (8) when called as
+    ``query_to_query_homomorphisms(q2, q1)``.
+    """
+    return list(query_homomorphisms(source, canonical_structure(target)))
+
+
+def count_query_to_query_homomorphisms(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> int:
+    """Count homomorphisms between two queries."""
+    return count_query_homomorphisms(source, canonical_structure(target))
+
+
+# ---------------------------------------------------------------------- #
+# Tree-decomposition (Yannakakis-style) counting
+# ---------------------------------------------------------------------- #
+_MAX_BAG_ROWS = 500_000
+
+
+def _bag_assignments(
+    query: ConjunctiveQuery,
+    structure: Structure,
+    bag: frozenset,
+    covered_atoms: Tuple[Atom, ...],
+) -> List[Tuple]:
+    """All assignments of the bag variables satisfying the bag's atoms.
+
+    The bag's variables that are not constrained by any covered atom range
+    over the whole domain of the structure.  To keep memory bounded the
+    materialization refuses to build more than ``_MAX_BAG_ROWS`` rows (the
+    caller falls back to backtracking in that case).
+    """
+    variables = tuple(sorted(bag))
+    sub_query_atoms = covered_atoms
+    constrained = set()
+    for atom in sub_query_atoms:
+        constrained.update(atom.variable_set)
+    free = [v for v in variables if v not in constrained]
+
+    assignments: List[Dict[str, object]] = []
+    if sub_query_atoms:
+        sub_query = ConjunctiveQuery(atoms=sub_query_atoms, head=())
+        assignments = list(query_homomorphisms(sub_query, structure))
+    else:
+        assignments = [{}]
+
+    import itertools
+
+    domain = sorted(structure.domain, key=str)
+    estimated = len(assignments) * (len(domain) ** len(free))
+    if estimated > _MAX_BAG_ROWS:
+        raise QueryError(
+            f"bag over {variables} would materialize ~{estimated} assignments"
+        )
+    rows: List[Tuple] = []
+    for assignment in assignments:
+        if free:
+            for values in itertools.product(domain, repeat=len(free)):
+                full = dict(assignment)
+                full.update(dict(zip(free, values)))
+                rows.append(tuple(full[v] for v in variables))
+        else:
+            rows.append(tuple(assignment[v] for v in variables))
+    return rows
+
+
+def count_homomorphisms_via_decomposition(
+    query: ConjunctiveQuery, structure: Structure, decomposition
+) -> int:
+    """Count ``|hom(Q, D)|`` using a tree decomposition of ``Q``.
+
+    This is the classical dynamic program over a (rooted) tree decomposition:
+    every atom is assigned to one bag that covers it, each bag materializes
+    its satisfying assignments, and counts are aggregated bottom-up along the
+    tree.  For decompositions of bounded width this runs in polynomial time.
+    """
+    decomposition.validate(query)
+    assignment_of_atoms = decomposition.assign_atoms(query)
+    parent = decomposition.rooted_parents()
+    order = decomposition.topological_order()
+
+    variables_of = {node: tuple(sorted(decomposition.bags[node])) for node in order}
+    rows_of: Dict[object, List[Tuple]] = {}
+    for node in order:
+        rows_of[node] = _bag_assignments(
+            query, structure, decomposition.bags[node], assignment_of_atoms[node]
+        )
+
+    # weight[node][row] = number of homomorphisms of the subtree rooted at node
+    # whose restriction to the bag equals row.
+    weight: Dict[object, Dict[Tuple, int]] = {}
+    children: Dict[object, List[object]] = {node: [] for node in order}
+    for node, par in parent.items():
+        if par is not None:
+            children[par].append(node)
+
+    for node in reversed(order):
+        bag_vars = variables_of[node]
+        node_weights: Dict[Tuple, int] = {}
+        for row in rows_of[node]:
+            row_assignment = dict(zip(bag_vars, row))
+            total = 1
+            for child in children[node]:
+                child_vars = variables_of[child]
+                shared = [v for v in child_vars if v in row_assignment]
+                child_total = 0
+                for child_row, child_weight in weight[child].items():
+                    child_assignment = dict(zip(child_vars, child_row))
+                    if all(child_assignment[v] == row_assignment[v] for v in shared):
+                        child_total += child_weight
+                total *= child_total
+                if total == 0:
+                    break
+            node_weights[row] = node_weights.get(row, 0) + total
+        weight[node] = node_weights
+
+    # Multiply the root counts of each connected component of the forest and
+    # account for query variables not covered by any bag (there are none for
+    # valid decompositions, by the coverage property).
+    result = 1
+    for node in order:
+        if parent[node] is None:
+            result *= sum(weight[node].values())
+    return result

@@ -1,0 +1,127 @@
+"""A small textual parser for conjunctive queries.
+
+The accepted syntax mirrors how queries are written in the paper::
+
+    R(x1, x2), R(x2, x3), R(x3, x1)            # Boolean query
+    (x, z) :- P(x), S(u, x), S(v, z), R(z)     # query with head variables
+    Q(x, z) :- P(x), S(u, x), S(v, z), R(z)    # optionally named
+
+Atoms are separated by ``,`` or ``∧`` or ``&``.  Variable and relation names
+are alphanumeric identifiers (underscores and primes allowed).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.exceptions import ParseError
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_']*)\s*\(([^()]*)\)\s*")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_']*$")
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``R(x, y)``.
+
+    >>> parse_atom("R(x, y)")
+    Atom(relation='R', args=('x', 'y'))
+    """
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise ParseError(f"cannot parse atom: {text!r}")
+    relation, arg_text = match.group(1), match.group(2)
+    args = _parse_variable_list(arg_text, context=text)
+    if not args:
+        raise ParseError(f"atom {text!r} has no arguments")
+    return Atom(relation, tuple(args))
+
+
+def parse_query(text: str, name: str = "Q") -> ConjunctiveQuery:
+    """Parse a conjunctive query from text.
+
+    >>> q = parse_query("R(x, y), R(y, z)")
+    >>> q.variables
+    ('x', 'y', 'z')
+    >>> q2 = parse_query("(x) :- R(x, y)")
+    >>> q2.head
+    ('x',)
+    """
+    text = text.strip()
+    if not text:
+        raise ParseError("empty query text")
+    head: Tuple[str, ...] = ()
+    body_text = text
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head, parsed_name = _parse_head(head_text)
+        if parsed_name is not None:
+            name = parsed_name
+    atoms = _split_atoms(body_text)
+    if not atoms:
+        raise ParseError(f"query body has no atoms: {text!r}")
+    return ConjunctiveQuery(
+        atoms=tuple(parse_atom(atom) for atom in atoms), head=head, name=name
+    )
+
+
+def _parse_head(head_text: str) -> Tuple[Tuple[str, ...], str]:
+    """Parse the head part, e.g. ``Q(x, z)`` or ``(x, z)`` or ``()``."""
+    head_text = head_text.strip()
+    name = None
+    match = re.fullmatch(r"([A-Za-z_][A-Za-z0-9_']*)?\s*\(([^()]*)\)", head_text)
+    if match is None:
+        raise ParseError(f"cannot parse query head: {head_text!r}")
+    if match.group(1):
+        name = match.group(1)
+    head_vars = _parse_variable_list(match.group(2), context=head_text, allow_empty=True)
+    return tuple(head_vars), name
+
+
+def _parse_variable_list(
+    text: str, context: str, allow_empty: bool = False
+) -> List[str]:
+    """Parse a comma-separated list of variable identifiers."""
+    text = text.strip()
+    if not text:
+        if allow_empty:
+            return []
+        raise ParseError(f"empty variable list in {context!r}")
+    variables = []
+    for token in text.split(","):
+        token = token.strip()
+        if not _IDENT_RE.match(token):
+            raise ParseError(f"invalid variable name {token!r} in {context!r}")
+        variables.append(token)
+    return variables
+
+
+def _split_atoms(body_text: str) -> List[str]:
+    """Split a query body on atom separators (commas outside parentheses)."""
+    body_text = body_text.replace("∧", "&")
+    atoms: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body_text:
+        if char == "(":
+            depth += 1
+            current.append(char)
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {body_text!r}")
+            current.append(char)
+        elif char in ",&" and depth == 0:
+            piece = "".join(current).strip()
+            if piece:
+                atoms.append(piece)
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {body_text!r}")
+    piece = "".join(current).strip()
+    if piece:
+        atoms.append(piece)
+    return atoms

@@ -1,0 +1,110 @@
+"""Generalized projections and the induced database ``Π_Q(P)`` of Eq. (4).
+
+Given a ``V``-relation ``P`` (a candidate witness) and a query ``Q`` over the
+variables ``V``, the paper builds the database instance ``Π_Q(P)`` whose
+relation ``R_ℓ`` is the union of the *generalized projections* of ``P`` onto
+the atoms with relation name ``R_ℓ``.  Generalized projections differ from
+standard ones in that the same source attribute may be repeated (for atoms
+with repeated variables such as ``R(x, x, y)``).
+
+The module also implements the *annotation* trick used in the proof of
+Theorem 4.4: every value is tagged with the variable name of its column so
+that the witness database admits the "erasing" homomorphism ``e : D → Q1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structures import Relation, Structure
+from repro.exceptions import StructureError
+
+
+def generalized_projection(
+    relation: Relation, mapping: Mapping[str, str] | Sequence[str]
+) -> Relation:
+    """The generalized projection ``Π_φ(P)`` of Section 3.1.
+
+    ``mapping`` describes the function ``φ : Y → V``: it either maps each
+    output attribute name to a source attribute, or is a sequence of source
+    attributes in which case the output attributes are synthesized as
+    ``pos0, pos1, ...``.
+
+    Repeated source attributes are allowed: with ``P = {(a, b)}`` over
+    attributes ``(x, y)`` and ``mapping = {"u": "x", "v": "x", "w": "y"}``,
+    the result is ``{(a, a, b)}`` over ``(u, v, w)``.
+    """
+    if not isinstance(mapping, Mapping):
+        mapping = {f"pos{i}": source for i, source in enumerate(mapping)}
+    output_attrs = tuple(mapping)
+    source_idx = [relation.column_index(mapping[a]) for a in output_attrs]
+    rows = {tuple(row[i] for i in source_idx) for row in relation.rows}
+    return Relation(attributes=output_attrs, rows=rows)
+
+
+def atom_projection(relation: Relation, args: Sequence[str]) -> frozenset:
+    """Project ``relation`` onto an atom's argument list, as raw tuples.
+
+    This is ``Π_{vars(A)}(P)`` from Eq. (4), where ``vars(A)`` is the
+    position → variable function of the atom (repeats allowed).  The result is
+    a set of plain tuples ready to be inserted into a database relation.
+    """
+    indices = [relation.column_index(a) for a in args]
+    return frozenset(tuple(row[i] for i in indices) for row in relation.rows)
+
+
+def induced_database(query: ConjunctiveQuery, relation: Relation) -> Structure:
+    """The induced database ``Π_Q(P)`` of Eq. (4).
+
+    For each relation name ``R_ℓ`` of the query, the database relation is the
+    union over all atoms ``A`` with ``rel(A) = R_ℓ`` of the generalized
+    projection of ``P`` onto ``vars(A)``.
+
+    Every variable of the query must be an attribute of ``P``.
+    """
+    missing = set(query.variables) - relation.attribute_set
+    if missing:
+        raise StructureError(
+            f"witness relation is missing query variables {sorted(missing)}"
+        )
+    relations: Dict[str, set] = {}
+    for atom in query.atoms:
+        tuples = relations.setdefault(atom.relation, set())
+        tuples.update(atom_projection(relation, atom.args))
+    domain = set()
+    for tuples in relations.values():
+        for row in tuples:
+            domain.update(row)
+    return Structure(domain=frozenset(domain), relations=relations)
+
+
+def annotate_relation(relation: Relation) -> Relation:
+    """Tag every value with its column (variable) name.
+
+    A value ``c`` in column ``X`` becomes the pair ``(X, c)``.  The annotated
+    relation is isomorphic to the original (hence still totally uniform when
+    the original is), and the database it induces via :func:`induced_database`
+    admits the erasing homomorphism back to the canonical structure of the
+    query — the key step in the proof of Theorem 4.4.
+    """
+    rows = set()
+    for row in relation.rows:
+        rows.add(tuple((attr, value) for attr, value in zip(relation.attributes, row)))
+    return Relation(attributes=relation.attributes, rows=rows)
+
+
+def erasing_homomorphism(structure: Structure) -> Dict[Tuple, str]:
+    """The homomorphism ``e : D → Q1`` that maps ``(X, c)`` back to ``X``.
+
+    Only defined for structures built from an annotated relation; raises if a
+    domain element is not a ``(variable, value)`` pair.
+    """
+    mapping: Dict[Tuple, str] = {}
+    for element in structure.domain:
+        if not (isinstance(element, tuple) and len(element) == 2):
+            raise StructureError(
+                f"domain element {element!r} is not an annotated (variable, value) pair"
+            )
+        mapping[element] = element[0]
+    return mapping

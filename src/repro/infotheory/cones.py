@@ -1,0 +1,201 @@
+"""The polyhedral cones ``Mn ⊆ Nn ⊆ Γn`` (paper Section 3.2).
+
+Each cone provides the same two services:
+
+* :meth:`~Cone.contains` — membership of a given set function;
+* :meth:`~Cone.find_point_below` — given a list of linear expressions
+  ``E_1, ..., E_k``, find a point ``h`` of the cone with ``E_ℓ(h) ≤ -1`` for
+  every ``ℓ`` (the scaled form of "all branches strictly negative"), or
+  report that none exists.
+
+The second service is exactly the feasibility problem whose *in*feasibility
+means that the max-inequality ``0 ≤ max_ℓ E_ℓ(h)`` is valid over the cone —
+the engine of the Theorem 3.1 decision procedure and of the witness
+constructions of Theorem 3.4.
+
+``Γ*n`` (the entropic functions) is deliberately *not* a subclass: it is not
+polyhedral, not even topologically closed, and deciding validity over it is
+the open problem the paper connects to query containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.infotheory.expressions import LinearExpression
+from repro.infotheory.functions import modular_function, normal_function, step_function
+from repro.infotheory.imeasure import is_normal_function
+from repro.infotheory.polymatroid import elemental_inequalities, is_modular, is_polymatroid
+from repro.infotheory.setfunction import SetFunction
+from repro.lp.solver import check_feasibility
+from repro.utils.subsets import proper_subsets
+
+
+@dataclass(frozen=True)
+class ConePoint:
+    """A point of a cone, together with its generator coefficients when known."""
+
+    function: SetFunction
+    coefficients: Optional[Dict[FrozenSet[str], float]] = None
+
+
+class Cone:
+    """Interface shared by the three polyhedral cones."""
+
+    name = "cone"
+
+    def __init__(self, ground: Sequence[str]):
+        self.ground: Tuple[str, ...] = tuple(ground)
+        if not self.ground:
+            raise ValueError("the ground set must be non-empty")
+
+    def contains(self, function: SetFunction, tolerance: float = 1e-9) -> bool:
+        raise NotImplementedError
+
+    def find_point_below(
+        self, expressions: Sequence[LinearExpression], margin: float = 1.0
+    ) -> Optional[ConePoint]:
+        """A cone point with ``E_ℓ(h) ≤ -margin`` for every expression, if any."""
+        raise NotImplementedError
+
+
+class GammaCone(Cone):
+    """The Shannon (polymatroid) cone ``Γn``."""
+
+    name = "gamma"
+
+    def __init__(self, ground: Sequence[str]):
+        super().__init__(ground)
+        self._subsets = SetFunction.zero(self.ground).subsets()
+        self._index = {subset: i for i, subset in enumerate(self._subsets)}
+        self._elementals = elemental_inequalities(self.ground)
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for row, inequality in enumerate(self._elementals):
+            for subset, coefficient in inequality.as_dict().items():
+                rows.append(row)
+                cols.append(self._index[subset])
+                data.append(coefficient)
+        self._elemental_matrix = sp.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._elementals), len(self._subsets))
+        )
+
+    def _expression_row(self, expression: LinearExpression) -> np.ndarray:
+        row = np.zeros(len(self._subsets))
+        for subset, coefficient in expression.coefficients.items():
+            row[self._index[subset]] += coefficient
+        return row
+
+    def contains(self, function: SetFunction, tolerance: float = 1e-9) -> bool:
+        return is_polymatroid(function, tolerance)
+
+    def find_point_below(
+        self, expressions: Sequence[LinearExpression], margin: float = 1.0
+    ) -> Optional[ConePoint]:
+        branch_rows = sp.csr_matrix(
+            np.array([self._expression_row(e) for e in expressions])
+        )
+        A_ub = sp.vstack([-self._elemental_matrix, branch_rows], format="csr")
+        b_ub = np.concatenate(
+            [np.zeros(len(self._elementals)), -margin * np.ones(len(expressions))]
+        )
+        feasible, solution = check_feasibility(
+            num_variables=len(self._subsets),
+            A_ub=A_ub,
+            b_ub=b_ub,
+            bounds=[(0, None)] * len(self._subsets),
+        )
+        if not feasible or solution is None:
+            return None
+        function = SetFunction(
+            ground=self.ground,
+            values={subset: solution[i] for subset, i in self._index.items()},
+        )
+        return ConePoint(function=function, coefficients=None)
+
+
+class _GeneratedCone(Cone):
+    """A cone given by finitely many generator functions (``Nn`` and ``Mn``)."""
+
+    def _generators(self) -> List[Tuple[FrozenSet[str], SetFunction]]:
+        raise NotImplementedError
+
+    def _combine(self, coefficients: Dict[FrozenSet[str], float]) -> SetFunction:
+        raise NotImplementedError
+
+    def find_point_below(
+        self, expressions: Sequence[LinearExpression], margin: float = 1.0
+    ) -> Optional[ConePoint]:
+        generators = self._generators()
+        # Column g, row ℓ: E_ℓ evaluated on generator g.
+        matrix = np.array(
+            [[expr.evaluate(gen) for _, gen in generators] for expr in expressions]
+        )
+        feasible, solution = check_feasibility(
+            num_variables=len(generators),
+            A_ub=matrix,
+            b_ub=-margin * np.ones(len(expressions)),
+            bounds=[(0, None)] * len(generators),
+        )
+        if not feasible or solution is None:
+            return None
+        coefficients = {
+            key: float(value)
+            for (key, _), value in zip(generators, solution)
+            if value > 1e-12
+        }
+        return ConePoint(function=self._combine(coefficients), coefficients=coefficients)
+
+
+class NormalCone(_GeneratedCone):
+    """The cone ``Nn`` of normal functions, generated by the step functions ``h_W``."""
+
+    name = "normal"
+
+    def contains(self, function: SetFunction, tolerance: float = 1e-9) -> bool:
+        return is_normal_function(function, tolerance)
+
+    def _generators(self) -> List[Tuple[FrozenSet[str], SetFunction]]:
+        return [
+            (frozenset(low), step_function(self.ground, low))
+            for low in proper_subsets(self.ground)
+        ]
+
+    def _combine(self, coefficients: Dict[FrozenSet[str], float]) -> SetFunction:
+        return normal_function(self.ground, coefficients)
+
+
+class ModularCone(_GeneratedCone):
+    """The cone ``Mn`` of modular functions, generated by the per-variable basis."""
+
+    name = "modular"
+
+    def contains(self, function: SetFunction, tolerance: float = 1e-9) -> bool:
+        return is_modular(function, tolerance)
+
+    def _generators(self) -> List[Tuple[FrozenSet[str], SetFunction]]:
+        generators = []
+        for variable in self.ground:
+            weights = {v: (1.0 if v == variable else 0.0) for v in self.ground}
+            generators.append((frozenset([variable]), modular_function(weights)))
+        return generators
+
+    def _combine(self, coefficients: Dict[FrozenSet[str], float]) -> SetFunction:
+        weights = {v: 0.0 for v in self.ground}
+        for key, value in coefficients.items():
+            (variable,) = tuple(key)
+            weights[variable] = value
+        return modular_function(weights)
+
+
+def cone_by_name(name: str, ground: Sequence[str]) -> Cone:
+    """Factory: ``"gamma"`` → :class:`GammaCone`, ``"normal"`` → :class:`NormalCone`, ``"modular"`` → :class:`ModularCone`."""
+    cones = {"gamma": GammaCone, "normal": NormalCone, "modular": ModularCone}
+    if name not in cones:
+        raise ValueError(f"unknown cone {name!r}; expected one of {sorted(cones)}")
+    return cones[name](ground)

@@ -1,0 +1,299 @@
+"""Copy-lemma strengthening of the Shannon prover (beyond ``Γn``).
+
+The paper's decision procedures work over the Shannon cone ``Γn`` because the
+relevant "containment shaped" inequalities are *essentially Shannon*
+(Theorem 3.6).  General information inequalities are not: Zhang and Yeung's
+1998 inequality is valid over ``Γ*n`` yet not Shannon-provable.  The standard
+tool that recovers such inequalities is the **copy lemma** (Zhang–Yeung 1998;
+Dougherty–Freiling–Zeger): for any entropic ``h`` over variables ``V`` and
+disjoint ``A, B ⊆ V`` there is an entropic extension with fresh variables
+``B'`` such that
+
+* ``(A, B')`` is distributed exactly like ``(A, B)`` —
+  ``h(X ∪ σ(Y)) = h(X ∪ Y)`` for all ``X ⊆ A``, ``Y ⊆ B``, where ``σ`` renames
+  ``B`` to ``B'``;
+* ``B'`` is conditionally independent of everything else given ``A`` —
+  ``I(B' ; V | A) = 0``.
+
+Because every entropic function admits such an extension, any inequality that
+follows from the Shannon inequalities over ``V ∪ B'`` *plus* the copy
+constraints is valid over ``Γ*n``.  :class:`CopyLemmaProver` implements this
+strengthened prover as a single LP: minimize the target expression over the
+extended Shannon cone intersected with the copy-constraint hyperplanes.
+
+This module is an extension beyond the paper's strict needs; it demarcates
+the boundary the paper cares about (``Γ*n ⊊ Γn`` for ``n ≥ 4``) in an
+executable way and is exercised by dedicated tests and a benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ExpressionError
+from repro.infotheory.expressions import InformationInequality, LinearExpression
+from repro.infotheory.polymatroid import elemental_inequalities
+from repro.infotheory.setfunction import SetFunction
+from repro.lp.solver import LPStatus, minimize
+from repro.utils.subsets import all_subsets
+
+
+@dataclass(frozen=True)
+class CopyStep:
+    """One application of the copy lemma.
+
+    Attributes
+    ----------
+    copied:
+        The variables ``B`` being copied.
+    over:
+        The variables ``A`` the copy is taken over (the conditioning set).
+    suffix:
+        Suffix appended to each copied variable's name to form the fresh
+        copy; defaults to ``"_cp"`` plus the step index when built through
+        :func:`copy_steps`.
+    """
+
+    copied: Tuple[str, ...]
+    over: Tuple[str, ...]
+    suffix: str = "_cp"
+
+    def __post_init__(self) -> None:
+        copied = tuple(self.copied)
+        over = tuple(self.over)
+        if not copied:
+            raise ExpressionError("a copy step must copy at least one variable")
+        if set(copied) & set(over):
+            raise ExpressionError("the copied and conditioning sets must be disjoint")
+        object.__setattr__(self, "copied", copied)
+        object.__setattr__(self, "over", over)
+
+    def copy_names(self) -> Tuple[str, ...]:
+        """Names of the fresh copy variables ``B'``."""
+        return tuple(f"{variable}{self.suffix}" for variable in self.copied)
+
+    def rename_map(self) -> Dict[str, str]:
+        """The substitution ``σ : B → B'``."""
+        return dict(zip(self.copied, self.copy_names()))
+
+
+def copy_steps(*specs: Tuple[Sequence[str], Sequence[str]]) -> Tuple[CopyStep, ...]:
+    """Build a tuple of :class:`CopyStep` with unique, index-based suffixes."""
+    return tuple(
+        CopyStep(copied=tuple(copied), over=tuple(over), suffix=f"_cp{index + 1}")
+        for index, (copied, over) in enumerate(specs)
+    )
+
+
+def zhang_yeung_copy_step(
+    ground: Tuple[str, str, str, str] = ("A", "B", "C", "D")
+) -> CopyStep:
+    """The copy step of the classical Zhang–Yeung derivation.
+
+    The 1998 proof introduces ``A'`` distributed like ``A`` over ``(C, D)``
+    and conditionally independent of everything else given ``(C, D)``;
+    Shannon inequalities over the five variables then imply the non-Shannon
+    inequality on the original four.  (Verified by the test suite: the
+    copy-lemma LP with exactly this step certifies the inequality.)
+    """
+    a, _b, c, d = tuple(ground)
+    return CopyStep(copied=(a,), over=(c, d), suffix="_cp1")
+
+
+class CopyLemmaProver:
+    """Shannon prover over an extended ground set with copy-lemma constraints.
+
+    Parameters
+    ----------
+    ground:
+        The original variables ``V``.
+    steps:
+        Copy steps applied in order.  Each step may copy original variables
+        or variables introduced by earlier steps; its conditioning set may
+        likewise mention earlier copies.
+    """
+
+    def __init__(self, ground: Sequence[str], steps: Sequence[CopyStep]):
+        self.ground: Tuple[str, ...] = tuple(ground)
+        if not self.ground:
+            raise ExpressionError("the ground set must be non-empty")
+        self.steps: Tuple[CopyStep, ...] = tuple(steps)
+        self.extended_ground = self._extended_ground()
+        self._subsets = tuple(
+            frozenset(s) for s in all_subsets(self.extended_ground)
+        )
+        self._index = {subset: i for i, subset in enumerate(self._subsets)}
+        self._elementals = elemental_inequalities(self.extended_ground)
+        self._elemental_matrix = self._build_elemental_matrix()
+        self._equalities = self._copy_constraints()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _extended_ground(self) -> Tuple[str, ...]:
+        names: List[str] = list(self.ground)
+        seen = set(names)
+        for step in self.steps:
+            for variable in step.copied + step.over:
+                if variable not in seen:
+                    raise ExpressionError(
+                        f"copy step mentions unknown variable {variable!r}"
+                    )
+            for copy_name in step.copy_names():
+                if copy_name in seen:
+                    raise ExpressionError(
+                        f"copy variable {copy_name!r} clashes with an existing name"
+                    )
+                names.append(copy_name)
+                seen.add(copy_name)
+        return tuple(names)
+
+    def _build_elemental_matrix(self) -> sp.csr_matrix:
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for row, inequality in enumerate(self._elementals):
+            for subset, coefficient in inequality.as_dict().items():
+                rows.append(row)
+                cols.append(self._index[subset])
+                data.append(coefficient)
+        return sp.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._elementals), len(self._subsets))
+        )
+
+    def _expression_vector(self, coefficients: Dict[FrozenSet[str], float]) -> np.ndarray:
+        vector = np.zeros(len(self._subsets))
+        for subset, coefficient in coefficients.items():
+            subset = frozenset(subset)
+            if not subset:
+                continue
+            vector[self._index[subset]] += coefficient
+        return vector
+
+    def _copy_constraints(self) -> List[Dict[FrozenSet[str], float]]:
+        """The equality constraints (as coefficient dictionaries summing to zero).
+
+        For each step with copied set ``B``, conditioning set ``A`` and
+        renaming ``σ``, over the variable universe ``U`` available *before*
+        the step:
+
+        * distribution equalities ``h(X ∪ σ(Y)) − h(X ∪ Y) = 0`` for every
+          ``X ⊆ A`` and non-empty ``Y ⊆ B``;
+        * conditional independence ``h(U ∪ σ(B)) + h(A) − h(A ∪ σ(B)) − h(U) = 0``.
+        """
+        constraints: List[Dict[FrozenSet[str], float]] = []
+        universe: List[str] = list(self.ground)
+        for step in self.steps:
+            rename = step.rename_map()
+            a_set = frozenset(step.over)
+            b_vars = tuple(step.copied)
+            copies = frozenset(step.copy_names())
+            full = frozenset(universe)
+            # Distribution equalities.
+            for x in all_subsets(step.over):
+                x_set = frozenset(x)
+                for size in range(1, len(b_vars) + 1):
+                    for y in itertools.combinations(b_vars, size):
+                        y_set = frozenset(y)
+                        sigma_y = frozenset(rename[v] for v in y)
+                        coefficients: Dict[FrozenSet[str], float] = {}
+                        coefficients[x_set | sigma_y] = coefficients.get(x_set | sigma_y, 0.0) + 1.0
+                        original = x_set | y_set
+                        coefficients[original] = coefficients.get(original, 0.0) - 1.0
+                        if any(abs(v) > 0 for v in coefficients.values()):
+                            constraints.append(coefficients)
+            # Conditional independence I(σ(B) ; U | A) = 0.
+            coefficients = {}
+            for subset, sign in (
+                (full | copies, 1.0),
+                (a_set, 1.0),
+                (a_set | copies, -1.0),
+                (full, -1.0),
+            ):
+                if subset:
+                    coefficients[subset] = coefficients.get(subset, 0.0) + sign
+            constraints.append(coefficients)
+            universe.extend(step.copy_names())
+        return constraints
+
+    # ------------------------------------------------------------------ #
+    # Decision procedure
+    # ------------------------------------------------------------------ #
+    def minimum(self, expression: LinearExpression) -> Tuple[float, SetFunction]:
+        """Minimize ``E(h)`` over the constrained slice of the extended cone."""
+        unknown = set().union(*expression.coefficients) if expression.coefficients else set()
+        if not unknown <= set(self.extended_ground):
+            raise ExpressionError(
+                "expression uses variables outside the prover's (extended) ground set"
+            )
+        objective = self._expression_vector(expression.coefficients)
+        total_row = sp.csr_matrix(
+            ([1.0], ([0], [self._index[frozenset(self.extended_ground)]])),
+            shape=(1, len(self._subsets)),
+        )
+        A_ub = sp.vstack([-self._elemental_matrix, total_row], format="csr")
+        b_ub = np.concatenate([np.zeros(len(self._elementals)), np.array([1.0])])
+        if self._equalities:
+            A_eq = sp.csr_matrix(
+                np.array([self._expression_vector(eq) for eq in self._equalities])
+            )
+            b_eq = np.zeros(len(self._equalities))
+        else:
+            A_eq, b_eq = None, None
+        result = minimize(
+            objective,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=[(0, None)] * len(self._subsets),
+        )
+        if result.status != LPStatus.OPTIMAL:
+            raise ExpressionError(
+                f"unexpected LP status {result.status} in the copy-lemma prover"
+            )
+        function = SetFunction(
+            ground=self.extended_ground,
+            values={subset: result.solution[i] for subset, i in self._index.items()},
+        )
+        return result.objective, function
+
+    def is_valid(self, expression: LinearExpression, tolerance: float = 1e-7) -> bool:
+        """True when ``0 ≤ E(h)`` follows from Shannon + the copy constraints.
+
+        A ``True`` answer is sound for ``Γ*n`` (the copy lemma holds for every
+        entropic function); a ``False`` answer is *not* a refutation — more
+        copy steps might still prove the inequality.
+        """
+        value, _ = self.minimum(expression.with_ground(self.extended_ground))
+        return value >= -tolerance
+
+    def is_valid_inequality(
+        self, inequality: InformationInequality, tolerance: float = 1e-7
+    ) -> bool:
+        """Convenience wrapper taking an :class:`InformationInequality`."""
+        return self.is_valid(inequality.expression, tolerance)
+
+    def constraint_count(self) -> Dict[str, int]:
+        """Sizes of the LP: elemental rows, equality rows, columns."""
+        return {
+            "elementals": len(self._elementals),
+            "copy_equalities": len(self._equalities),
+            "columns": len(self._subsets),
+            "variables": len(self.extended_ground),
+        }
+
+
+def prove_with_copy_lemma(
+    inequality: InformationInequality,
+    steps: Sequence[CopyStep],
+    ground: Optional[Sequence[str]] = None,
+) -> bool:
+    """One-shot helper: is the inequality provable with the given copy steps?"""
+    ground = tuple(ground) if ground is not None else inequality.ground
+    return CopyLemmaProver(ground, steps).is_valid_inequality(inequality)

@@ -1,0 +1,163 @@
+"""Search for entropic counterexamples to max-information inequalities.
+
+Validity of a Max-II over ``Γ*n`` is co-recursively enumerable (Lemma B.9):
+one can enumerate finite probability distributions and report "invalid" as
+soon as one violates the inequality.  This module implements a bounded,
+practical version of that semi-procedure.  Candidate entropic functions are
+drawn from families that are cheap to generate and provably entropic:
+
+1. normal functions with small integer step coefficients (these are entropies
+   of normal relations, Definition 3.3);
+2. modular functions with small integer weights (entropies of product
+   relations);
+3. group-characterizable entropies over ``(F_2)^d`` with random subspaces
+   (dense in ``Γ*n`` by Chan–Yeung);
+4. entropies of random small relations.
+
+A hit from any family is a genuine entropic counterexample; exhausting the
+budget is inconclusive (the searcher never claims validity).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.cq.structures import Relation
+from repro.exceptions import SearchBudgetExceeded
+from repro.infotheory.entropy import relation_entropy
+from repro.infotheory.expressions import MaxInformationInequality
+from repro.infotheory.functions import modular_function, normal_function
+from repro.infotheory.group_entropy import entropy_from_subspaces
+from repro.infotheory.setfunction import SetFunction
+from repro.utils.subsets import proper_subsets
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """An entropic function violating a Max-II, plus how it was found."""
+
+    function: SetFunction
+    source: str
+    description: str
+
+
+class CounterexampleSearcher:
+    """Bounded search for entropic violations of a Max-II."""
+
+    def __init__(
+        self,
+        ground: Tuple[str, ...],
+        max_coefficient: int = 2,
+        group_dimension: int = 3,
+        random_relations: int = 50,
+        relation_domain_size: int = 3,
+        seed: int = 0,
+    ):
+        self.ground = tuple(ground)
+        self.max_coefficient = max_coefficient
+        self.group_dimension = group_dimension
+        self.random_relations = random_relations
+        self.relation_domain_size = relation_domain_size
+        self._random = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    # Candidate generators
+    # ------------------------------------------------------------------ #
+    def _normal_candidates(self) -> Iterator[Counterexample]:
+        steps = list(proper_subsets(self.ground))
+        coefficient_range = range(self.max_coefficient + 1)
+        for combo in itertools.product(coefficient_range, repeat=len(steps)):
+            if not any(combo):
+                continue
+            coefficients = {
+                frozenset(step): float(value)
+                for step, value in zip(steps, combo)
+                if value
+            }
+            yield Counterexample(
+                function=normal_function(self.ground, coefficients),
+                source="normal",
+                description=f"normal function with coefficients {coefficients}",
+            )
+
+    def _modular_candidates(self) -> Iterator[Counterexample]:
+        coefficient_range = range(self.max_coefficient + 1)
+        for combo in itertools.product(coefficient_range, repeat=len(self.ground)):
+            if not any(combo):
+                continue
+            weights = {v: float(c) for v, c in zip(self.ground, combo)}
+            yield Counterexample(
+                function=modular_function(weights),
+                source="modular",
+                description=f"modular function with weights {weights}",
+            )
+
+    def _group_candidates(self, samples: int = 50) -> Iterator[Counterexample]:
+        dimension = self.group_dimension
+        all_vectors = list(itertools.product((0, 1), repeat=dimension))[1:]
+        for _ in range(samples):
+            generators = {}
+            for variable in self.ground:
+                count = self._random.randint(0, min(2, dimension))
+                generators[variable] = self._random.sample(all_vectors, count)
+            yield Counterexample(
+                function=entropy_from_subspaces(self.ground, dimension, generators),
+                source="group",
+                description=f"GF(2)^{dimension} subspaces {generators}",
+            )
+
+    def _relation_candidates(self) -> Iterator[Counterexample]:
+        domain = range(self.relation_domain_size)
+        width = len(self.ground)
+        for _ in range(self.random_relations):
+            size = self._random.randint(2, self.relation_domain_size**2)
+            rows = {
+                tuple(self._random.choice(domain) for _ in range(width))
+                for _ in range(size)
+            }
+            relation = Relation(attributes=self.ground, rows=rows)
+            yield Counterexample(
+                function=relation_entropy(relation),
+                source="relation",
+                description=f"uniform distribution on a random relation with {len(rows)} rows",
+            )
+
+    def candidates(self) -> Iterator[Counterexample]:
+        """All candidate entropic functions, cheapest families first."""
+        yield from self._modular_candidates()
+        yield from self._normal_candidates()
+        yield from self._group_candidates()
+        yield from self._relation_candidates()
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(
+        self,
+        inequality: MaxInformationInequality,
+        budget: int = 20000,
+        tolerance: float = 1e-9,
+    ) -> Optional[Counterexample]:
+        """Return an entropic counterexample, or ``None`` if the budget runs out."""
+        examined = 0
+        for candidate in self.candidates():
+            if examined >= budget:
+                return None
+            examined += 1
+            if inequality.max_value(candidate.function) < -tolerance:
+                return candidate
+        return None
+
+    def search_or_raise(
+        self, inequality: MaxInformationInequality, budget: int = 20000
+    ) -> Counterexample:
+        """Like :meth:`search` but raises :class:`SearchBudgetExceeded` on failure."""
+        result = self.search(inequality, budget=budget)
+        if result is None:
+            raise SearchBudgetExceeded(
+                "no entropic counterexample found within the search budget"
+            )
+        return result

@@ -1,0 +1,113 @@
+"""Entropies of distributions and relations (paper Section 2.3).
+
+The entropy of a ``V``-relation ``P`` is the entropy of the uniform joint
+distribution on its rows; it is the bridge between database witnesses and
+entropic functions that drives Sections 3–5 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.cq.structures import Relation
+from repro.exceptions import EntropyError
+from repro.infotheory.setfunction import SetFunction
+from repro.utils.subsets import all_subsets
+
+
+def entropy_of_counts(counts: Iterable[float]) -> float:
+    """Binary entropy of the distribution proportional to ``counts``."""
+    counts = [float(c) for c in counts if c > 0]
+    total = sum(counts)
+    if total <= 0:
+        raise EntropyError("entropy of an empty distribution is undefined")
+    return -sum((c / total) * math.log2(c / total) for c in counts)
+
+
+def entropy_of_distribution(probabilities: Iterable[float]) -> float:
+    """Binary entropy of an explicit probability vector.
+
+    The probabilities must be non-negative and sum to 1 (up to a small
+    tolerance); zero entries are ignored.
+    """
+    probabilities = [float(p) for p in probabilities]
+    if any(p < -1e-12 for p in probabilities):
+        raise EntropyError("probabilities must be non-negative")
+    total = sum(probabilities)
+    if abs(total - 1.0) > 1e-6:
+        raise EntropyError(f"probabilities sum to {total}, expected 1")
+    return -sum(p * math.log2(p) for p in probabilities if p > 0)
+
+
+def _marginal_counts(
+    rows: Iterable[Tuple],
+    weights: Mapping[Tuple, float],
+    indices: Sequence[int],
+) -> Dict[Tuple, float]:
+    marginal: Dict[Tuple, float] = {}
+    for row in rows:
+        key = tuple(row[i] for i in indices)
+        marginal[key] = marginal.get(key, 0.0) + weights[row]
+    return marginal
+
+
+def distribution_entropy(
+    attributes: Sequence[str], pmf: Mapping[Tuple, float]
+) -> SetFunction:
+    """The entropic function of an arbitrary joint distribution.
+
+    ``pmf`` maps full rows (tuples aligned with ``attributes``) to
+    probabilities.  The result is the set function ``h`` with
+    ``h(X) = H(X)`` for every subset ``X`` of the attributes.
+    """
+    attributes = tuple(attributes)
+    total = sum(pmf.values())
+    if abs(total - 1.0) > 1e-6:
+        raise EntropyError(f"probability masses sum to {total}, expected 1")
+    for row in pmf:
+        if len(row) != len(attributes):
+            raise EntropyError(f"row {row!r} does not match attributes")
+    rows = [row for row, mass in pmf.items() if mass > 0]
+    weights = {row: float(pmf[row]) for row in rows}
+
+    values: Dict[frozenset, float] = {}
+    for subset in all_subsets(attributes):
+        if not subset:
+            continue
+        indices = [attributes.index(a) for a in subset]
+        marginal = _marginal_counts(rows, weights, indices)
+        values[frozenset(subset)] = -sum(
+            mass * math.log2(mass) for mass in marginal.values() if mass > 0
+        )
+    return SetFunction(ground=attributes, values=values)
+
+
+def relation_entropy(relation: Relation) -> SetFunction:
+    """The entropy of the uniform distribution on the rows of ``relation``.
+
+    This is "the entropy of a relation" from Section 3.2 of the paper.  For a
+    totally uniform relation, ``h(X) = log2 |Π_X(P)|`` for every ``X``
+    (Lemma 4.6); for general relations marginals need not be uniform and the
+    full marginal-entropy computation is performed.
+    """
+    if not relation.rows:
+        raise EntropyError("entropy of the empty relation is undefined")
+    size = len(relation.rows)
+    pmf = {row: 1.0 / size for row in relation.rows}
+    return distribution_entropy(relation.attributes, pmf)
+
+
+def projection_log_sizes(relation: Relation) -> SetFunction:
+    """The set function ``X ↦ log2 |Π_X(P)|``.
+
+    For totally uniform relations this coincides with
+    :func:`relation_entropy`; in general it only upper-bounds it.  It is used
+    by tests of Lemma 4.6 and by the witness verifier.
+    """
+    values: Dict[frozenset, float] = {}
+    for subset in all_subsets(relation.attributes):
+        if not subset:
+            continue
+        values[frozenset(subset)] = math.log2(len(relation.project(subset).rows))
+    return SetFunction(ground=relation.attributes, values=values)

@@ -1,0 +1,114 @@
+"""Special families of set functions (paper Section 3.2 and Appendix B).
+
+* step functions ``h_W`` (the generators of the normal cone ``Nn``),
+* modular functions (the cone ``Mn``),
+* normal functions (non-negative combinations of step functions),
+* the parity function (the canonical entropic-but-not-normal example),
+* uniform/matroid-like helper functions used in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import EntropyError
+from repro.infotheory.setfunction import SetFunction
+
+
+def zero_function(ground: Sequence[str]) -> SetFunction:
+    """The identically zero set function."""
+    return SetFunction.zero(ground)
+
+
+def step_function(ground: Sequence[str], low_part: Iterable[str]) -> SetFunction:
+    """The step function ``h_W`` at ``W = low_part``.
+
+    ``h_W(X) = 0`` when ``X ⊆ W`` and ``1`` otherwise.  ``W`` must be a
+    proper subset of the ground set.  Every step function is entropic: it is
+    the entropy of the two-tuple relation ``P_W`` (Section 3.2), available as
+    :meth:`repro.cq.structures.Relation.step_relation`.
+    """
+    ground = tuple(ground)
+    low = frozenset(low_part)
+    if not low <= frozenset(ground):
+        raise EntropyError("W must be a subset of the ground set")
+    if low == frozenset(ground):
+        raise EntropyError("the step function requires a proper subset W ⊊ V")
+    return SetFunction.from_callable(
+        ground, lambda subset: 0.0 if subset <= low else 1.0
+    )
+
+
+def modular_function(weights: Mapping[str, float]) -> SetFunction:
+    """The modular function ``h(X) = Σ_{i ∈ X} weights[i]`` with weights ≥ 0."""
+    ground = tuple(weights)
+    for variable, weight in weights.items():
+        if weight < 0:
+            raise EntropyError(f"modular weight of {variable!r} must be non-negative")
+    return SetFunction.from_callable(
+        ground, lambda subset: float(sum(weights[v] for v in subset))
+    )
+
+
+def normal_function(
+    ground: Sequence[str], coefficients: Mapping[frozenset, float]
+) -> SetFunction:
+    """The normal function ``Σ_W c_W · h_W`` with all ``c_W ≥ 0``.
+
+    ``coefficients`` maps proper subsets ``W ⊊ V`` (any iterable of
+    variables) to non-negative reals.
+    """
+    ground = tuple(ground)
+    ground_set = frozenset(ground)
+    result = SetFunction.zero(ground)
+    for low_part, coefficient in coefficients.items():
+        low = frozenset(low_part)
+        if coefficient < 0:
+            raise EntropyError("normal-function coefficients must be non-negative")
+        if coefficient == 0:
+            continue
+        if not low < ground_set:
+            raise EntropyError(
+                f"step index {sorted(low)} must be a proper subset of the ground set"
+            )
+        result = result + coefficient * step_function(ground, low)
+    return result
+
+
+def parity_function(ground: Sequence[str] = ("X1", "X2", "X3")) -> SetFunction:
+    """The parity function on three variables (Example B.4).
+
+    It is the entropy of ``{(x, y, z) ∈ {0,1}^3 : x ⊕ y ⊕ z = 0}``:
+    ``h(X) = |X|`` for ``|X| ≤ 1``... more precisely ``h`` of a singleton is
+    1 and of any larger set is 2.  It is entropic but *not* normal
+    (Corollary B.8) and witnesses the non-convexity of ``Γ*3`` (Fact B.5).
+    """
+    ground = tuple(ground)
+    if len(ground) != 3:
+        raise EntropyError("the parity function is defined on exactly 3 variables")
+    return SetFunction.from_callable(
+        ground, lambda subset: float(min(len(subset), 2))
+    )
+
+
+def uniform_function(ground: Sequence[str], rank: int, scale: float = 1.0) -> SetFunction:
+    """The (scaled) uniform-matroid rank function ``h(X) = scale · min(|X|, rank)``.
+
+    A standard family of polymatroids used for tests: it is entropic exactly
+    when ``scale = log2 q`` for a prime power ``q ≥`` (number of variables),
+    via MDS codes; the library only uses it as a polymatroid.
+    """
+    if rank < 0:
+        raise EntropyError("rank must be non-negative")
+    return SetFunction.from_callable(
+        tuple(ground), lambda subset: scale * float(min(len(subset), rank))
+    )
+
+
+def conditional_entropy_function(base: SetFunction, given: Iterable[str]) -> SetFunction:
+    """The function ``X ↦ h(X | given)`` over the remaining variables.
+
+    Provided as a named helper because the paper repeatedly warns that the
+    result is a polymatroid but not necessarily entropic (Fact B.6).
+    """
+    return base.conditioned_on(given)

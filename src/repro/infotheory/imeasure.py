@@ -1,0 +1,107 @@
+"""The Möbius inverse and Yeung's I-measure (paper Appendix B).
+
+For a set function ``h`` over ``V``, its Möbius inverse ``g`` (Eq. (33))
+satisfies ``h(X) = Σ_{Y ⊇ X} g(Y)``.  The paper shows that ``h`` is a
+*normal* function (a non-negative combination of step functions) exactly
+when ``g(X) ≤ 0`` for every ``X ≠ V`` — equivalently when the I-measure of
+``h`` is non-negative (Fact B.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.infotheory.setfunction import DEFAULT_TOLERANCE, SetFunction
+from repro.utils.subsets import all_subsets
+
+
+def mobius_inverse(function: SetFunction) -> Dict[FrozenSet[str], float]:
+    """The Möbius inverse ``g(X) = Σ_{Y ⊇ X} (-1)^{|Y - X|} h(Y)`` (Eq. (33)).
+
+    The result includes the empty set: ``g(∅) = Σ_Y (-1)^{|Y|} h(Y)``, which
+    equals ``-Σ_{Y ≠ ∅} g(Y)`` because ``h(∅) = 0``.
+    """
+    ground = function.ground
+    result: Dict[FrozenSet[str], float] = {}
+    subsets = [frozenset(s) for s in all_subsets(ground)]
+    for lower in subsets:
+        value = 0.0
+        for upper in subsets:
+            if lower <= upper:
+                sign = -1.0 if (len(upper) - len(lower)) % 2 else 1.0
+                value += sign * function(upper)
+        result[lower] = value
+    return result
+
+
+def from_mobius_inverse(
+    ground: Tuple[str, ...], inverse: Dict[FrozenSet[str], float]
+) -> SetFunction:
+    """Rebuild ``h`` from its Möbius inverse: ``h(X) = Σ_{Y ⊇ X} g(Y)``."""
+    subsets = [frozenset(s) for s in all_subsets(ground)]
+    values = {}
+    for lower in subsets:
+        if not lower:
+            continue
+        values[lower] = sum(
+            inverse.get(upper, 0.0) for upper in subsets if lower <= upper
+        )
+    return SetFunction(ground=tuple(ground), values=values)
+
+
+def i_measure(function: SetFunction) -> Dict[FrozenSet[str], float]:
+    """Yeung's I-measure on atomic cells, keyed by the *positive* variable set.
+
+    The atomic cell ``⋂_{i∈S} V̂_i ∩ ⋂_{i∉S} V̂_i^c`` (for ``S ≠ ∅``) receives
+    the value ``µ(cell) = -g(neg(cell))`` where ``neg(cell) = V - S ≠ V`` is
+    the set of negatively occurring variables and ``g`` is the Möbius inverse
+    (see the discussion after Eq. (35) in the paper).  Consequently
+    ``Σ_{C ⊆ X̂} µ(C) = h(X)`` for every ``X`` and the measure is
+    non-negative exactly when the function is normal.
+    """
+    inverse = mobius_inverse(function)
+    full = frozenset(function.ground)
+    measure: Dict[FrozenSet[str], float] = {}
+    for subset in all_subsets(function.ground):
+        positive = frozenset(subset)
+        if not positive:
+            continue
+        negative = full - positive
+        measure[positive] = -inverse[negative]
+    return measure
+
+
+def is_normal_function(
+    function: SetFunction, tolerance: float = DEFAULT_TOLERANCE
+) -> bool:
+    """True when ``function`` is a normal function (non-negative I-measure).
+
+    By Fact B.7 this is equivalent to ``g(X) ≤ 0`` for every ``X ≠ V`` where
+    ``g`` is the Möbius inverse of ``function``.
+    """
+    inverse = mobius_inverse(function)
+    full = frozenset(function.ground)
+    return all(
+        value <= tolerance for subset, value in inverse.items() if subset != full
+    )
+
+
+def step_decomposition(
+    function: SetFunction, tolerance: float = DEFAULT_TOLERANCE
+) -> Dict[FrozenSet[str], float]:
+    """Decompose a normal function as ``Σ_W c_W · h_W`` with ``c_W ≥ 0``.
+
+    The coefficient of the step function ``h_W`` is ``-g(W)`` for ``W ⊊ V``,
+    where ``g`` is the Möbius inverse (this is exactly the I-measure of the
+    atomic cell whose negative variables are ``W``).  Raises ``ValueError``
+    when the function is not normal.
+    """
+    if not is_normal_function(function, tolerance):
+        raise ValueError("function is not normal; no step decomposition exists")
+    inverse = mobius_inverse(function)
+    full = frozenset(function.ground)
+    return {
+        subset: max(0.0, -value)
+        for subset, value in inverse.items()
+        if subset != full and -value > tolerance
+    }

@@ -1,0 +1,120 @@
+"""Decision procedures for Max-IIP over the polyhedral cones (Problem 2.5).
+
+Over ``Γ*n`` (entropic functions), Max-IIP is not known to be decidable —
+that is the open problem the paper ties to bag containment.  Over the
+polyhedral cones ``Γn``, ``Nn`` and ``Mn``, however, validity reduces to a
+linear-programming feasibility question:
+
+    ``0 ≤ max_ℓ E_ℓ(h)`` is valid over a cone ``K``
+    ⇔ there is no ``h ∈ K`` with ``E_ℓ(h) ≤ -1`` for all ``ℓ``
+
+(the scaling uses only that ``K`` is a cone).  Theorem 3.6 of the paper shows
+that for the "containment shaped" inequalities with simple (resp.
+unconditioned) branches, validity over ``Γn``, ``Nn`` (resp. ``Mn``) and
+``Γ*n`` all coincide — which is what makes the Theorem 3.1 containment
+algorithm complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.infotheory.cones import cone_by_name
+from repro.infotheory.expressions import (
+    InformationInequality,
+    LinearExpression,
+    MaxInformationInequality,
+)
+from repro.infotheory.setfunction import SetFunction
+from repro.infotheory.shannon import ShannonCertificate, ShannonProver
+
+
+@dataclass(frozen=True)
+class MaxIIVerdict:
+    """Outcome of deciding a Max-II over one of the polyhedral cones.
+
+    Attributes
+    ----------
+    valid:
+        Whether the inequality holds for every function of the cone.
+    cone:
+        Name of the cone the decision was made over
+        (``"gamma"``, ``"normal"`` or ``"modular"``).
+    violating_function:
+        When invalid, a function of the cone on which every branch is
+        negative.
+    violating_coefficients:
+        For the generated cones (``Nn``, ``Mn``), the generator coefficients
+        of the violating function — step-function coefficients for ``Nn``,
+        per-variable weights for ``Mn``.  These are the raw material of the
+        witness constructions of Theorem 3.4.
+    certificate:
+        For a valid single-branch inequality over ``Γn``, a Shannon proof.
+    """
+
+    valid: bool
+    cone: str
+    violating_function: Optional[SetFunction] = None
+    violating_coefficients: Optional[Dict[FrozenSet[str], float]] = None
+    certificate: Optional[ShannonCertificate] = None
+
+
+def decide_max_ii(
+    inequality: MaxInformationInequality,
+    over: str = "gamma",
+    ground: Tuple[str, ...] = None,
+    with_certificate: bool = False,
+) -> MaxIIVerdict:
+    """Decide validity of a Max-II over the cone named by ``over``.
+
+    ``ground`` may enlarge the variable set beyond the variables actually
+    mentioned by the inequality (validity is not affected, but violating
+    functions are returned over the larger ground set).
+    """
+    ground = tuple(ground) if ground is not None else inequality.ground
+    cone = cone_by_name(over, ground)
+    branches = [branch.with_ground(ground) for branch in inequality.branches]
+    point = cone.find_point_below(branches)
+    if point is not None:
+        return MaxIIVerdict(
+            valid=False,
+            cone=over,
+            violating_function=point.function,
+            violating_coefficients=point.coefficients,
+        )
+    certificate = None
+    if with_certificate and over == "gamma" and len(branches) == 1:
+        certificate = ShannonProver(ground).certificate(branches[0])
+    return MaxIIVerdict(valid=True, cone=over, certificate=certificate)
+
+
+def decide_ii(
+    inequality: InformationInequality,
+    over: str = "gamma",
+    ground: Tuple[str, ...] = None,
+    with_certificate: bool = False,
+) -> MaxIIVerdict:
+    """Decide an ordinary II (the ``k = 1`` special case of Max-IIP)."""
+    return decide_max_ii(
+        MaxInformationInequality.single(inequality.expression),
+        over=over,
+        ground=ground,
+        with_certificate=with_certificate,
+    )
+
+
+def essentially_shannon_agreement(
+    inequality: MaxInformationInequality,
+    ground: Tuple[str, ...] = None,
+) -> Dict[str, bool]:
+    """Validity of the same Max-II over all three cones.
+
+    Used by tests of Theorem 3.6: for containment-shaped inequalities with
+    simple branches, the ``"gamma"`` and ``"normal"`` answers must coincide,
+    and with unconditioned branches the ``"modular"`` answer joins them.
+    """
+    return {
+        name: decide_max_ii(inequality, over=name, ground=ground).valid
+        for name in ("gamma", "normal", "modular")
+    }

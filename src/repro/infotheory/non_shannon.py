@@ -1,0 +1,103 @@
+"""Non-Shannon information inequalities (Zhang–Yeung) and the Γ*n ⊊ Γn gap.
+
+The paper repeatedly leans on the fact that for ``n ≥ 4`` the entropic region
+is strictly smaller than the Shannon cone: Zhang and Yeung [31, 32] exhibited
+a valid information inequality that is *not* a Shannon inequality.  This
+module provides that inequality and small utilities around the gap:
+
+* :func:`zhang_yeung_inequality` — the ZY98 inequality on four variables,
+
+      ``2·I(C;D) ≤ I(A;B) + I(A;CD) + 3·I(C;D|A) + I(C;D|B)``,
+
+  valid for every entropic function but violated by some polymatroids;
+* :func:`zhang_yeung_violating_polymatroid` — an explicit polymatroid in
+  ``Γ4 \\ Γ̄*4`` (the standard "gap" witness), used by tests and benchmarks to
+  demonstrate why the paper's decision procedures must argue *essential
+  Shannon-ness* (Theorem 3.6) instead of simply working over ``Γn``;
+* :func:`is_shannon_provable` — convenience wrapper around the Shannon
+  prover.
+
+These utilities are an extension beyond the paper's strict needs: they make
+the boundary of the technique visible and are exercised by dedicated tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.exceptions import ExpressionError
+from repro.infotheory.expressions import InformationInequality, LinearExpression
+from repro.infotheory.setfunction import SetFunction
+from repro.infotheory.shannon import ShannonProver
+
+
+def _mutual_information_expression(
+    ground: Sequence[str],
+    left: Sequence[str],
+    right: Sequence[str],
+    given: Sequence[str] = (),
+    coefficient: float = 1.0,
+) -> LinearExpression:
+    """The linear expression ``coefficient · I(left ; right | given)``."""
+    ground = tuple(ground)
+    left, right, given = frozenset(left), frozenset(right), frozenset(given)
+    expression = LinearExpression.entropy_term(ground, left | given, coefficient)
+    expression = expression + LinearExpression.entropy_term(ground, right | given, coefficient)
+    expression = expression - LinearExpression.entropy_term(
+        ground, left | right | given, coefficient
+    )
+    if given:
+        expression = expression - LinearExpression.entropy_term(ground, given, coefficient)
+    return expression
+
+
+def zhang_yeung_inequality(
+    ground: Tuple[str, str, str, str] = ("A", "B", "C", "D")
+) -> InformationInequality:
+    """The Zhang–Yeung non-Shannon inequality (1998) as an ``0 ≤ E(h)`` object.
+
+    ``E(h) = I(A;B) + I(A;CD) + 3·I(C;D|A) + I(C;D|B) − 2·I(C;D)``.
+
+    It is valid for every entropic function (and for every almost-entropic
+    function) but fails on some polymatroids, so the Shannon prover correctly
+    reports it as not Shannon-provable.
+    """
+    ground = tuple(ground)
+    if len(ground) != 4 or len(set(ground)) != 4:
+        raise ExpressionError("the Zhang–Yeung inequality needs four distinct variables")
+    a, b, c, d = ground
+    expression = _mutual_information_expression(ground, [a], [b])
+    expression = expression + _mutual_information_expression(ground, [a], [c, d])
+    expression = expression + _mutual_information_expression(ground, [c], [d], [a], 3.0)
+    expression = expression + _mutual_information_expression(ground, [c], [d], [b])
+    expression = expression - _mutual_information_expression(ground, [c], [d], (), 2.0)
+    return InformationInequality(expression)
+
+
+def zhang_yeung_violating_polymatroid(
+    ground: Tuple[str, str, str, str] = ("A", "B", "C", "D")
+) -> SetFunction:
+    """A polymatroid violating the Zhang–Yeung inequality.
+
+    Because the inequality is valid for all entropic functions but not
+    Shannon-provable, the Shannon prover's LP minimizer over ``Γ4`` yields a
+    polymatroid with a strictly negative value — an explicit inhabitant of
+    ``Γ4 \\ Γ̄*4``.  Tests check that the returned function is a polymatroid
+    and that it indeed violates :func:`zhang_yeung_inequality`.
+    """
+    ground = tuple(ground)
+    inequality = zhang_yeung_inequality(ground)
+    violating = ShannonProver(ground).find_violating_polymatroid(inequality.expression)
+    if violating is None:
+        raise ExpressionError(
+            "internal error: the Zhang–Yeung inequality was reported Shannon-provable"
+        )
+    return violating
+
+
+def is_shannon_provable(
+    inequality: InformationInequality, ground: Sequence[str] = None
+) -> bool:
+    """True when the inequality is derivable from Shannon's basic inequalities."""
+    ground = tuple(ground) if ground is not None else inequality.ground
+    return ShannonProver(ground).is_valid(inequality.expression)

@@ -1,0 +1,176 @@
+"""Polymatroid axioms and elemental Shannon inequalities (paper Section 3.2).
+
+A function ``h : 2^V → R+`` with ``h(∅) = 0`` is a *polymatroid* when it is
+monotone and submodular — Shannon's basic inequalities, Eq. (5) of the paper.
+The set of polymatroids is the polyhedral cone ``Γn``; its facets are the
+*elemental* inequalities generated here and consumed by the LP layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.infotheory.setfunction import DEFAULT_TOLERANCE, SetFunction
+from repro.utils.subsets import all_subsets
+
+
+@dataclass(frozen=True)
+class ElementalInequality:
+    """One elemental Shannon inequality ``Σ coefficients[X] · h(X) ≥ 0``.
+
+    Two kinds exist (Yeung, *Information Theory and Network Coding*, Ch. 14):
+
+    * monotonicity  ``h(V) - h(V \\ {i}) ≥ 0``,
+    * conditional mutual information
+      ``I(i ; j | K) = h(iK) + h(jK) - h(ijK) - h(K) ≥ 0``.
+    """
+
+    kind: str
+    coefficients: Tuple[Tuple[FrozenSet[str], float], ...]
+    description: str
+
+    def evaluate(self, function: SetFunction) -> float:
+        """Evaluate the left-hand side on ``function``."""
+        return sum(coeff * function(subset) for subset, coeff in self.coefficients)
+
+    def as_dict(self) -> Dict[FrozenSet[str], float]:
+        result: Dict[FrozenSet[str], float] = {}
+        for subset, coeff in self.coefficients:
+            result[subset] = result.get(subset, 0.0) + coeff
+        return {subset: coeff for subset, coeff in result.items() if coeff != 0.0}
+
+
+def elemental_inequalities(ground: Sequence[str]) -> List[ElementalInequality]:
+    """All elemental inequalities of ``Γn`` for the given ground set.
+
+    There are ``n`` monotonicity inequalities and ``C(n,2) · 2^(n-2)``
+    conditional mutual-information inequalities; together they generate every
+    Shannon inequality.
+    """
+    ground = tuple(ground)
+    full = frozenset(ground)
+    inequalities: List[ElementalInequality] = []
+    for variable in ground:
+        rest = full - {variable}
+        coefficients = [(full, 1.0)]
+        if rest:
+            coefficients.append((rest, -1.0))
+        inequalities.append(
+            ElementalInequality(
+                kind="monotonicity",
+                coefficients=tuple(coefficients),
+                description=f"h({','.join(sorted(full))}) - h({','.join(sorted(rest))}) >= 0",
+            )
+        )
+    for i, left in enumerate(ground):
+        for right in ground[i + 1:]:
+            others = tuple(v for v in ground if v not in (left, right))
+            for context in all_subsets(others):
+                context_set = frozenset(context)
+                coefficients = [
+                    (context_set | {left}, 1.0),
+                    (context_set | {right}, 1.0),
+                    (context_set | {left, right}, -1.0),
+                ]
+                if context_set:
+                    coefficients.append((context_set, -1.0))
+                inequalities.append(
+                    ElementalInequality(
+                        kind="submodularity",
+                        coefficients=tuple(coefficients),
+                        description=(
+                            f"I({left};{right}|{','.join(sorted(context_set)) or '∅'}) >= 0"
+                        ),
+                    )
+                )
+    return inequalities
+
+
+def iter_inequality_violations(
+    function: SetFunction, tolerance: float = DEFAULT_TOLERANCE
+) -> Iterator[ElementalInequality]:
+    """Yield the elemental inequalities violated by ``function``."""
+    for inequality in elemental_inequalities(function.ground):
+        if inequality.evaluate(function) < -tolerance:
+            yield inequality
+
+
+def is_polymatroid(function: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when ``function`` belongs to ``Γn`` (satisfies Eq. (5))."""
+    for _ in iter_inequality_violations(function, tolerance):
+        return False
+    return True
+
+
+def is_monotone(function: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when ``h(X) ≤ h(Y)`` for every ``X ⊆ Y``."""
+    subsets = function.subsets()
+    for small in subsets:
+        for large in subsets:
+            if small <= large and function(small) > function(large) + tolerance:
+                return False
+        if function(small) < -tolerance:
+            return False
+    return True
+
+
+def is_submodular(function: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when ``h(X ∪ Y) + h(X ∩ Y) ≤ h(X) + h(Y)`` for all ``X, Y``."""
+    subsets = list(all_subsets(function.ground))
+    for left in subsets:
+        for right in subsets:
+            left_set, right_set = frozenset(left), frozenset(right)
+            lhs = function(left_set | right_set) + function(left_set & right_set)
+            rhs = function(left_set) + function(right_set)
+            if lhs > rhs + tolerance:
+                return False
+    return True
+
+
+def is_modular(function: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when ``h(X ∪ Y) + h(X ∩ Y) = h(X) + h(Y)`` for all ``X, Y``.
+
+    Equivalently ``h(X) = Σ_{i∈X} h({i})`` — the cone ``Mn`` of the paper.
+    """
+    for subset in function.subsets():
+        expected = sum(function(frozenset([v])) for v in subset)
+        if abs(function(subset) - expected) > tolerance:
+            return False
+    return all(function(frozenset([v])) >= -tolerance for v in function.ground)
+
+
+def is_entropic_like(function: SetFunction, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Cheap necessary conditions for being entropic.
+
+    Membership in ``Γ*n`` is not decidable in general (the point of the
+    paper!); this helper only checks the polymatroid axioms plus
+    non-negativity, which every entropic function satisfies.
+    """
+    return is_polymatroid(function, tolerance)
+
+
+def conditional_independence_holds(
+    function: SetFunction,
+    left: Sequence[str],
+    right: Sequence[str],
+    given: Sequence[str] = (),
+    tolerance: float = 1e-7,
+) -> bool:
+    """True when ``I(left ; right | given) = 0`` under ``function``."""
+    return abs(function.mutual_information(left, right, given)) <= tolerance
+
+
+def functional_dependency_holds(
+    function: SetFunction,
+    source: Sequence[str],
+    target: Sequence[str],
+    tolerance: float = 1e-7,
+) -> bool:
+    """True when ``h(target | source) = 0`` under ``function``.
+
+    By Lee's theorem (reference [22] of the paper) this characterizes the
+    functional dependency ``source → target`` on the underlying relation when
+    ``function`` is the entropy of a relation.
+    """
+    return abs(function.conditional(target, source)) <= tolerance

@@ -1,0 +1,229 @@
+"""Set functions over a finite ground set of variables.
+
+A :class:`SetFunction` represents a function ``h : 2^V → R`` with
+``h(∅) = 0`` — the shape of every entropic function, polymatroid, step
+function and I-measure manipulated by the paper.  It is the common currency
+between the conjunctive-query side (entropies of witness relations) and the
+LP side (points of the cones ``Mn ⊆ Nn ⊆ Γ*n ⊆ Γn``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EntropyError
+from repro.utils.subsets import all_subsets
+
+DEFAULT_TOLERANCE = 1e-9
+
+
+def _as_frozenset(variables: Iterable[str]) -> FrozenSet[str]:
+    if isinstance(variables, str):
+        # A bare string is almost always a single-variable mistake upstream;
+        # treat it as the singleton set rather than the set of its characters.
+        return frozenset([variables])
+    return frozenset(variables)
+
+
+@dataclass(frozen=True)
+class SetFunction:
+    """A function ``h : 2^V → R`` with ``h(∅) = 0``.
+
+    Attributes
+    ----------
+    ground:
+        The ordered tuple of ground-set variables ``V``.
+    values:
+        Mapping from subsets (frozensets of variables) to values.  Missing
+        subsets default to 0; the empty set is always 0.
+    """
+
+    ground: Tuple[str, ...]
+    values: Mapping[FrozenSet[str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ground = tuple(self.ground)
+        if len(set(ground)) != len(ground):
+            raise EntropyError("ground set contains repeated variables")
+        object.__setattr__(self, "ground", ground)
+        ground_set = frozenset(ground)
+        cleaned: Dict[FrozenSet[str], float] = {}
+        for subset, value in self.values.items():
+            subset = _as_frozenset(subset)
+            if not subset <= ground_set:
+                raise EntropyError(
+                    f"subset {sorted(subset)} is not contained in the ground set"
+                )
+            if subset:
+                cleaned[subset] = float(value)
+        object.__setattr__(self, "values", cleaned)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zero(cls, ground: Sequence[str]) -> "SetFunction":
+        """The identically-zero set function."""
+        return cls(ground=tuple(ground), values={})
+
+    @classmethod
+    def from_vector(
+        cls, ground: Sequence[str], vector: Sequence[float]
+    ) -> "SetFunction":
+        """Inverse of :meth:`to_vector` (coordinates over non-empty subsets)."""
+        ground = tuple(ground)
+        subsets = [frozenset(s) for s in all_subsets(ground) if s]
+        if len(vector) != len(subsets):
+            raise EntropyError(
+                f"vector length {len(vector)} does not match 2^n - 1 = {len(subsets)}"
+            )
+        return cls(ground=ground, values=dict(zip(subsets, vector)))
+
+    @classmethod
+    def from_callable(cls, ground: Sequence[str], func) -> "SetFunction":
+        """Tabulate ``func`` (mapping frozenset → value) over all subsets."""
+        ground = tuple(ground)
+        values = {
+            frozenset(subset): func(frozenset(subset))
+            for subset in all_subsets(ground)
+            if subset
+        }
+        return cls(ground=ground, values=values)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def __call__(self, variables: Iterable[str]) -> float:
+        """Evaluate ``h(X)`` for a subset ``X`` of the ground set."""
+        subset = _as_frozenset(variables)
+        if not subset:
+            return 0.0
+        unknown = subset - frozenset(self.ground)
+        if unknown:
+            raise EntropyError(f"unknown variables {sorted(unknown)}")
+        return self.values.get(subset, 0.0)
+
+    def conditional(self, targets: Iterable[str], given: Iterable[str]) -> float:
+        """The conditional value ``h(Y | X) = h(X ∪ Y) - h(X)``."""
+        targets = _as_frozenset(targets)
+        given = _as_frozenset(given)
+        return self(targets | given) - self(given)
+
+    def mutual_information(
+        self, left: Iterable[str], right: Iterable[str], given: Iterable[str] = ()
+    ) -> float:
+        """The (conditional) mutual information ``I(left ; right | given)``."""
+        left = _as_frozenset(left)
+        right = _as_frozenset(right)
+        given = _as_frozenset(given)
+        return (
+            self(left | given)
+            + self(right | given)
+            - self(left | right | given)
+            - self(given)
+        )
+
+    @property
+    def ground_set(self) -> FrozenSet[str]:
+        return frozenset(self.ground)
+
+    def total(self) -> float:
+        """The value on the full ground set, ``h(V)``."""
+        return self(self.ground_set)
+
+    def subsets(self) -> Tuple[FrozenSet[str], ...]:
+        """All non-empty subsets of the ground set in canonical order."""
+        return tuple(frozenset(s) for s in all_subsets(self.ground) if s)
+
+    def to_vector(self) -> np.ndarray:
+        """Flatten to a numpy vector with one coordinate per non-empty subset."""
+        return np.array([self(subset) for subset in self.subsets()], dtype=float)
+
+    def as_dict(self) -> Dict[FrozenSet[str], float]:
+        """All values (including implicit zeros) keyed by subset."""
+        return {subset: self(subset) for subset in self.subsets()}
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def _check_same_ground(self, other: "SetFunction") -> None:
+        if frozenset(self.ground) != frozenset(other.ground):
+            raise EntropyError("set functions have different ground sets")
+
+    def __add__(self, other: "SetFunction") -> "SetFunction":
+        self._check_same_ground(other)
+        values = {subset: self(subset) + other(subset) for subset in self.subsets()}
+        return SetFunction(ground=self.ground, values=values)
+
+    def __sub__(self, other: "SetFunction") -> "SetFunction":
+        self._check_same_ground(other)
+        values = {subset: self(subset) - other(subset) for subset in self.subsets()}
+        return SetFunction(ground=self.ground, values=values)
+
+    def __mul__(self, scalar: float) -> "SetFunction":
+        values = {subset: scalar * self(subset) for subset in self.subsets()}
+        return SetFunction(ground=self.ground, values=values)
+
+    __rmul__ = __mul__
+
+    def dominates(self, other: "SetFunction", tolerance: float = DEFAULT_TOLERANCE) -> bool:
+        """True when ``self(X) ≥ other(X) - tolerance`` for every subset ``X``."""
+        self._check_same_ground(other)
+        return all(
+            self(subset) >= other(subset) - tolerance for subset in self.subsets()
+        )
+
+    def is_close_to(self, other: "SetFunction", tolerance: float = 1e-7) -> bool:
+        """True when the two functions agree on every subset up to ``tolerance``."""
+        self._check_same_ground(other)
+        return all(
+            abs(self(subset) - other(subset)) <= tolerance for subset in self.subsets()
+        )
+
+    def restrict(self, variables: Sequence[str]) -> "SetFunction":
+        """Restrict to a smaller ground set (values of subsets are unchanged)."""
+        variables = tuple(variables)
+        unknown = set(variables) - set(self.ground)
+        if unknown:
+            raise EntropyError(f"unknown variables {sorted(unknown)}")
+        keep = frozenset(variables)
+        values = {
+            subset: value for subset, value in self.values.items() if subset <= keep
+        }
+        return SetFunction(ground=variables, values=values)
+
+    def conditioned_on(self, given: Iterable[str]) -> "SetFunction":
+        """The conditional function ``X ↦ h(X | given)`` over the remaining variables.
+
+        As the paper notes (Appendix B), this is not entropic in general, but
+        it is always a polymatroid when ``self`` is, and it is the object used
+        by the uniformization argument of Lemma 5.3.
+        """
+        given = _as_frozenset(given)
+        remaining = tuple(v for v in self.ground if v not in given)
+        values = {}
+        for subset in all_subsets(remaining):
+            if subset:
+                values[frozenset(subset)] = self.conditional(subset, given)
+        return SetFunction(ground=remaining, values=values)
+
+    def rename(self, mapping: Mapping[str, str]) -> "SetFunction":
+        """Rename ground variables (must stay injective)."""
+        new_ground = tuple(mapping.get(v, v) for v in self.ground)
+        if len(set(new_ground)) != len(new_ground):
+            raise EntropyError("variable renaming must be injective")
+        values = {
+            frozenset(mapping.get(v, v) for v in subset): value
+            for subset, value in self.values.items()
+        }
+        return SetFunction(ground=new_ground, values=values)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{{{','.join(sorted(subset))}}}: {self(subset):.4g}"
+            for subset in self.subsets()
+        ]
+        return "SetFunction(" + ", ".join(parts) + ")"

@@ -1,0 +1,181 @@
+"""ITIP-style Shannon prover (validity of inequalities over ``Γn``).
+
+An information inequality ``0 ≤ E(h)`` is a *Shannon inequality* when it is a
+non-negative combination of elemental inequalities — equivalently, when it
+holds for every polymatroid ``h ∈ Γn``.  Because ``Γn`` is polyhedral this is
+decidable by linear programming; this module implements both directions:
+
+* :meth:`ShannonProver.is_valid` — primal check by minimizing ``E`` over the
+  slice ``{h ∈ Γn : h(V) ≤ 1}``;
+* :meth:`ShannonProver.certificate` — dual check recovering the multipliers
+  ``λ ≥ 0`` with ``E = Σ_k λ_k · elemental_k`` (a machine-checkable proof);
+* :meth:`ShannonProver.find_violating_polymatroid` — a polymatroid on which
+  the inequality fails, when it is not Shannon-provable.
+
+This is the decision engine behind Theorem 3.6 and the Theorem 3.1
+containment algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import CertificateError
+from repro.infotheory.expressions import InformationInequality, LinearExpression
+from repro.infotheory.polymatroid import ElementalInequality, elemental_inequalities
+from repro.infotheory.setfunction import SetFunction
+from repro.lp.certificates import nonnegative_combination
+from repro.lp.solver import LPStatus, minimize
+
+
+@dataclass(frozen=True)
+class ShannonCertificate:
+    """A Shannon proof: ``E = Σ_k λ_k · elemental_k`` with ``λ_k ≥ 0``.
+
+    The certificate stores only the strictly positive multipliers.  It can be
+    re-verified independently of any LP solver via :meth:`verify`.
+    """
+
+    ground: Tuple[str, ...]
+    multipliers: Tuple[Tuple[ElementalInequality, float], ...]
+
+    def verify(self, expression: LinearExpression, tolerance: float = 1e-6) -> bool:
+        """Check that the weighted elemental inequalities sum to ``expression``."""
+        combined: dict = {}
+        for inequality, multiplier in self.multipliers:
+            if multiplier < -tolerance:
+                return False
+            for subset, coefficient in inequality.as_dict().items():
+                combined[subset] = combined.get(subset, 0.0) + multiplier * coefficient
+        subsets = set(combined) | set(expression.coefficients)
+        return all(
+            abs(combined.get(s, 0.0) - expression.coefficients.get(s, 0.0)) <= tolerance
+            for s in subsets
+        )
+
+    def __len__(self) -> int:
+        return len(self.multipliers)
+
+
+class ShannonProver:
+    """Decide Shannon validity of linear information expressions over a ground set."""
+
+    def __init__(self, ground: Sequence[str]):
+        self.ground: Tuple[str, ...] = tuple(ground)
+        if not self.ground:
+            raise ValueError("the ground set must be non-empty")
+        self._subsets = SetFunction.zero(self.ground).subsets()
+        self._subset_index = {subset: i for i, subset in enumerate(self._subsets)}
+        self.elementals: List[ElementalInequality] = elemental_inequalities(self.ground)
+        self._elemental_matrix = self._build_elemental_matrix()
+
+    def _build_elemental_matrix(self) -> sp.csr_matrix:
+        """Sparse row-per-elemental matrix (each row has at most four non-zeros)."""
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for row, inequality in enumerate(self.elementals):
+            for subset, coefficient in inequality.as_dict().items():
+                rows.append(row)
+                cols.append(self._subset_index[subset])
+                data.append(coefficient)
+        return sp.csr_matrix(
+            (data, (rows, cols)), shape=(len(self.elementals), len(self._subsets))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vector encoding
+    # ------------------------------------------------------------------ #
+    def _expression_vector(self, coefficients) -> np.ndarray:
+        vector = np.zeros(len(self._subsets))
+        for subset, coefficient in coefficients.items():
+            subset = frozenset(subset)
+            if not subset:
+                continue
+            vector[self._subset_index[subset]] += coefficient
+        return vector
+
+    def expression_vector(self, expression: LinearExpression) -> np.ndarray:
+        """Flatten an expression to the coordinate order used by the prover."""
+        unknown = set().union(*expression.coefficients) if expression.coefficients else set()
+        if not unknown <= set(self.ground):
+            raise ValueError("expression uses variables outside the prover's ground set")
+        return self._expression_vector(expression.coefficients)
+
+    def function_from_vector(self, vector: np.ndarray) -> SetFunction:
+        """Rebuild a :class:`SetFunction` from an LP solution vector."""
+        return SetFunction(
+            ground=self.ground,
+            values={subset: vector[i] for subset, i in self._subset_index.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decision procedures
+    # ------------------------------------------------------------------ #
+    def minimum_over_gamma(self, expression: LinearExpression) -> Tuple[float, SetFunction]:
+        """Minimize ``E(h)`` over the slice ``{h ∈ Γn : h(V) ≤ 1}``.
+
+        Because ``Γn`` is a cone and every non-zero polymatroid has
+        ``h(V) > 0``, the minimum is negative exactly when the inequality
+        ``0 ≤ E(h)`` fails somewhere on ``Γn``.
+        """
+        objective = self.expression_vector(expression)
+        # Elemental inequalities A h >= 0  →  -A h <= 0, plus normalization h(V) <= 1.
+        total_row = sp.csr_matrix(
+            ([1.0], ([0], [self._subset_index[frozenset(self.ground)]])),
+            shape=(1, len(self._subsets)),
+        )
+        A_ub = sp.vstack([-self._elemental_matrix, total_row], format="csr")
+        b_ub = np.concatenate([np.zeros(len(self.elementals)), np.array([1.0])])
+        result = minimize(
+            objective,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            bounds=[(0, None)] * len(self._subsets),
+        )
+        if result.status != LPStatus.OPTIMAL:
+            raise CertificateError(f"unexpected LP status {result.status} in Shannon prover")
+        return result.objective, self.function_from_vector(result.solution)
+
+    def is_valid(self, expression: LinearExpression, tolerance: float = 1e-7) -> bool:
+        """True when ``0 ≤ E(h)`` holds for every polymatroid ``h ∈ Γn``."""
+        value, _ = self.minimum_over_gamma(expression)
+        return value >= -tolerance
+
+    def is_valid_inequality(
+        self, inequality: InformationInequality, tolerance: float = 1e-7
+    ) -> bool:
+        """Convenience wrapper taking an :class:`InformationInequality`."""
+        return self.is_valid(inequality.expression, tolerance)
+
+    def find_violating_polymatroid(
+        self, expression: LinearExpression, tolerance: float = 1e-7
+    ) -> Optional[SetFunction]:
+        """A polymatroid with ``E(h) < 0``, or ``None`` when the inequality is valid."""
+        value, function = self.minimum_over_gamma(expression)
+        if value >= -tolerance:
+            return None
+        return function
+
+    def certificate(
+        self, expression: LinearExpression, tolerance: float = 1e-6
+    ) -> Optional[ShannonCertificate]:
+        """A Shannon proof of ``0 ≤ E(h)``, or ``None`` when no proof exists.
+
+        By LP duality / Farkas' lemma, the proof exists exactly when the
+        inequality is valid over ``Γn``.
+        """
+        target = self.expression_vector(expression)
+        multipliers = nonnegative_combination(self._elemental_matrix, target, tolerance)
+        if multipliers is None:
+            return None
+        pairs = tuple(
+            (self.elementals[k], float(multiplier))
+            for k, multiplier in enumerate(multipliers)
+            if multiplier > tolerance
+        )
+        return ShannonCertificate(ground=self.ground, multipliers=pairs)

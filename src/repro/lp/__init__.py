@@ -1,0 +1,17 @@
+"""Linear-programming layer.
+
+Thin, typed wrappers around :func:`scipy.optimize.linprog` used by the
+Shannon prover and the cone decision procedures, plus Farkas-style
+certificate extraction helpers.
+"""
+
+from repro.lp.solver import LPResult, LPStatus, check_feasibility, minimize
+from repro.lp.certificates import nonnegative_combination
+
+__all__ = [
+    "LPStatus",
+    "LPResult",
+    "minimize",
+    "check_feasibility",
+    "nonnegative_combination",
+]

@@ -1,0 +1,51 @@
+"""Farkas-style certificate extraction.
+
+A Shannon-provable information inequality ``0 ≤ E(h)`` is, by definition, a
+non-negative combination of elemental inequalities.  The multipliers of that
+combination form a *certificate* that can be re-verified exactly and shipped
+alongside a "valid" verdict.  This module finds such multipliers by solving
+the feasibility problem ``A^T λ = c, λ ≥ 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.lp.solver import check_feasibility
+
+
+def nonnegative_combination(
+    generators, target: np.ndarray, tolerance: float = 1e-7
+) -> Optional[np.ndarray]:
+    """Express ``target`` as a non-negative combination of the rows of ``generators``.
+
+    ``generators`` may be a dense array or a scipy sparse matrix.  Returns the
+    multiplier vector ``λ ≥ 0`` with ``λ @ generators = target``, or ``None``
+    when no such combination exists (up to ``tolerance`` checked after
+    solving, to protect against numerically marginal solutions).
+    """
+    if not sp.issparse(generators):
+        generators = np.asarray(generators, dtype=float)
+        if generators.ndim != 2:
+            raise ValueError("generator matrix must be two-dimensional")
+    target = np.asarray(target, dtype=float)
+    if generators.shape[1] != target.shape[0]:
+        raise ValueError("generator matrix shape does not match the target vector")
+    feasible, solution = check_feasibility(
+        num_variables=generators.shape[0],
+        A_eq=generators.T,
+        b_eq=target,
+        bounds=[(0, None)] * generators.shape[0],
+    )
+    if not feasible or solution is None:
+        return None
+    if sp.issparse(generators):
+        residual = generators.T.dot(solution) - target
+    else:
+        residual = solution @ generators - target
+    if np.max(np.abs(residual)) > tolerance:
+        return None
+    return solution

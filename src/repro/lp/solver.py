@@ -1,0 +1,128 @@
+"""Wrappers around :func:`scipy.optimize.linprog`.
+
+All decision procedures of the library reduce to two primitives:
+
+* :func:`minimize` — minimize a linear objective over a polyhedron,
+* :func:`check_feasibility` — decide whether a polyhedron is non-empty and,
+  if so, return a point of it.
+
+The wrappers normalize the inputs (lists, numpy arrays, ``None``), pick the
+HiGHS backend, and convert solver statuses into a small, explicit enum so
+that callers never have to inspect scipy's result object directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from repro.exceptions import LPError
+
+
+class LPStatus(Enum):
+    """Outcome of a linear program."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Result of :func:`minimize`.
+
+    Attributes
+    ----------
+    status:
+        Whether an optimum was found, the problem is infeasible, or the
+        objective is unbounded below.
+    objective:
+        The optimal objective value (``None`` unless status is OPTIMAL).
+    solution:
+        The optimal point as a numpy array (``None`` unless OPTIMAL).
+    """
+
+    status: LPStatus
+    objective: Optional[float]
+    solution: Optional[np.ndarray]
+
+
+def _as_array(matrix, width: Optional[int] = None):
+    """Normalize a constraint matrix; sparse matrices are passed through as CSR."""
+    if matrix is None:
+        return None
+    if sp.issparse(matrix):
+        return None if matrix.shape[0] == 0 else matrix.tocsr()
+    array = np.asarray(matrix, dtype=float)
+    if array.size == 0:
+        return None
+    if array.ndim == 1 and width is not None:
+        array = array.reshape(1, width)
+    return array
+
+
+def minimize(
+    objective: Sequence[float],
+    A_ub=None,
+    b_ub=None,
+    A_eq=None,
+    b_eq=None,
+    bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+) -> LPResult:
+    """Minimize ``objective · x`` subject to ``A_ub x ≤ b_ub`` and ``A_eq x = b_eq``.
+
+    ``bounds`` follows the scipy convention; the default is ``x ≥ 0`` for all
+    variables (pass explicit ``(None, None)`` pairs for free variables).
+    """
+    objective = np.asarray(objective, dtype=float)
+    width = objective.shape[0]
+    result = linprog(
+        c=objective,
+        A_ub=_as_array(A_ub, width),
+        b_ub=None if b_ub is None else np.asarray(b_ub, dtype=float),
+        A_eq=_as_array(A_eq, width),
+        b_eq=None if b_eq is None else np.asarray(b_eq, dtype=float),
+        bounds=bounds if bounds is not None else [(0, None)] * width,
+        method="highs",
+    )
+    if result.status == 0:
+        return LPResult(
+            status=LPStatus.OPTIMAL, objective=float(result.fun), solution=result.x
+        )
+    if result.status == 2:
+        return LPResult(status=LPStatus.INFEASIBLE, objective=None, solution=None)
+    if result.status == 3:
+        return LPResult(status=LPStatus.UNBOUNDED, objective=None, solution=None)
+    raise LPError(f"linear program failed: {result.message}")
+
+
+def check_feasibility(
+    num_variables: int,
+    A_ub=None,
+    b_ub=None,
+    A_eq=None,
+    b_eq=None,
+    bounds=None,
+) -> Tuple[bool, Optional[np.ndarray]]:
+    """Decide non-emptiness of a polyhedron; return a feasible point if any.
+
+    The objective is identically zero, so any feasible point is optimal.
+    """
+    result = minimize(
+        objective=np.zeros(num_variables),
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+    )
+    if result.status == LPStatus.OPTIMAL:
+        return True, result.solution
+    if result.status == LPStatus.INFEASIBLE:
+        return False, None
+    raise LPError("feasibility problem reported an unbounded objective")

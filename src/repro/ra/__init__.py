@@ -1,0 +1,68 @@
+"""Bag relational algebra engine (``repro.ra``).
+
+The paper phrases bag-set semantics as "the ``COUNT(*) ... GROUP BY`` query
+in SQL" (Section 2.2).  This subpackage makes that reading executable: it
+provides a small in-memory relational algebra over *bag relations* (rows with
+multiplicities), a logical plan layer, and a compiler from conjunctive
+queries to plans.  The engine is used as an independent evaluation substrate
+that cross-checks the homomorphism-based evaluator of :mod:`repro.cq` and as
+the workhorse of the Yannakakis-style acyclic evaluation benchmarks.
+
+Public API
+----------
+* :class:`~repro.ra.bagrel.BagRelation` — multiset relation with the bag
+  operators (projection, selection, natural join, union-all, difference,
+  distinct, group-by count).
+* :mod:`repro.ra.operators` — logical plan nodes with ``evaluate`` and
+  ``explain``.
+* :func:`~repro.ra.compile.compile_query` /
+  :func:`~repro.ra.compile.evaluate_query_bag` — conjunctive query → plan →
+  bag answer.
+* :func:`~repro.ra.sql.to_sql` — the paper's count(*)-group-by SQL rendering
+  of a conjunctive query.
+"""
+
+from repro.ra.bagrel import BagRelation
+from repro.ra.operators import (
+    CountGroupOp,
+    DistinctOp,
+    JoinOp,
+    PlanNode,
+    ProjectOp,
+    RenameOp,
+    ScanOp,
+    SelectEqualColumnsOp,
+    SelectEqualOp,
+    UnionAllOp,
+)
+from repro.ra.compile import (
+    bag_database,
+    compile_query,
+    evaluate_query_bag,
+    evaluate_query_set,
+    greedy_atom_order,
+    yannakakis_set_evaluation,
+)
+from repro.ra.sql import create_table_statements, to_sql
+
+__all__ = [
+    "BagRelation",
+    "PlanNode",
+    "ScanOp",
+    "RenameOp",
+    "ProjectOp",
+    "SelectEqualOp",
+    "SelectEqualColumnsOp",
+    "JoinOp",
+    "DistinctOp",
+    "UnionAllOp",
+    "CountGroupOp",
+    "bag_database",
+    "compile_query",
+    "evaluate_query_bag",
+    "evaluate_query_set",
+    "greedy_atom_order",
+    "yannakakis_set_evaluation",
+    "to_sql",
+    "create_table_statements",
+]

@@ -1,0 +1,261 @@
+"""Compile conjunctive queries into bag relational-algebra plans.
+
+The compiler turns a :class:`~repro.cq.query.ConjunctiveQuery` into the plan
+
+    ``CountGroup_head( Join( atom_1, ..., atom_k ) )``
+
+which is exactly the ``COUNT(*) ... GROUP BY head`` reading of bag-set
+semantics in Section 2.2 of the paper.  Every atom becomes a scan with
+positional columns, followed by column-equality selections for repeated
+variables, a rename to query variables and a projection to the distinct
+variables of the atom.  The join order is chosen greedily so that each next
+atom shares as many variables as possible with the atoms already joined
+(falling back to a cartesian product only when the query is disconnected).
+
+Two evaluation entry points are provided:
+
+* :func:`evaluate_query_bag` — the bag answer through the plan; it must agree
+  with the homomorphism-based :func:`repro.cq.evaluation.evaluate_bag` on
+  every input, which is asserted by the integration tests;
+* :func:`yannakakis_set_evaluation` — set-semantics evaluation of an acyclic
+  query using the Yannakakis full reducer (semijoin passes along a join
+  tree), the classical polynomial-time algorithm that the homomorphism
+  counting DP of :mod:`repro.cq.homomorphism` mirrors on the counting side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.cq.decompositions import is_acyclic, join_tree
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.structures import Structure
+from repro.exceptions import DecompositionError, QueryError
+from repro.ra.bagrel import BagRelation
+from repro.ra.operators import (
+    CountGroupOp,
+    PlanNode,
+    ProjectOp,
+    RenameOp,
+    ScanOp,
+    SelectEqualColumnsOp,
+    join_all,
+)
+
+BagAnswer = Dict[Tuple, int]
+
+
+# ---------------------------------------------------------------------- #
+# Storage bridge
+# ---------------------------------------------------------------------- #
+def bag_database(structure: Structure) -> Dict[str, BagRelation]:
+    """View a set-semantics :class:`Structure` as a database of bag relations.
+
+    Every stored tuple gets multiplicity one — the "input database is a set"
+    half of bag-set semantics.  Column names are positional (``col0`` ...);
+    scans rename them per atom.
+    """
+    database: Dict[str, BagRelation] = {}
+    for name in structure.relations:
+        arity = structure.arity(name)
+        columns = tuple(f"col{i}" for i in range(arity))
+        database[name] = BagRelation(
+            attributes=columns,
+            multiplicities={row: 1 for row in structure.tuples(name)},
+        )
+    return database
+
+
+# ---------------------------------------------------------------------- #
+# Atom and join-order compilation
+# ---------------------------------------------------------------------- #
+def atom_plan(atom: Atom, suffix: str = "") -> PlanNode:
+    """Plan fragment producing the distinct variables bound by one atom.
+
+    Scan with positional columns, equate columns carrying the same query
+    variable, rename the first occurrence of each variable to the variable
+    name, and project to the distinct variables.
+    """
+    columns = tuple(f"{atom.relation}{suffix}_p{i}" for i in range(atom.arity))
+    plan: PlanNode = ScanOp(relation=atom.relation, columns=columns)
+    first_position: Dict[str, str] = {}
+    for column, variable in zip(columns, atom.args):
+        if variable in first_position:
+            plan = SelectEqualColumnsOp(
+                child=plan, left=first_position[variable], right=column
+            )
+        else:
+            first_position[variable] = column
+    plan = RenameOp(
+        child=plan,
+        mapping=tuple((column, variable) for variable, column in first_position.items()),
+    )
+    return ProjectOp(child=plan, attributes=tuple(first_position))
+
+
+def greedy_atom_order(query: ConjunctiveQuery) -> Tuple[Atom, ...]:
+    """Order atoms so each next atom shares variables with the prefix when possible.
+
+    Within ties the atom binding the most new variables first is preferred,
+    which keeps intermediate join results narrow for the common path/star
+    query shapes.
+    """
+    remaining: List[Atom] = list(query.atoms)
+    if not remaining:
+        raise QueryError("cannot order the atoms of an empty query")
+    ordered: List[Atom] = []
+    bound: set = set()
+
+    def score(atom: Atom) -> Tuple[int, int]:
+        shared = len(atom.variable_set & bound)
+        new = len(atom.variable_set - bound)
+        return (shared, -new)
+
+    # Start from the atom with the most variables (largest anchor).
+    first = max(remaining, key=lambda a: (len(a.variable_set), a.relation))
+    ordered.append(first)
+    bound |= first.variable_set
+    remaining.remove(first)
+    while remaining:
+        best = max(remaining, key=lambda a: (score(a), a.relation))
+        ordered.append(best)
+        bound |= best.variable_set
+        remaining.remove(best)
+    return tuple(ordered)
+
+
+def compile_query(query: ConjunctiveQuery) -> CountGroupOp:
+    """Compile a conjunctive query to its ``CountGroup(Join(...))`` plan."""
+    ordered = greedy_atom_order(query)
+    fragments = [atom_plan(atom, suffix=f"_{index}") for index, atom in enumerate(ordered)]
+    joined = join_all(fragments)
+    return CountGroupOp(child=joined, group_attributes=tuple(query.head))
+
+
+# ---------------------------------------------------------------------- #
+# Evaluation entry points
+# ---------------------------------------------------------------------- #
+def evaluate_query_bag(query: ConjunctiveQuery, structure: Structure) -> BagAnswer:
+    """Bag-set answer of ``query`` on ``structure`` through the plan pipeline.
+
+    Agrees with the homomorphism-based evaluator on every input; the plan
+    route exists so the two independent implementations cross-check each
+    other and so the engine can be benchmarked on its own.
+    """
+    plan = compile_query(query)
+    return plan.answer(bag_database(structure))
+
+
+def evaluate_query_set(query: ConjunctiveQuery, structure: Structure) -> FrozenSet[Tuple]:
+    """Set-semantics answer (the support of the bag answer)."""
+    return frozenset(evaluate_query_bag(query, structure))
+
+
+# ---------------------------------------------------------------------- #
+# Yannakakis evaluation for acyclic queries
+# ---------------------------------------------------------------------- #
+def yannakakis_set_evaluation(
+    query: ConjunctiveQuery, structure: Structure
+) -> FrozenSet[Tuple]:
+    """Set-semantics evaluation of an acyclic query via the Yannakakis algorithm.
+
+    The three classical phases over a join tree of the query:
+
+    1. bottom-up semijoin pass (each bag is reduced by its children),
+    2. top-down semijoin pass (each bag is reduced by its parent),
+    3. joins along the tree, projecting onto the head after each join so
+       intermediate results stay polynomial.
+
+    Raises :class:`DecompositionError` when the query is not acyclic.
+    """
+    if not is_acyclic(query):
+        raise DecompositionError("Yannakakis evaluation requires an acyclic query")
+    decomposition = join_tree(query)
+    database = bag_database(structure)
+
+    # Materialize one reduced bag relation per decomposition node: the join of
+    # the atoms covered by that bag, projected onto the bag's variables.
+    node_relations: Dict[object, BagRelation] = {}
+    for node in decomposition.nodes:
+        bag = decomposition.bag(node)
+        atoms = [atom for atom in query.atoms if atom.variable_set <= bag]
+        if not atoms:
+            raise DecompositionError(
+                f"join-tree bag {sorted(bag)} covers no atom; not a join tree"
+            )
+        fragments = [
+            atom_plan(atom, suffix=f"_{node}_{index}").evaluate(database)
+            for index, atom in enumerate(atoms)
+        ]
+        joined = fragments[0]
+        for fragment in fragments[1:]:
+            joined = joined.natural_join(fragment)
+        node_relations[node] = joined.distinct()
+
+    parents = dict(decomposition.rooted_parents())
+    order = _topological_children_first(parents)
+
+    # Bottom-up pass: reduce each parent by each child.
+    for node in order:
+        parent = parents.get(node)
+        if parent is not None:
+            node_relations[parent] = node_relations[parent].semijoin(node_relations[node])
+    # Top-down pass: reduce each child by its parent.
+    for node in reversed(order):
+        parent = parents.get(node)
+        if parent is not None:
+            node_relations[node] = node_relations[node].semijoin(node_relations[parent])
+
+    # Final join along the tree (children into parents, then across roots).
+    head = tuple(query.head)
+    keep = set(head)
+    for node in order:
+        parent = parents.get(node)
+        if parent is None:
+            continue
+        merged = node_relations[parent].natural_join(node_relations[node])
+        projection = [
+            a
+            for a in merged.attributes
+            if a in keep or _still_needed(a, node, parents, decomposition, order)
+        ]
+        node_relations[parent] = merged.project(tuple(projection)).distinct()
+    roots = [node for node in order if parents.get(node) is None]
+    result = node_relations[roots[0]]
+    for root in roots[1:]:
+        result = result.natural_join(node_relations[root])
+    projected = result.project(tuple(v for v in head if v in result.attribute_set))
+    if tuple(projected.attributes) != head:
+        # Head variables missing from the decomposition can only happen for
+        # malformed queries; surface it rather than returning a wrong schema.
+        missing = [v for v in head if v not in result.attribute_set]
+        if missing:
+            raise DecompositionError(f"head variables {missing} not covered by the join tree")
+    return projected.support()
+
+
+def _topological_children_first(parents: Dict[object, object]) -> List[object]:
+    """Order nodes so every node appears before its parent."""
+    depth: Dict[object, int] = {}
+
+    def node_depth(node) -> int:
+        if node in depth:
+            return depth[node]
+        parent = parents.get(node)
+        depth[node] = 0 if parent is None else node_depth(parent) + 1
+        return depth[node]
+
+    nodes = list(parents)
+    for node in nodes:
+        node_depth(node)
+    return sorted(nodes, key=lambda n: (-depth[n], str(n)))
+
+
+def _still_needed(attribute, merged_node, parents, decomposition, order) -> bool:
+    """Whether a non-head attribute can still participate in a later join."""
+    for node in order:
+        if node == merged_node:
+            continue
+        if attribute in decomposition.bag(node):
+            return True
+    return False

@@ -1,0 +1,305 @@
+"""Logical plan operators over bag relations.
+
+A plan is a tree of :class:`PlanNode` objects.  Each node knows its output
+schema (attribute tuple), evaluates bottom-up against a database given as a
+mapping from relation name to :class:`~repro.ra.bagrel.BagRelation`, and can
+pretty-print itself (``explain``) in the style of an ``EXPLAIN`` output.
+
+The node set is deliberately small — exactly what is needed to express the
+bag-set semantics of conjunctive queries (the ``COUNT(*) ... GROUP BY``
+reading of the paper) plus the ``UNION ALL`` / ``DISTINCT`` operators used by
+the examples and tests:
+
+``Scan → Rename / Select / Project → Join → Distinct / UnionAll → CountGroup``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.exceptions import StructureError
+from repro.ra.bagrel import BagRelation
+
+Database = Mapping[str, BagRelation]
+
+
+class PlanNode:
+    """Base class of all logical plan operators."""
+
+    def schema(self) -> Tuple[str, ...]:
+        """The output attribute tuple of this operator."""
+        raise NotImplementedError
+
+    def evaluate(self, database: Database) -> BagRelation:
+        """Evaluate the subtree rooted at this node against ``database``."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Direct children, used by traversals and ``explain``."""
+        return ()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def label(self) -> str:
+        """One-line description of this operator (without children)."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """An ``EXPLAIN``-style indented rendering of the plan."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def operator_count(self) -> int:
+        """Total number of operators in the subtree."""
+        return 1 + sum(child.operator_count() for child in self.children())
+
+    def depth(self) -> int:
+        """Height of the plan tree."""
+        if not self.children():
+            return 1
+        return 1 + max(child.depth() for child in self.children())
+
+    def __str__(self) -> str:
+        return self.explain()
+
+
+@dataclass(frozen=True)
+class ScanOp(PlanNode):
+    """Scan a stored relation and expose it under positional column names."""
+
+    relation: str
+    columns: Tuple[str, ...]
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.columns
+
+    def evaluate(self, database: Database) -> BagRelation:
+        if self.relation not in database:
+            raise StructureError(f"unknown relation {self.relation!r} in scan")
+        stored = database[self.relation]
+        if not stored:
+            # An empty stored relation carries no arity information (the
+            # structure cannot know it); the scan's own columns decide.
+            return BagRelation.empty(self.columns)
+        if len(stored.attributes) != len(self.columns):
+            raise StructureError(
+                f"scan of {self.relation!r} expects arity {len(self.columns)}, "
+                f"stored relation has arity {len(stored.attributes)}"
+            )
+        return stored.rename(dict(zip(stored.attributes, self.columns)))
+
+    def label(self) -> str:
+        return f"Scan {self.relation}({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class RenameOp(PlanNode):
+    """Rename attributes of the child output."""
+
+    child: PlanNode
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def schema(self) -> Tuple[str, ...]:
+        mapping = dict(self.mapping)
+        return tuple(mapping.get(a, a) for a in self.child.schema())
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.child.evaluate(database).rename(dict(self.mapping))
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        renames = ", ".join(f"{old}→{new}" for old, new in self.mapping)
+        return f"Rename [{renames}]"
+
+
+@dataclass(frozen=True)
+class ProjectOp(PlanNode):
+    """Bag projection onto the listed attributes (duplicates preserved)."""
+
+    child: PlanNode
+    attributes: Tuple[str, ...]
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.attributes
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.child.evaluate(database).project(self.attributes)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Project [{', '.join(self.attributes)}]"
+
+
+@dataclass(frozen=True)
+class SelectEqualOp(PlanNode):
+    """Selection ``attribute = constant``."""
+
+    child: PlanNode
+    attribute: str
+    value: object
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.child.schema()
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.child.evaluate(database).select_equal(self.attribute, self.value)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Select [{self.attribute} = {self.value!r}]"
+
+
+@dataclass(frozen=True)
+class SelectEqualColumnsOp(PlanNode):
+    """Selection ``left = right`` between two columns (repeated query variables)."""
+
+    child: PlanNode
+    left: str
+    right: str
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.child.schema()
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.child.evaluate(database).select_equal_columns(self.left, self.right)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Select [{self.left} = {self.right}]"
+
+
+@dataclass(frozen=True)
+class JoinOp(PlanNode):
+    """Bag natural join of the two children on their shared attributes."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def schema(self) -> Tuple[str, ...]:
+        left_schema = self.left.schema()
+        return left_schema + tuple(
+            a for a in self.right.schema() if a not in set(left_schema)
+        )
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.left.evaluate(database).natural_join(self.right.evaluate(database))
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        shared = sorted(set(self.left.schema()) & set(self.right.schema()))
+        return f"Join [{', '.join(shared) or 'cartesian'}]"
+
+
+@dataclass(frozen=True)
+class SemiJoinOp(PlanNode):
+    """Bag semijoin: keep left rows with a partner on the right (Yannakakis pass)."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.left.schema()
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.left.evaluate(database).semijoin(self.right.evaluate(database))
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        shared = sorted(set(self.left.schema()) & set(self.right.schema()))
+        return f"SemiJoin [{', '.join(shared) or 'none'}]"
+
+
+@dataclass(frozen=True)
+class DistinctOp(PlanNode):
+    """``SELECT DISTINCT`` — reset every multiplicity to one."""
+
+    child: PlanNode
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.child.schema()
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.child.evaluate(database).distinct()
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+@dataclass(frozen=True)
+class UnionAllOp(PlanNode):
+    """``UNION ALL`` of two union-compatible children."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.left.schema()
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.left.evaluate(database).union_all(self.right.evaluate(database))
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "UnionAll"
+
+
+@dataclass(frozen=True)
+class CountGroupOp(PlanNode):
+    """``SELECT group, COUNT(*) ... GROUP BY group`` as a terminal operator.
+
+    Evaluation returns a bag relation whose *multiplicities* are the counts
+    and whose rows are the group keys — i.e. the bag-set answer of the paper.
+    Use :meth:`answer` to obtain the answer dictionary directly.
+    """
+
+    child: PlanNode
+    group_attributes: Tuple[str, ...]
+
+    def schema(self) -> Tuple[str, ...]:
+        return self.group_attributes
+
+    def evaluate(self, database: Database) -> BagRelation:
+        return self.child.evaluate(database).project(self.group_attributes)
+
+    def answer(self, database: Database) -> Dict[Tuple, int]:
+        """The bag answer ``d ↦ COUNT(*)`` as a plain dictionary."""
+        return self.child.evaluate(database).group_count(self.group_attributes)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = ", ".join(self.group_attributes) or "()"
+        return f"CountGroup [{keys}]"
+
+
+def join_all(nodes: Sequence[PlanNode]) -> PlanNode:
+    """Left-deep join of a non-empty sequence of plan nodes."""
+    nodes = list(nodes)
+    if not nodes:
+        raise StructureError("cannot join an empty list of plan nodes")
+    plan = nodes[0]
+    for node in nodes[1:]:
+        plan = JoinOp(left=plan, right=node)
+    return plan

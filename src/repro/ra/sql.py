@@ -1,0 +1,105 @@
+"""Render conjunctive queries as the paper's ``COUNT(*) ... GROUP BY`` SQL.
+
+Section 2.2 observes that the bag-set answer of a conjunctive query "is the
+count(*)-groupby query in SQL".  This module makes that correspondence
+concrete and testable: :func:`to_sql` emits the SQL text of a query, and
+:func:`create_table_statements` emits the schema DDL of its vocabulary, so
+that the examples can show users exactly which SQL a containment verdict is
+talking about.
+
+The generated SQL uses one table alias per atom, equality predicates between
+alias columns for every shared or repeated variable, and groups by the head
+columns.  Boolean queries become a plain ``SELECT COUNT(*)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cq.query import ConjunctiveQuery, Vocabulary
+from repro.exceptions import QueryError
+
+
+def _column_name(position: int) -> str:
+    return f"a{position + 1}"
+
+
+def create_table_statements(vocabulary: Vocabulary) -> List[str]:
+    """``CREATE TABLE`` statements for every relation of the vocabulary."""
+    statements = []
+    for relation in vocabulary.relations():
+        columns = ", ".join(
+            f"{_column_name(i)} TEXT NOT NULL" for i in range(vocabulary.arity(relation))
+        )
+        statements.append(f"CREATE TABLE {relation} ({columns});")
+    return statements
+
+
+def _alias(relation: str, index: int) -> str:
+    return f"{relation.lower()}{index}"
+
+
+def to_sql(query: ConjunctiveQuery, pretty: bool = True) -> str:
+    """The ``COUNT(*) ... GROUP BY`` SQL text of a conjunctive query.
+
+    Every atom becomes an aliased table in the ``FROM`` clause; every
+    occurrence of a variable after its first becomes an equality predicate in
+    the ``WHERE`` clause; the head variables become the ``SELECT`` and
+    ``GROUP BY`` columns, followed by ``COUNT(*)``.
+    """
+    if not query.atoms:
+        raise QueryError("cannot render an empty query as SQL")
+    from_items: List[str] = []
+    predicates: List[str] = []
+    first_site: Dict[str, str] = {}
+    for index, atom in enumerate(query.atoms):
+        alias = _alias(atom.relation, index)
+        from_items.append(f"{atom.relation} AS {alias}")
+        for position, variable in enumerate(atom.args):
+            site = f"{alias}.{_column_name(position)}"
+            if variable in first_site:
+                predicates.append(f"{first_site[variable]} = {site}")
+            else:
+                first_site[variable] = site
+
+    select_items = [f"{first_site[v]} AS {v}" for v in query.head]
+    select_items.append("COUNT(*) AS multiplicity")
+    group_items = [first_site[v] for v in query.head]
+
+    separator = "\n" if pretty else " "
+    clause_indent = "  " if pretty else ""
+    parts = ["SELECT " + ", ".join(select_items)]
+    parts.append("FROM " + (",%s" % (separator + clause_indent)).join(from_items))
+    if predicates:
+        joiner = separator + clause_indent + "AND "
+        parts.append("WHERE " + joiner.join(predicates))
+    if group_items:
+        parts.append("GROUP BY " + ", ".join(group_items))
+    return separator.join(parts) + ";"
+
+
+def containment_check_sql(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> Tuple[str, str, str]:
+    """SQL artefacts for explaining a containment question to a SQL audience.
+
+    Returns the SQL of both queries plus a commented comparison query that a
+    user could run against a concrete database to spot a violation of
+    ``Q1 ⊑ Q2`` (a head tuple where ``Q1``'s count exceeds ``Q2``'s).
+    """
+    sql1 = to_sql(q1)
+    sql2 = to_sql(q2)
+    head = ", ".join(q1.head) if q1.head else "(no head variables)"
+    comparison = (
+        "-- Q1 ⊑ Q2 fails on a database exactly when this query returns a row:\n"
+        "WITH q1 AS (\n" + _indent(sql1.rstrip(";")) + "\n),\n"
+        "q2 AS (\n" + _indent(sql2.rstrip(";")) + "\n)\n"
+        "SELECT q1.*, q2.multiplicity AS q2_multiplicity\n"
+        "FROM q1 LEFT JOIN q2 USING (" + head + ")\n"
+        "WHERE q1.multiplicity > COALESCE(q2.multiplicity, 0);"
+    )
+    return sql1, sql2, comparison
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

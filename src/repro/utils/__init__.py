@@ -1,0 +1,30 @@
+"""Small generic helpers shared across the library."""
+
+from repro.utils.subsets import (
+    all_subsets,
+    nonempty_subsets,
+    powerset_indexed,
+    proper_subsets,
+    subsets_of_size,
+)
+from repro.utils.ordering import canonical_order, stable_unique
+from repro.utils.rational import (
+    as_fraction,
+    fractions_from_floats,
+    lcm_of_denominators,
+    scale_to_integers,
+)
+
+__all__ = [
+    "all_subsets",
+    "nonempty_subsets",
+    "proper_subsets",
+    "subsets_of_size",
+    "powerset_indexed",
+    "canonical_order",
+    "stable_unique",
+    "as_fraction",
+    "fractions_from_floats",
+    "lcm_of_denominators",
+    "scale_to_integers",
+]

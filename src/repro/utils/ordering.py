@@ -1,0 +1,44 @@
+"""Deterministic ordering helpers.
+
+Many objects in the library (variables of a query, attributes of a relation,
+nodes of a tree decomposition) are mathematically sets but need a canonical
+order so that results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def stable_unique(items: Iterable[T]) -> Tuple[T, ...]:
+    """Return the distinct items of ``items`` preserving first-occurrence order.
+
+    >>> stable_unique(["x", "y", "x", "z", "y"])
+    ('x', 'y', 'z')
+    """
+    seen = set()
+    result: List[T] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return tuple(result)
+
+
+def canonical_order(items: Iterable[T]) -> Tuple[T, ...]:
+    """Return the distinct items of ``items`` sorted by their string form.
+
+    Sorting by ``str`` keeps the function usable for heterogeneous domains
+    (integers mixed with strings) while remaining deterministic.
+    """
+    unique = set(items)
+    return tuple(sorted(unique, key=lambda item: (str(type(item)), str(item))))
+
+
+def argsort_by(items: Sequence[T], keys: Sequence) -> Tuple[int, ...]:
+    """Return the indices that sort ``items`` according to ``keys``."""
+    if len(items) != len(keys):
+        raise ValueError("items and keys must have the same length")
+    return tuple(sorted(range(len(items)), key=lambda i: keys[i]))

@@ -1,0 +1,67 @@
+"""Exact rational arithmetic helpers.
+
+LP solvers return floating-point solutions, but the constructions in the
+paper (witness relations, uniformization of inequalities, convex-combination
+certificates) need exact rational or integer data.  These helpers convert
+float vectors into nearby rationals and clear denominators.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, List, Sequence, Tuple
+
+
+def as_fraction(value, max_denominator: int = 10**6) -> Fraction:
+    """Convert ``value`` to a :class:`fractions.Fraction`.
+
+    Exact types (``int``, ``Fraction``) are converted losslessly; floats are
+    rounded to the closest fraction with denominator at most
+    ``max_denominator``.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(value).limit_denominator(max_denominator)
+
+
+def fractions_from_floats(
+    values: Iterable[float],
+    max_denominator: int = 10**6,
+    zero_tolerance: float = 1e-9,
+) -> Tuple[Fraction, ...]:
+    """Convert a float vector to fractions, snapping tiny values to zero.
+
+    LP solutions often contain values like ``1e-13`` that are mathematically
+    zero; snapping them avoids huge spurious denominators downstream.
+    """
+    result: List[Fraction] = []
+    for value in values:
+        if abs(value) <= zero_tolerance:
+            result.append(Fraction(0))
+        else:
+            result.append(as_fraction(value, max_denominator))
+    return tuple(result)
+
+
+def lcm_of_denominators(values: Iterable[Fraction]) -> int:
+    """Return the least common multiple of the denominators of ``values``."""
+    lcm = 1
+    for value in values:
+        denominator = Fraction(value).denominator
+        lcm = lcm * denominator // gcd(lcm, denominator)
+    return lcm
+
+
+def scale_to_integers(values: Sequence) -> Tuple[Tuple[int, ...], int]:
+    """Scale a rational vector to integers by clearing denominators.
+
+    Returns ``(integers, scale)`` such that ``integers[i] == values[i] * scale``
+    exactly, where ``scale`` is the least common multiple of the denominators.
+    """
+    fractions = [as_fraction(value) for value in values]
+    scale = lcm_of_denominators(fractions)
+    integers = tuple(int(value * scale) for value in fractions)
+    return integers, scale

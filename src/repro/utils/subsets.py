@@ -1,0 +1,83 @@
+"""Subset enumeration helpers.
+
+The information-theoretic side of the library constantly quantifies over the
+subsets of a ground set of variables (the sets ``X ⊆ V`` appearing in an
+information inequality).  These helpers centralize that enumeration so that
+every module iterates subsets in the same, deterministic order.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, Iterable, Iterator, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def all_subsets(items: Sequence[T]) -> Iterator[Tuple[T, ...]]:
+    """Yield every subset of ``items`` (including the empty set) as a tuple.
+
+    Subsets are yielded in order of increasing size, and within one size in
+    the lexicographic order induced by the input sequence.  The enumeration is
+    therefore deterministic for a fixed input order.
+
+    >>> list(all_subsets(("a", "b")))
+    [(), ('a',), ('b',), ('a', 'b')]
+    """
+    return chain.from_iterable(
+        combinations(items, size) for size in range(len(items) + 1)
+    )
+
+
+def nonempty_subsets(items: Sequence[T]) -> Iterator[Tuple[T, ...]]:
+    """Yield every non-empty subset of ``items`` as a tuple."""
+    return chain.from_iterable(
+        combinations(items, size) for size in range(1, len(items) + 1)
+    )
+
+
+def proper_subsets(items: Sequence[T]) -> Iterator[Tuple[T, ...]]:
+    """Yield every proper subset of ``items`` (everything except the full set).
+
+    This is the index set of the step functions ``h_W`` with ``W ⊊ V`` used to
+    generate the cone of normal entropic functions.
+    """
+    return chain.from_iterable(
+        combinations(items, size) for size in range(len(items))
+    )
+
+
+def subsets_of_size(items: Sequence[T], size: int) -> Iterator[Tuple[T, ...]]:
+    """Yield every subset of ``items`` with exactly ``size`` elements."""
+    return iter(combinations(items, size))
+
+
+def powerset_indexed(items: Sequence[T]) -> Dict[frozenset, int]:
+    """Map every subset of ``items`` (as a frozenset) to a dense index.
+
+    The index of a subset is its bitmask with respect to the position of each
+    element in ``items``: element ``items[i]`` contributes bit ``2**i``.  This
+    is the coordinate convention used by the LP layer when it flattens a set
+    function into a vector of length ``2**len(items)``.
+    """
+    positions = {item: i for i, item in enumerate(items)}
+    index: Dict[frozenset, int] = {}
+    for subset in all_subsets(items):
+        mask = 0
+        for item in subset:
+            mask |= 1 << positions[item]
+        index[frozenset(subset)] = mask
+    return index
+
+
+def bitmask_of(subset: Iterable[T], positions: Dict[T, int]) -> int:
+    """Return the bitmask of ``subset`` under the element → position map."""
+    mask = 0
+    for item in subset:
+        mask |= 1 << positions[item]
+    return mask
+
+
+def subset_from_bitmask(mask: int, items: Sequence[T]) -> frozenset:
+    """Return the subset of ``items`` encoded by ``mask``."""
+    return frozenset(item for i, item in enumerate(items) if mask & (1 << i))

@@ -1,0 +1,75 @@
+"""Workload generators and the paper's named examples.
+
+* :mod:`repro.workloads.generators` — parameterized families of conjunctive
+  queries (paths, cycles, stars, cliques, random chordal queries with simple
+  junction trees), random databases and random Max-IIs, used by the test
+  suite and the benchmark harness;
+* :mod:`repro.workloads.paper_examples` — every worked example of the paper
+  as a ready-made object (Example 3.5, Example 3.8, Example 4.3 / Eric Vee,
+  Example 5.2, Example A.2, the parity function of Example B.4 / E.2);
+* :mod:`repro.workloads.graph_families` — the graph world of the prior work
+  [21]: series-parallel patterns built compositionally, grids, fans, books,
+  and graph databases (complete, path, cycle, bipartite, Erdős–Rényi).
+"""
+
+from repro.workloads.graph_families import (
+    bipartite_graph_database,
+    book_query,
+    complete_graph_database,
+    cycle_graph_database,
+    diamond_query,
+    fan_query,
+    graph_database_from_edges,
+    grid_query,
+    path_graph_database,
+    random_graph_database,
+    series_parallel_query,
+    theta_query,
+)
+from repro.workloads.generators import (
+    clique_query,
+    cycle_query,
+    path_query,
+    random_chordal_simple_query,
+    random_database,
+    random_max_ii,
+    random_query,
+    star_query,
+)
+from repro.workloads.paper_examples import (
+    chaudhuri_vardi_example,
+    example_3_5,
+    example_3_8_inequality,
+    example_5_2_inequality,
+    parity_example,
+    vee_example,
+)
+
+__all__ = [
+    "path_query",
+    "cycle_query",
+    "star_query",
+    "clique_query",
+    "random_query",
+    "random_chordal_simple_query",
+    "random_database",
+    "random_max_ii",
+    "vee_example",
+    "example_3_5",
+    "example_3_8_inequality",
+    "example_5_2_inequality",
+    "chaudhuri_vardi_example",
+    "parity_example",
+    "series_parallel_query",
+    "diamond_query",
+    "grid_query",
+    "fan_query",
+    "book_query",
+    "theta_query",
+    "complete_graph_database",
+    "path_graph_database",
+    "cycle_graph_database",
+    "bipartite_graph_database",
+    "random_graph_database",
+    "graph_database_from_edges",
+]

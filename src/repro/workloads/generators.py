@@ -1,0 +1,181 @@
+"""Parameterized query families, random databases and random inequalities.
+
+These generators drive the benchmarks of DESIGN.md (E7–E10) and the
+property-based tests.  All of them are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.structures import Structure
+from repro.infotheory.expressions import LinearExpression, MaxInformationInequality
+from repro.utils.subsets import nonempty_subsets
+
+
+# ---------------------------------------------------------------------- #
+# Structured query families
+# ---------------------------------------------------------------------- #
+def path_query(length: int, relation: str = "R", name: str = None) -> ConjunctiveQuery:
+    """The path query ``R(x0,x1) ∧ R(x1,x2) ∧ ... ∧ R(x_{length-1}, x_length)``.
+
+    Path queries are acyclic and chordal with a simple junction tree; they
+    are the canonical "containing query" of the decidable fragment.
+    """
+    if length < 1:
+        raise ValueError("path length must be at least 1")
+    atoms = [Atom(relation, (f"x{i}", f"x{i + 1}")) for i in range(length)]
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=name or f"path{length}")
+
+
+def cycle_query(length: int, relation: str = "R", name: str = None) -> ConjunctiveQuery:
+    """The cycle query ``R(x0,x1) ∧ ... ∧ R(x_{length-1}, x0)`` (cyclic for length ≥ 3)."""
+    if length < 2:
+        raise ValueError("cycle length must be at least 2")
+    atoms = [
+        Atom(relation, (f"x{i}", f"x{(i + 1) % length}")) for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=name or f"cycle{length}")
+
+
+def star_query(leaves: int, relation: str = "R", name: str = None) -> ConjunctiveQuery:
+    """The star query ``R(c, x1) ∧ ... ∧ R(c, x_leaves)`` (acyclic, simple)."""
+    if leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    atoms = [Atom(relation, ("c", f"x{i}")) for i in range(1, leaves + 1)]
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=name or f"star{leaves}")
+
+
+def clique_query(size: int, relation: str = "R", name: str = None) -> ConjunctiveQuery:
+    """The clique query with an ``R`` atom per ordered pair (chordal, one bag)."""
+    if size < 2:
+        raise ValueError("a clique needs at least two variables")
+    atoms = []
+    for i in range(size):
+        for j in range(size):
+            if i != j:
+                atoms.append(Atom(relation, (f"x{i}", f"x{j}")))
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=name or f"clique{size}")
+
+
+def random_query(
+    num_variables: int,
+    num_atoms: int,
+    relations: Sequence[Tuple[str, int]] = (("R", 2), ("S", 2)),
+    seed: int = 0,
+    name: str = "Qrand",
+) -> ConjunctiveQuery:
+    """A random conjunctive query over the given vocabulary.
+
+    Every variable is forced to appear in at least one atom, so the query has
+    exactly ``num_variables`` variables.
+    """
+    generator = random.Random(seed)
+    variables = [f"x{i}" for i in range(num_variables)]
+    atoms: List[Atom] = []
+    for index in range(num_atoms):
+        relation, arity = relations[generator.randrange(len(relations))]
+        args = tuple(generator.choice(variables) for _ in range(arity))
+        atoms.append(Atom(relation, args))
+    # Ensure coverage of all variables.
+    covered = {v for atom in atoms for v in atom.args}
+    missing = [v for v in variables if v not in covered]
+    while missing:
+        relation, arity = relations[0]
+        chunk = missing[:arity]
+        while len(chunk) < arity:
+            chunk.append(generator.choice(variables))
+        atoms.append(Atom(relation, tuple(chunk)))
+        covered.update(chunk)
+        missing = [v for v in variables if v not in covered]
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=name)
+
+
+def random_chordal_simple_query(
+    num_cliques: int,
+    clique_size: int = 2,
+    relation: str = "R",
+    seed: int = 0,
+    name: str = "Qchordal",
+) -> ConjunctiveQuery:
+    """A random chordal query that admits a *simple* junction tree.
+
+    The query is built as a tree of cliques glued along single shared
+    variables, so every junction-tree separator has size one — exactly the
+    decidable fragment of Theorem 3.1.
+    """
+    if num_cliques < 1:
+        raise ValueError("at least one clique is required")
+    generator = random.Random(seed)
+    atoms: List[Atom] = []
+    clique_variables: List[List[str]] = []
+    counter = 0
+    for clique_index in range(num_cliques):
+        if clique_index == 0:
+            members = [f"y{counter + i}" for i in range(clique_size)]
+            counter += clique_size
+        else:
+            glue_clique = clique_variables[generator.randrange(clique_index)]
+            glue = generator.choice(glue_clique)
+            members = [glue] + [f"y{counter + i}" for i in range(clique_size - 1)]
+            counter += clique_size - 1
+        clique_variables.append(members)
+        for i, left in enumerate(members):
+            for right in members[i + 1:]:
+                atoms.append(Atom(relation, (left, right)))
+        if len(members) == 1:
+            atoms.append(Atom(relation, (members[0], members[0])))
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=name)
+
+
+# ---------------------------------------------------------------------- #
+# Random databases
+# ---------------------------------------------------------------------- #
+def random_database(
+    vocabulary: Dict[str, int],
+    domain_size: int,
+    tuples_per_relation: int,
+    seed: int = 0,
+) -> Structure:
+    """A random database over ``[0, domain_size)`` with the given relation arities."""
+    generator = random.Random(seed)
+    facts = []
+    for relation, arity in sorted(vocabulary.items()):
+        for _ in range(tuples_per_relation):
+            facts.append(
+                (relation, tuple(generator.randrange(domain_size) for _ in range(arity)))
+            )
+    return Structure.from_facts(facts, domain=range(domain_size))
+
+
+# ---------------------------------------------------------------------- #
+# Random inequalities
+# ---------------------------------------------------------------------- #
+def random_max_ii(
+    num_variables: int,
+    num_branches: int,
+    terms_per_branch: int = 3,
+    coefficient_bound: int = 2,
+    seed: int = 0,
+) -> MaxInformationInequality:
+    """A random Max-II with small integer coefficients.
+
+    Used by the reduction and certificate benchmarks; no validity is implied.
+    """
+    generator = random.Random(seed)
+    ground = tuple(f"X{i}" for i in range(1, num_variables + 1))
+    subsets = [frozenset(s) for s in nonempty_subsets(ground)]
+    branches = []
+    for _ in range(num_branches):
+        coefficients: Dict[frozenset, float] = {}
+        for _ in range(terms_per_branch):
+            subset = generator.choice(subsets)
+            coefficient = generator.randint(-coefficient_bound, coefficient_bound)
+            if coefficient:
+                coefficients[subset] = coefficients.get(subset, 0.0) + coefficient
+        if not coefficients:
+            coefficients[subsets[0]] = 1.0
+        branches.append(LinearExpression(ground=ground, coefficients=coefficients))
+    return MaxInformationInequality(branches=tuple(branches))

@@ -1,0 +1,300 @@
+"""Graph-shaped query families and graph databases (Kopparty–Rossman setting).
+
+The prior work the paper builds on ([21], homomorphism domination exponent)
+lives entirely in the world of *graphs*: databases with a single binary
+relation symbol.  This module provides that world as a workload source:
+
+* **two-terminal series-parallel queries** — the class for which [21] proves
+  decidability of domination against chordal queries; built compositionally
+  from an edge by series and parallel composition;
+* structured graph queries: grids, fans, books, theta graphs;
+* graph *databases*: complete graphs, paths, cycles, balanced bipartite
+  graphs and Erdős–Rényi random graphs as :class:`Structure` instances.
+
+Every generator is deterministic given its arguments (random ones take a
+seed), so the benchmarks built on top of them are reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.structures import Structure
+from repro.exceptions import QueryError
+
+EDGE_RELATION = "R"
+
+
+# ---------------------------------------------------------------------- #
+# Series-parallel queries
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TwoTerminalGraph:
+    """A two-terminal graph: edges plus a source and a sink vertex.
+
+    Vertices are strings; edges are directed pairs feeding the single binary
+    relation symbol of the graph vocabulary.
+    """
+
+    source: str
+    sink: str
+    edges: Tuple[Tuple[str, str], ...]
+
+    def vertices(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for a, b in self.edges:
+            for v in (a, b):
+                if v not in seen:
+                    seen.append(v)
+        for v in (self.source, self.sink):
+            if v not in seen:
+                seen.append(v)
+        return tuple(seen)
+
+    def to_query(self, relation: str = EDGE_RELATION, name: str = None) -> ConjunctiveQuery:
+        """The Boolean conjunctive query with one atom per edge."""
+        if not self.edges:
+            raise QueryError("a two-terminal graph needs at least one edge")
+        atoms = tuple(Atom(relation, edge) for edge in self.edges)
+        return ConjunctiveQuery(atoms=atoms, head=(), name=name or "sp_query")
+
+
+def single_edge(prefix: str = "v") -> TwoTerminalGraph:
+    """The single-edge two-terminal graph — the base case of SP composition."""
+    return TwoTerminalGraph(
+        source=f"{prefix}_s", sink=f"{prefix}_t", edges=((f"{prefix}_s", f"{prefix}_t"),)
+    )
+
+
+def _relabel(graph: TwoTerminalGraph, tag: str) -> TwoTerminalGraph:
+    mapping = {v: f"{v}@{tag}" for v in graph.vertices()}
+    return TwoTerminalGraph(
+        source=mapping[graph.source],
+        sink=mapping[graph.sink],
+        edges=tuple((mapping[a], mapping[b]) for a, b in graph.edges),
+    )
+
+
+def _substitute(graph: TwoTerminalGraph, old: str, new: str) -> TwoTerminalGraph:
+    def sub(v: str) -> str:
+        return new if v == old else v
+
+    return TwoTerminalGraph(
+        source=sub(graph.source),
+        sink=sub(graph.sink),
+        edges=tuple((sub(a), sub(b)) for a, b in graph.edges),
+    )
+
+
+def series_composition(first: TwoTerminalGraph, second: TwoTerminalGraph) -> TwoTerminalGraph:
+    """Series composition: identify the sink of ``first`` with the source of ``second``."""
+    left = _relabel(first, "L")
+    right = _relabel(second, "R")
+    right = _substitute(right, right.source, left.sink)
+    return TwoTerminalGraph(
+        source=left.source, sink=right.sink, edges=left.edges + right.edges
+    )
+
+
+def parallel_composition(first: TwoTerminalGraph, second: TwoTerminalGraph) -> TwoTerminalGraph:
+    """Parallel composition: identify the two sources and the two sinks."""
+    left = _relabel(first, "L")
+    right = _relabel(second, "R")
+    right = _substitute(right, right.source, left.source)
+    right = _substitute(right, right.sink, left.sink)
+    return TwoTerminalGraph(
+        source=left.source, sink=left.sink, edges=left.edges + right.edges
+    )
+
+
+SPSpec = Union[str, Tuple]
+
+
+def series_parallel_graph(spec: SPSpec) -> TwoTerminalGraph:
+    """Build a series-parallel graph from a nested specification.
+
+    The specification grammar is ``"e"`` for a single edge,
+    ``("s", spec, spec, ...)`` for series composition and
+    ``("p", spec, spec, ...)`` for parallel composition.  For example the
+    diamond (two parallel length-2 paths) is ``("p", ("s", "e", "e"), ("s",
+    "e", "e"))``.
+    """
+    if spec == "e":
+        return single_edge()
+    if not isinstance(spec, tuple) or len(spec) < 3 or spec[0] not in ("s", "p"):
+        raise QueryError(f"invalid series-parallel specification: {spec!r}")
+    operator, *children = spec
+    graphs = [series_parallel_graph(child) for child in children]
+    combine = series_composition if operator == "s" else parallel_composition
+    result = graphs[0]
+    for graph in graphs[1:]:
+        result = combine(result, graph)
+    return result
+
+
+def series_parallel_query(
+    spec: SPSpec, relation: str = EDGE_RELATION, name: str = None
+) -> ConjunctiveQuery:
+    """The Boolean query of a series-parallel graph built from ``spec``."""
+    graph = series_parallel_graph(spec)
+    return graph.to_query(relation=relation, name=name or f"sp:{spec!r}")
+
+
+def diamond_query(parallel_paths: int = 2, path_length: int = 2) -> ConjunctiveQuery:
+    """``parallel_paths`` parallel directed paths of ``path_length`` edges each."""
+    if parallel_paths < 1 or path_length < 1:
+        raise QueryError("diamond queries need at least one path of at least one edge")
+    path_spec: SPSpec = ("s", *(["e"] * path_length)) if path_length > 1 else "e"
+    if parallel_paths == 1:
+        spec: SPSpec = path_spec
+    else:
+        spec = ("p", *([path_spec] * parallel_paths))
+    return series_parallel_query(spec, name=f"diamond_{parallel_paths}x{path_length}")
+
+
+# ---------------------------------------------------------------------- #
+# Other structured graph queries
+# ---------------------------------------------------------------------- #
+def grid_query(rows: int, cols: int, relation: str = EDGE_RELATION) -> ConjunctiveQuery:
+    """The ``rows × cols`` grid query (right and down edges); cyclic for 2×2 and larger."""
+    if rows < 1 or cols < 1:
+        raise QueryError("grid dimensions must be positive")
+    atoms: List[Atom] = []
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                atoms.append(Atom(relation, (f"g{i}_{j}", f"g{i}_{j + 1}")))
+            if i + 1 < rows:
+                atoms.append(Atom(relation, (f"g{i}_{j}", f"g{i + 1}_{j}")))
+    if not atoms:
+        raise QueryError("a 1×1 grid has no edges")
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=f"grid{rows}x{cols}")
+
+
+def fan_query(blades: int, relation: str = EDGE_RELATION) -> ConjunctiveQuery:
+    """The fan: a path ``x_0 … x_blades`` plus an apex adjacent to every path vertex.
+
+    Fans are chordal; their junction trees have two-variable separators, so
+    they fall *outside* the simple-junction-tree fragment — useful as
+    negative examples for :func:`repro.cq.decompositions.has_simple_junction_tree`.
+    """
+    if blades < 1:
+        raise QueryError("a fan needs at least one blade")
+    atoms: List[Atom] = []
+    for i in range(blades):
+        atoms.append(Atom(relation, (f"x{i}", f"x{i + 1}")))
+    for i in range(blades + 1):
+        atoms.append(Atom(relation, ("apex", f"x{i}")))
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=f"fan{blades}")
+
+
+def book_query(pages: int, relation: str = EDGE_RELATION) -> ConjunctiveQuery:
+    """The book: ``pages`` triangles sharing one common edge (chordal, not simple)."""
+    if pages < 1:
+        raise QueryError("a book needs at least one page")
+    atoms: List[Atom] = [Atom(relation, ("spine_a", "spine_b"))]
+    for i in range(pages):
+        atoms.append(Atom(relation, ("spine_a", f"page{i}")))
+        atoms.append(Atom(relation, (f"page{i}", "spine_b")))
+    return ConjunctiveQuery(atoms=tuple(atoms), head=(), name=f"book{pages}")
+
+
+def theta_query(path_lengths: Sequence[int], relation: str = EDGE_RELATION) -> ConjunctiveQuery:
+    """The theta graph: internally disjoint paths between two shared endpoints."""
+    if len(path_lengths) < 2 or any(length < 1 for length in path_lengths):
+        raise QueryError("a theta graph needs at least two paths of positive length")
+    atoms: List[Atom] = []
+    for p, length in enumerate(path_lengths):
+        previous = "theta_s"
+        for i in range(length - 1):
+            vertex = f"t{p}_{i}"
+            atoms.append(Atom(relation, (previous, vertex)))
+            previous = vertex
+        atoms.append(Atom(relation, (previous, "theta_t")))
+    return ConjunctiveQuery(
+        atoms=tuple(atoms), head=(), name=f"theta{'_'.join(map(str, path_lengths))}"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Graph databases
+# ---------------------------------------------------------------------- #
+def complete_graph_database(
+    size: int, relation: str = EDGE_RELATION, with_loops: bool = False
+) -> Structure:
+    """The complete directed graph on ``size`` vertices as a database."""
+    if size < 1:
+        raise QueryError("a graph database needs at least one vertex")
+    edges = {
+        (i, j)
+        for i, j in itertools.product(range(size), repeat=2)
+        if with_loops or i != j
+    }
+    return Structure(domain=frozenset(range(size)), relations={relation: edges})
+
+
+def path_graph_database(size: int, relation: str = EDGE_RELATION) -> Structure:
+    """The directed path ``0 → 1 → … → size−1``."""
+    if size < 2:
+        raise QueryError("a path database needs at least two vertices")
+    edges = {(i, i + 1) for i in range(size - 1)}
+    return Structure(domain=frozenset(range(size)), relations={relation: edges})
+
+
+def cycle_graph_database(size: int, relation: str = EDGE_RELATION) -> Structure:
+    """The directed cycle on ``size`` vertices."""
+    if size < 2:
+        raise QueryError("a cycle database needs at least two vertices")
+    edges = {(i, (i + 1) % size) for i in range(size)}
+    return Structure(domain=frozenset(range(size)), relations={relation: edges})
+
+
+def bipartite_graph_database(
+    left: int, right: int, relation: str = EDGE_RELATION
+) -> Structure:
+    """The complete bipartite graph ``K_{left,right}`` with edges left → right."""
+    if left < 1 or right < 1:
+        raise QueryError("both sides of a bipartite database must be non-empty")
+    left_nodes = [f"l{i}" for i in range(left)]
+    right_nodes = [f"r{j}" for j in range(right)]
+    edges = {(a, b) for a in left_nodes for b in right_nodes}
+    return Structure(
+        domain=frozenset(left_nodes + right_nodes), relations={relation: edges}
+    )
+
+
+def random_graph_database(
+    size: int,
+    edge_probability: float,
+    seed: int = 0,
+    relation: str = EDGE_RELATION,
+) -> Structure:
+    """An Erdős–Rényi ``G(size, p)`` directed graph database (no self-loops)."""
+    if size < 1:
+        raise QueryError("a graph database needs at least one vertex")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise QueryError("edge probability must lie in [0, 1]")
+    generator = random.Random(seed)
+    edges = {
+        (i, j)
+        for i in range(size)
+        for j in range(size)
+        if i != j and generator.random() < edge_probability
+    }
+    return Structure(domain=frozenset(range(size)), relations={relation: edges})
+
+
+def graph_database_from_edges(
+    edges: Iterable[Tuple[object, object]],
+    relation: str = EDGE_RELATION,
+    domain: Optional[Iterable] = None,
+) -> Structure:
+    """Wrap an explicit edge list as a single-relation database."""
+    edge_set = {tuple(edge) for edge in edges}
+    if domain is None:
+        domain = {value for edge in edge_set for value in edge}
+    return Structure(domain=frozenset(domain), relations={relation: edge_set})

@@ -1,0 +1,150 @@
+"""Every worked example of the paper, as ready-made objects.
+
+These constructors are used by the tests (which check the paper's claims
+verbatim) and by the benchmark harness (which regenerates the corresponding
+rows of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structures import Relation
+from repro.infotheory.expressions import LinearExpression, MaxInformationInequality
+from repro.infotheory.functions import parity_function
+from repro.infotheory.setfunction import SetFunction
+
+
+@dataclass(frozen=True)
+class QueryPairExample:
+    """A named query pair with the containment verdict the paper states."""
+
+    name: str
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+    contained: bool
+    notes: str = ""
+
+
+def vee_example() -> QueryPairExample:
+    """Example 4.3 (attributed to Eric Vee): the triangle is contained in the 2-path.
+
+    ``Q1 = R(X1,X2) ∧ R(X2,X3) ∧ R(X3,X1)``,
+    ``Q2 = R(Y1,Y2) ∧ R(Y1,Y3)``; the paper proves ``Q1 ⊑ Q2`` via the
+    max-inequality of Example 3.8.
+    """
+    q1 = parse_query("R(X1,X2), R(X2,X3), R(X3,X1)", name="Q1_vee")
+    q2 = parse_query("R(Y1,Y2), R(Y1,Y3)", name="Q2_vee")
+    return QueryPairExample(
+        name="example-4.3-vee",
+        q1=q1,
+        q2=q2,
+        contained=True,
+        notes="triangle ⊑ length-2 path; proved through Example 3.8",
+    )
+
+
+def example_3_5() -> QueryPairExample:
+    """Example 3.5: a pair with a *normal* witness but no *product* witness.
+
+    ``Q1`` consists of two disjoint ``A ∧ B ∧ C`` patterns and ``Q2`` is the
+    acyclic query ``A(y1,y2) ∧ B(y1,y3) ∧ C(y4,y2)`` with the simple junction
+    tree ``{y1,y3} − {y1,y2} − {y2,y4}``.  The paper shows ``Q1 ⋢ Q2`` with
+    the normal witness ``{(u,u,v,v)}``.
+    """
+    q1 = parse_query(
+        "A(x1,x2), B(x1,x2), C(x1,x2), A(xp1,xp2), B(xp1,xp2), C(xp1,xp2)",
+        name="Q1_ex35",
+    )
+    q2 = parse_query("A(y1,y2), B(y1,y3), C(y4,y2)", name="Q2_ex35")
+    return QueryPairExample(
+        name="example-3.5",
+        q1=q1,
+        q2=q2,
+        contained=False,
+        notes="has a normal witness {(u,u,v,v)} but no product witness",
+    )
+
+
+def example_3_5_normal_witness(n: int = 2) -> Relation:
+    """The normal witness relation ``P = {(u,u,v,v) : u,v ∈ [n]}`` of Example 3.5."""
+    return Relation(
+        attributes=("x1", "x2", "xp1", "xp2"),
+        rows={(u, u, v, v) for u in range(n) for v in range(n)},
+    )
+
+
+def example_3_8_inequality(
+    ground: Tuple[str, str, str] = ("X1", "X2", "X3")
+) -> MaxInformationInequality:
+    """Example 3.8: ``h(X1X2X3) ≤ max(E1, E2, E3)`` with three simple branches.
+
+    ``E1 = h(X1X2) + h(X2|X1)``, ``E2 = h(X2X3) + h(X3|X2)``,
+    ``E3 = h(X1X3) + h(X1|X3)``.  The paper proves it via submodularity; it is
+    exactly the Eq. (8) inequality of the Vee example.
+    """
+    a, b, c = ground
+    branches = []
+    for first, second, third in ((a, b, c), (b, c, a), (c, a, b)):
+        expression = LinearExpression.entropy_term(ground, {first, second})
+        expression = expression + LinearExpression.conditional_term(
+            ground, {second}, {first}
+        )
+        branches.append(expression)
+    return MaxInformationInequality.containment_form(1.0, ground, branches)
+
+
+def example_5_2_inequality() -> LinearExpression:
+    """The information inequality (19) of Example 5.2.
+
+    ``0 ≤ h(X1) + 2·h(X2) + h(X3) − h(X1X2) − h(X2X3)``
+    (a valid Shannon inequality, used to illustrate the reduction of
+    Section 5).
+    """
+    ground = ("X1", "X2", "X3")
+    coefficients = {
+        frozenset({"X1"}): 1.0,
+        frozenset({"X2"}): 2.0,
+        frozenset({"X3"}): 1.0,
+        frozenset({"X1", "X2"}): -1.0,
+        frozenset({"X2", "X3"}): -1.0,
+    }
+    return LinearExpression(ground=ground, coefficients=coefficients)
+
+
+def chaudhuri_vardi_example() -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Example A.2 (from Chaudhuri–Vardi): two queries with head variables.
+
+    ``Q1(x,z) = P(x) ∧ S(u,x) ∧ S(v,z) ∧ R(z)`` and
+    ``Q2(x,z) = P(x) ∧ S(u,y) ∧ S(v,y) ∧ R(z)``; the paper uses the pair to
+    illustrate the Boolean-query reduction of Lemma A.1.
+    """
+    q1 = parse_query("Q1(x, z) :- P(x), S(u, x), S(v, z), R(z)")
+    q2 = parse_query("Q2(x, z) :- P(x), S(u, y), S(v, y), R(z)")
+    return q1, q2
+
+
+def parity_example() -> SetFunction:
+    """The parity function of Example B.4 / Example E.2 (entropic, not normal)."""
+    return parity_function(("X1", "X2", "X3"))
+
+
+def example_e2_queries() -> QueryPairExample:
+    """Example E.2: identical triangle queries over three relation names.
+
+    ``Q1 = Q2 = R(1,2) ∧ S(2,3) ∧ T(3,1)`` — containment trivially holds; the
+    example illustrates why the locality property needs normal (rather than
+    arbitrary entropic) counterexamples.
+    """
+    q1 = parse_query("R(X1,X2), S(X2,X3), T(X3,X1)", name="Q1_e2")
+    q2 = parse_query("R(Y1,Y2), S(Y2,Y3), T(Y3,Y1)", name="Q2_e2")
+    return QueryPairExample(
+        name="example-E.2",
+        q1=q1,
+        q2=q2,
+        contained=True,
+        notes="identical queries; used to show the locality property can fail",
+    )

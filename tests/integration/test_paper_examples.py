@@ -1,0 +1,140 @@
+"""Integration tests replaying every worked example of the paper end to end."""
+
+import pytest
+
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.core.containment_inequality import build_containment_inequality
+from repro.core.witness import witness_from_relation
+from repro.cq.decompositions import (
+    has_simple_junction_tree,
+    is_acyclic,
+    is_chordal,
+    junction_tree,
+)
+from repro.cq.homomorphism import (
+    count_query_homomorphisms,
+    query_to_query_homomorphisms,
+)
+from repro.cq.projection import induced_database
+from repro.cq.reductions import to_boolean_pair
+from repro.infotheory.imeasure import is_normal_function
+from repro.infotheory.maxiip import decide_max_ii
+from repro.infotheory.polymatroid import is_polymatroid
+from repro.workloads.paper_examples import (
+    chaudhuri_vardi_example,
+    example_3_5,
+    example_3_5_normal_witness,
+    example_3_8_inequality,
+    example_e2_queries,
+    parity_example,
+    vee_example,
+)
+
+
+class TestExample43Vee:
+    """Example 4.3: the triangle is bag-contained in the length-2 path."""
+
+    def test_query_shapes(self):
+        pair = vee_example()
+        assert not is_acyclic(pair.q1) and is_chordal(pair.q1)
+        assert is_acyclic(pair.q2) and has_simple_junction_tree(pair.q2)
+
+    def test_three_homomorphisms(self):
+        pair = vee_example()
+        assert len(query_to_query_homomorphisms(pair.q2, pair.q1)) == 3
+
+    def test_containment_verdict_matches_paper(self):
+        pair = vee_example()
+        result = decide_containment(pair.q1, pair.q2)
+        assert result.status == ContainmentStatus.CONTAINED
+
+    def test_counts_on_concrete_databases(self):
+        from repro.workloads.generators import random_database
+
+        pair = vee_example()
+        for seed in range(5):
+            database = random_database({"R": 2}, domain_size=3, tuples_per_relation=5, seed=seed)
+            assert count_query_homomorphisms(pair.q1, database) <= count_query_homomorphisms(
+                pair.q2, database
+            )
+
+
+class TestExample38:
+    """Example 3.8: the 3-branch max-inequality is essentially Shannon."""
+
+    def test_valid_over_all_polyhedral_cones(self):
+        inequality = example_3_8_inequality()
+        for cone in ("gamma", "normal", "modular"):
+            assert decide_max_ii(inequality, over=cone).valid
+
+    def test_matches_vee_containment_inequality(self):
+        pair = vee_example()
+        built = build_containment_inequality(pair.q1, pair.q2)
+        assert len(built.branches) == 3
+        assert built.all_branches_simple
+        # Each branch has the shape h(XiXj) + h(Xj|Xi).
+        for branch in built.branch_expressions():
+            positive = [c for c in branch.coefficients.values() if c > 0]
+            negative = [c for c in branch.coefficients.values() if c < 0]
+            assert sum(positive) == pytest.approx(2.0)
+            assert sum(negative) == pytest.approx(-1.0)
+
+
+class TestExample35:
+    """Example 3.5: normal witness exists, product witness does not."""
+
+    def test_q2_shape(self):
+        pair = example_3_5()
+        assert is_acyclic(pair.q2)
+        assert has_simple_junction_tree(pair.q2)
+        tree = junction_tree(pair.q2)
+        assert len(tree.bags) == 3
+
+    def test_paper_witness_verifies(self):
+        pair = example_3_5()
+        for n in (2, 3):
+            relation = example_3_5_normal_witness(n)
+            database = induced_database(pair.q1, relation)
+            assert count_query_homomorphisms(pair.q1, database) >= n * n
+            assert count_query_homomorphisms(pair.q2, database) == n
+            witness = witness_from_relation(pair.q1, pair.q2, relation)
+            assert witness is not None
+
+    def test_decision_procedure_refutes(self):
+        pair = example_3_5()
+        result = decide_containment(pair.q1, pair.q2)
+        assert result.status == ContainmentStatus.NOT_CONTAINED
+        assert result.witness is not None
+
+    def test_no_small_product_witness(self):
+        from repro.core.brute_force import search_product_witness
+
+        pair = example_3_5()
+        assert search_product_witness(pair.q1, pair.q2, max_column_size=3) is None
+
+
+class TestExampleA2:
+    """Example A.2: the Boolean reduction on the Chaudhuri–Vardi queries."""
+
+    def test_reduction_and_verdict(self):
+        q1, q2 = chaudhuri_vardi_example()
+        b1, b2 = to_boolean_pair(q1, q2)
+        assert b1.is_boolean and b2.is_boolean
+        result = decide_containment(q1, q2)
+        # Q2 merges the two S-atoms onto a single y, so it has at least as
+        # many homomorphisms as Q1 on every database: containment holds.
+        assert result.status == ContainmentStatus.CONTAINED
+
+
+class TestParityExamples:
+    """Examples B.4 / E.2: the parity function and its limits."""
+
+    def test_parity_entropic_but_not_normal(self):
+        parity = parity_example()
+        assert is_polymatroid(parity)
+        assert not is_normal_function(parity)
+
+    def test_example_e2_containment_holds(self):
+        pair = example_e2_queries()
+        result = decide_containment(pair.q1, pair.q2)
+        assert result.status == ContainmentStatus.CONTAINED

@@ -1,0 +1,138 @@
+"""Property-based tests for the bag relational algebra.
+
+The invariants checked here are the algebraic laws that SQL engines rely on:
+commutativity/associativity of the bag join, the interaction of projection
+with union-all, the monus laws of bag difference, and the agreement between
+the compiled-plan evaluator and the homomorphism-based evaluator on random
+graph queries and databases.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.evaluation import evaluate_bag
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.structures import Structure
+from repro.ra.bagrel import BagRelation
+from repro.ra.compile import evaluate_query_bag
+
+VALUES = st.integers(min_value=0, max_value=3)
+
+
+def bag_relations(attributes):
+    """Strategy producing small bag relations over fixed attributes."""
+    row = st.tuples(*([VALUES] * len(attributes)))
+    return st.dictionaries(row, st.integers(min_value=1, max_value=3), max_size=6).map(
+        lambda rows: BagRelation(attributes=attributes, multiplicities=rows)
+    )
+
+
+@given(bag_relations(("a", "b")), bag_relations(("b", "c")))
+@settings(max_examples=60, deadline=None)
+def test_join_commutes_up_to_column_order(left, right):
+    forward = left.natural_join(right)
+    backward = right.natural_join(left)
+    assert forward.project(sorted(forward.attributes)).same_bag(
+        backward.project(sorted(backward.attributes))
+    )
+
+
+@given(bag_relations(("a", "b")), bag_relations(("b", "c")), bag_relations(("c", "d")))
+@settings(max_examples=40, deadline=None)
+def test_join_is_associative(first, second, third):
+    left_first = first.natural_join(second).natural_join(third)
+    right_first = first.natural_join(second.natural_join(third))
+    assert left_first.same_bag(right_first)
+
+
+@given(bag_relations(("a", "b")))
+@settings(max_examples=60, deadline=None)
+def test_projection_preserves_total_count(relation):
+    assert len(relation.project(("a",))) == len(relation)
+    assert len(relation.project(())) == len(relation)
+
+
+@given(bag_relations(("a", "b")), bag_relations(("a", "b")))
+@settings(max_examples=60, deadline=None)
+def test_union_all_adds_counts_and_projection_distributes(left, right):
+    union = left.union_all(right)
+    assert len(union) == len(left) + len(right)
+    assert union.project(("a",)).same_bag(
+        left.project(("a",)).union_all(right.project(("a",)))
+    )
+
+
+@given(bag_relations(("a", "b")), bag_relations(("a", "b")))
+@settings(max_examples=60, deadline=None)
+def test_difference_monus_laws(left, right):
+    difference = left.difference(right)
+    assert difference.bag_contained_in(left)
+    # (L − R) ∪all R contains L.
+    assert left.bag_contained_in(difference.union_all(right))
+    # Removing everything leaves nothing.
+    assert len(left.difference(left)) == 0
+
+
+@given(bag_relations(("a", "b")), bag_relations(("a", "b")))
+@settings(max_examples=60, deadline=None)
+def test_intersection_bounded_by_both(left, right):
+    common = left.intersection(right)
+    assert common.bag_contained_in(left)
+    assert common.bag_contained_in(right)
+
+
+@given(bag_relations(("a", "b")), bag_relations(("b", "c")))
+@settings(max_examples=60, deadline=None)
+def test_semijoin_is_projection_of_join(left, right):
+    via_semijoin = left.semijoin(right)
+    via_join = left.natural_join(right.distinct()).project(left.attributes)
+    # The semijoin keeps each left row at most once per its own multiplicity.
+    assert via_semijoin.support() == via_join.support()
+    assert all(
+        via_semijoin.multiplicity(row) == left.multiplicity(row)
+        for row in via_semijoin.support()
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Compiled plans agree with homomorphism counting
+# ---------------------------------------------------------------------- #
+def _graph_structure(edges):
+    domain = {value for edge in edges for value in edge} or {0}
+    return Structure(domain=frozenset(domain), relations={"R": set(edges)})
+
+
+EDGES = st.sets(st.tuples(VALUES, VALUES), max_size=8)
+QUERY_SHAPES = st.sampled_from(
+    [
+        (("R", ("x", "y")),),
+        (("R", ("x", "y")), ("R", ("y", "z"))),
+        (("R", ("x", "y")), ("R", ("y", "x"))),
+        (("R", ("x", "y")), ("R", ("y", "z")), ("R", ("z", "x"))),
+        (("R", ("x", "x")),),
+        (("R", ("x", "y")), ("R", ("u", "v"))),
+    ]
+)
+
+
+@given(EDGES, QUERY_SHAPES)
+@settings(max_examples=50, deadline=None)
+def test_plan_evaluation_matches_homomorphism_evaluation(edges, shape):
+    structure = _graph_structure(edges)
+    query = ConjunctiveQuery(
+        atoms=tuple(Atom(relation, args) for relation, args in shape),
+        head=(),
+        name="prop",
+    )
+    assert evaluate_query_bag(query, structure) == evaluate_bag(query, structure)
+
+
+@given(EDGES)
+@settings(max_examples=40, deadline=None)
+def test_plan_evaluation_matches_on_head_query(edges):
+    structure = _graph_structure(edges)
+    query = ConjunctiveQuery(
+        atoms=(Atom("R", ("x", "y")), Atom("R", ("y", "z"))), head=("x",), name="prop"
+    )
+    assert evaluate_query_bag(query, structure) == evaluate_bag(query, structure)

@@ -1,0 +1,86 @@
+"""Property-based tests for containment verdicts (soundness on random inputs)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.core.containment_inequality import build_containment_inequality
+from repro.cq.homomorphism import count_query_homomorphisms
+from repro.infotheory.entropy import relation_entropy
+from repro.infotheory.maxiip import decide_max_ii
+from repro.cq.structures import Relation
+from repro.workloads.generators import (
+    path_query,
+    random_chordal_simple_query,
+    random_database,
+    random_query,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_verdicts_are_sound_on_random_databases(seed):
+    """CONTAINED verdicts survive random-database spot checks; NOT_CONTAINED ships a witness."""
+    q1 = random_query(3, 3, relations=(("R", 2),), seed=seed)
+    q2 = random_chordal_simple_query(2, clique_size=2, seed=seed)
+    result = decide_containment(q1, q2)
+    if result.status == ContainmentStatus.NOT_CONTAINED and result.witness is not None:
+        witness = result.witness
+        assert count_query_homomorphisms(q1, witness.database) == witness.hom_q1
+        assert count_query_homomorphisms(q2, witness.database) == witness.hom_q2
+        assert witness.hom_q1 > witness.hom_q2
+    if result.status == ContainmentStatus.CONTAINED:
+        for db_seed in range(3):
+            database = random_database({"R": 2}, 3, 4, seed=seed + db_seed)
+            assert count_query_homomorphisms(q1, database) <= count_query_homomorphisms(
+                q2, database
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_sufficient_condition_soundness_via_entropy(seed):
+    """Theorem 4.2 mechanics: a Γn-valid Eq. (8) inequality holds on every
+    relation entropy, hence |P| ≤ |hom(Q2, Π_Q1(P))| for witness candidates."""
+    q1 = random_query(3, 3, relations=(("R", 2),), seed=seed)
+    q2 = path_query(2)
+    inequality = build_containment_inequality(q1, q2)
+    if inequality.is_trivially_false:
+        return
+    verdict = decide_max_ii(
+        inequality.as_max_ii(), over="gamma", ground=inequality.ground
+    )
+    if not verdict.valid:
+        return
+    # Check the inequality on entropies of a few random witness relations.
+    import random as random_module
+
+    generator = random_module.Random(seed)
+    variables = tuple(inequality.ground)
+    for _ in range(3):
+        rows = {
+            tuple(generator.randrange(2) for _ in variables)
+            for _ in range(generator.randint(1, 6))
+        }
+        entropy = relation_entropy(Relation(attributes=variables, rows=rows))
+        assert inequality.holds_for(entropy, tolerance=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_containment_is_reflexive(seed):
+    query = random_query(3, 3, relations=(("R", 2),), seed=seed)
+    result = decide_containment(query, query)
+    assert result.status == ContainmentStatus.CONTAINED
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 4))
+def test_path_length_differences_are_refuted_with_witnesses(length):
+    # Path counts are not monotone in the length (complete digraphs separate
+    # them), so the complete procedure must refute both directions and ship a
+    # verified witness for at least the longer-vs-shorter direction.
+    result = decide_containment(path_query(length), path_query(length - 1))
+    assert result.status == ContainmentStatus.NOT_CONTAINED
+    if result.witness is not None:
+        assert result.witness.hom_q1 > result.witness.hom_q2

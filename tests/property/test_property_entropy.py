@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for entropies and set functions."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.structures import Relation
+from repro.infotheory.entropy import projection_log_sizes, relation_entropy
+from repro.infotheory.imeasure import from_mobius_inverse, mobius_inverse
+from repro.infotheory.polymatroid import is_polymatroid
+from repro.infotheory.setfunction import SetFunction
+
+ATTRIBUTES = ("a", "b", "c")
+
+
+def relations(min_rows=1, max_rows=10, domain=3):
+    row = st.tuples(*[st.integers(0, domain - 1) for _ in ATTRIBUTES])
+    return st.frozensets(row, min_size=min_rows, max_size=max_rows).map(
+        lambda rows: Relation(attributes=ATTRIBUTES, rows=rows)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations())
+def test_relation_entropy_is_entropic_polymatroid(relation):
+    entropy = relation_entropy(relation)
+    assert is_polymatroid(entropy, tolerance=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations())
+def test_relation_entropy_bounded_by_projection_sizes(relation):
+    entropy = relation_entropy(relation)
+    log_sizes = projection_log_sizes(relation)
+    # H(X) <= log2 |Π_X(P)| with equality iff the marginal is uniform.
+    assert log_sizes.dominates(entropy, tolerance=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations())
+def test_total_entropy_is_log_cardinality(relation):
+    entropy = relation_entropy(relation)
+    assert abs(entropy.total() - math.log2(len(relation))) < 1e-7
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(), relations())
+def test_domain_product_adds_entropies(left, right):
+    product = left.domain_product(right)
+    combined = relation_entropy(product)
+    expected = relation_entropy(left) + relation_entropy(right)
+    assert combined.is_close_to(expected, tolerance=1e-6)
+
+
+def set_functions():
+    values = st.lists(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False), min_size=7, max_size=7
+    )
+    return values.map(lambda vector: SetFunction.from_vector(ATTRIBUTES, vector))
+
+
+@settings(max_examples=60, deadline=None)
+@given(set_functions())
+def test_mobius_inverse_roundtrip(function):
+    inverse = mobius_inverse(function)
+    rebuilt = from_mobius_inverse(function.ground, inverse)
+    assert rebuilt.is_close_to(function, tolerance=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(set_functions(), set_functions())
+def test_set_function_addition_commutes(left, right):
+    assert (left + right).is_close_to(right + left)
+
+
+@settings(max_examples=40, deadline=None)
+@given(set_functions(), st.floats(min_value=0.0, max_value=4.0, allow_nan=False))
+def test_scaling_distributes_over_evaluation(function, scale):
+    scaled = scale * function
+    for subset in function.subsets():
+        assert abs(scaled(subset) - scale * function(subset)) < 1e-7

@@ -1,0 +1,211 @@
+"""Unit tests for the entropy-based dependency analysis (Lee's theorems)."""
+
+import pytest
+
+from repro.analysis.dependencies import (
+    FunctionalDependency,
+    MultivaluedDependency,
+    decomposition_gap,
+    discover_functional_dependencies,
+    discover_multivalued_dependencies,
+    functional_dependency_holds,
+    is_lossless_decomposition,
+    key_attributes,
+    multivalued_dependency_holds,
+    suggest_binary_decompositions,
+)
+from repro.analysis.profile import profile_relation
+from repro.cq.structures import Relation
+from repro.exceptions import StructureError
+
+
+@pytest.fixture
+def employee_relation():
+    """employee → department, department → building (a classic FD chain)."""
+    rows = [
+        ("alice", "sales", "hq"),
+        ("bob", "sales", "hq"),
+        ("carol", "research", "lab"),
+        ("dave", "research", "lab"),
+    ]
+    return Relation(attributes=("employee", "department", "building"), rows=set(rows))
+
+
+@pytest.fixture
+def course_relation():
+    """course ↠ teacher and course ↠ book independently (the classic MVD example)."""
+    rows = [
+        ("db", t, b)
+        for t in ("ann", "bea")
+        for b in ("ramakrishnan", "ullman")
+    ] + [("os", "cid", "tanenbaum")]
+    return Relation(attributes=("course", "teacher", "book"), rows=set(rows))
+
+
+@pytest.fixture
+def product_relation():
+    return Relation.product_relation({"x": [1, 2], "y": ["a", "b", "c"]})
+
+
+# ---------------------------------------------------------------------- #
+# Functional dependencies
+# ---------------------------------------------------------------------- #
+def test_fd_holds_via_entropy(employee_relation):
+    assert functional_dependency_holds(employee_relation, ["employee"], "department")
+    assert functional_dependency_holds(employee_relation, ["department"], "building")
+    assert not functional_dependency_holds(employee_relation, ["building"], "employee")
+
+
+def test_discovered_fds_are_minimal(employee_relation):
+    fds = discover_functional_dependencies(employee_relation)
+    as_pairs = {(tuple(sorted(fd.determinant)), fd.dependent) for fd in fds}
+    assert (("employee",), "department") in as_pairs
+    assert (("department",), "building") in as_pairs
+    # employee → building also holds and {employee} is minimal for it (the
+    # empty set does not determine the building), so it is reported too.
+    assert (("employee",), "building") in as_pairs
+    # Minimality: no reported determinant strictly contains another reported
+    # determinant for the same dependent attribute.
+    for fd in fds:
+        for other in fds:
+            if fd is not other and fd.dependent == other.dependent:
+                assert not other.determinant < fd.determinant
+    # No FD with a determinant containing the dependent.
+    assert all(fd.dependent not in fd.determinant for fd in fds)
+
+
+def test_fd_discovery_respects_max_size(employee_relation):
+    fds = discover_functional_dependencies(employee_relation, max_determinant_size=0)
+    assert fds == []
+
+
+def test_no_fds_in_product_relation(product_relation):
+    assert discover_functional_dependencies(product_relation) == []
+
+
+def test_constant_column_gives_empty_determinant():
+    relation = Relation(attributes=("a", "b"), rows={(1, "x"), (2, "x")})
+    fds = discover_functional_dependencies(relation)
+    assert FunctionalDependency(determinant=frozenset(), dependent="b") in fds
+
+
+def test_fd_str_rendering():
+    fd = FunctionalDependency(determinant=frozenset({"a", "b"}), dependent="c")
+    assert "->" in str(fd) and "c" in str(fd)
+
+
+def test_keys(employee_relation, product_relation):
+    keys = key_attributes(employee_relation)
+    assert frozenset({"employee"}) in keys
+    # In a product relation only the full attribute set is a key.
+    assert key_attributes(product_relation) == [frozenset({"x", "y"})]
+
+
+# ---------------------------------------------------------------------- #
+# Multivalued dependencies
+# ---------------------------------------------------------------------- #
+def test_mvd_holds_in_course_relation(course_relation):
+    assert multivalued_dependency_holds(course_relation, ["course"], ["teacher"])
+    assert multivalued_dependency_holds(course_relation, ["course"], ["book"])
+
+
+def test_mvd_discovery_reports_course_split(course_relation):
+    mvds = discover_multivalued_dependencies(course_relation)
+    splits = {(tuple(sorted(m.determinant)), tuple(sorted(m.dependents))) for m in mvds}
+    assert (("course",), ("teacher",)) in splits or (("course",), ("book",)) in splits
+
+
+def test_mvd_trivial_cases_hold(course_relation):
+    # Empty dependents or dependents covering everything else are trivially true.
+    assert multivalued_dependency_holds(course_relation, ["course"], [])
+    assert multivalued_dependency_holds(
+        course_relation, ["course"], ["teacher", "book"]
+    )
+
+
+def test_mvd_str_rendering():
+    mvd = MultivaluedDependency(determinant=frozenset({"x"}), dependents=frozenset({"y"}))
+    assert "->>" in str(mvd)
+
+
+def test_product_relation_has_unconditional_mvd(product_relation):
+    assert multivalued_dependency_holds(product_relation, [], ["x"])
+
+
+# ---------------------------------------------------------------------- #
+# Lossless decompositions
+# ---------------------------------------------------------------------- #
+def test_lossless_decomposition_of_fd_chain(employee_relation):
+    bags = [("employee", "department"), ("department", "building")]
+    assert is_lossless_decomposition(employee_relation, bags)
+    assert decomposition_gap(employee_relation, bags) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_lossy_decomposition_detected():
+    # One teacher teaching two courses with different books: joining the
+    # (course, teacher) and (teacher, book) projections creates spurious
+    # course/book combinations, and the entropy gap detects it.
+    relation = Relation(
+        attributes=("course", "teacher", "book"),
+        rows={("db", "ann", "ramakrishnan"), ("ml", "ann", "bishop")},
+    )
+    bags = [("course", "teacher"), ("teacher", "book")]
+    assert not is_lossless_decomposition(relation, bags)
+    assert decomposition_gap(relation, bags) == pytest.approx(1.0)
+
+
+def test_decomposition_must_cover_attributes(employee_relation):
+    with pytest.raises(StructureError):
+        decomposition_gap(employee_relation, [("employee", "department")])
+    with pytest.raises(StructureError):
+        decomposition_gap(employee_relation, [])
+
+
+def test_suggest_binary_decompositions(employee_relation, product_relation):
+    suggestions = suggest_binary_decompositions(employee_relation)
+    assert (
+        frozenset({"employee", "department"}),
+        frozenset({"department", "building"}),
+    ) in suggestions or (
+        frozenset({"department", "building"}),
+        frozenset({"employee", "department"}),
+    ) in suggestions
+    # A product relation splits along its independent attributes.
+    product_suggestions = suggest_binary_decompositions(product_relation)
+    assert (frozenset({"x"}), frozenset({"y"})) in product_suggestions or (
+        frozenset({"y"}),
+        frozenset({"x"}),
+    ) in product_suggestions
+
+
+# ---------------------------------------------------------------------- #
+# Profiles
+# ---------------------------------------------------------------------- #
+def test_profile_relation_reports_consistent_statistics(employee_relation):
+    profile = profile_relation(employee_relation)
+    assert profile.row_count == 4
+    assert profile.total_entropy == pytest.approx(2.0)
+    assert profile.distinct_per_attribute["department"] == 2
+    assert frozenset({"employee"}) in profile.keys
+    assert profile.modular_gap >= 0
+    text = str(profile)
+    assert "functional deps" in text and "rows" in text
+
+
+def test_profile_of_product_relation_is_independent(product_relation):
+    profile = profile_relation(product_relation)
+    assert profile.modular_gap == pytest.approx(0.0, abs=1e-9)
+    assert profile.is_totally_uniform
+    assert profile.entropy_is_normal
+
+
+def test_profile_rejects_empty_relation():
+    with pytest.raises(StructureError):
+        profile_relation(Relation(attributes=("a",), rows=set()))
+
+
+def test_dependency_helpers_reject_bad_inputs():
+    with pytest.raises(StructureError):
+        functional_dependency_holds("not a relation", ["a"], "b")
+    with pytest.raises(StructureError):
+        discover_functional_dependencies(Relation(attributes=("a",), rows=set()))

@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import _parse_structure, main
+from repro.exceptions import ReproError
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    code = main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+def test_contain_contained_pair():
+    code, output = run_cli(
+        "contain", "R(x1,x2), R(x2,x3), R(x3,x1)", "R(y1,y2), R(y1,y3)"
+    )
+    assert code == 0
+    assert "verdict : contained" in output
+    assert "theorem-3.1" in output
+
+
+def test_contain_refuted_pair_prints_witness():
+    code, output = run_cli(
+        "contain",
+        "A(x1,x2), B(x1,x2), A(u1,u2), B(u1,u2)",
+        "A(y1,y2), B(y1,y3)",
+    )
+    assert code == 0
+    assert "verdict : not_contained" in output
+    assert "witness" in output
+
+
+def test_contain_with_method_flag():
+    code, output = run_cli(
+        "contain",
+        "R(x1,x2), R(x2,x3), R(x3,x1)",
+        "R(y1,y2), R(y1,y3)",
+        "--method",
+        "sufficient",
+    )
+    assert code == 0
+    assert "sufficient-gamma" in output
+
+
+def test_inspect_reports_structure():
+    code, output = run_cli("inspect", "A(y1,y2), B(y1,y3), C(y4,y2)")
+    assert code == 0
+    assert "acyclic   : True" in output
+    assert "simple junction tree : True" in output
+
+
+def test_dominate_command():
+    code, output = run_cli(
+        "dominate", "--base", "R:0,1;1,2;2,0", "--dominating", "R:a,b;a,c"
+    )
+    assert code == 0
+    assert "verdict : contained" in output
+
+
+def test_structure_parser():
+    structure = _parse_structure("R:0,1;1,2 S:a")
+    assert len(structure.tuples("R")) == 2
+    assert len(structure.tuples("S")) == 1
+    with pytest.raises(ReproError):
+        _parse_structure("no-colon-here")
+    with pytest.raises(ReproError):
+        _parse_structure("R:")
+
+
+def test_cli_error_handling():
+    code, output = run_cli("contain", "R(x,y)", "R(x)")
+    assert code == 1
+    assert "error:" in output

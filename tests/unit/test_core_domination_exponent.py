@@ -1,0 +1,57 @@
+"""Unit tests for the homomorphism-domination-exponent estimator (Section 2.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.domination import homomorphism_domination_exponent
+from repro.cq.structures import Structure
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def triangle():
+    return Structure.from_facts([("R", (0, 1)), ("R", (1, 2)), ("R", (2, 0))])
+
+
+@pytest.fixture
+def edge():
+    return Structure.from_facts([("R", ("a", "b"))])
+
+
+def test_exponent_of_structure_against_itself(edge):
+    report = homomorphism_domination_exponent(edge, edge, denominator=1, max_numerator=3)
+    # c = 1 always holds (A dominates itself); c = 2 fails because
+    # |hom(A,D)|^2 > |hom(A,D)| whenever the count exceeds 1.
+    assert report["lower_bound"] == Fraction(1)
+    assert report["upper_bound"] == Fraction(2)
+    assert report["verdicts"][Fraction(1)] == "contained"
+    assert report["verdicts"][Fraction(2)] == "not_contained"
+
+
+def test_exponent_triangle_vs_edge(triangle, edge):
+    # |hom(triangle, D)| <= |hom(edge, D)| (the edge bounds the triangle via
+    # its homomorphic image), so the exponent is at least 1.
+    report = homomorphism_domination_exponent(
+        triangle, edge, denominator=2, max_numerator=2
+    )
+    assert report["lower_bound"] >= Fraction(1, 2)
+    assert all(value in {"contained", "not_contained", "unknown"}
+               for value in report["verdicts"].values())
+
+
+def test_exponent_rejects_bad_parameters(triangle, edge):
+    with pytest.raises(QueryError):
+        homomorphism_domination_exponent(triangle, edge, denominator=0)
+    with pytest.raises(QueryError):
+        homomorphism_domination_exponent(triangle, edge, max_numerator=0)
+
+
+def test_exponent_stops_at_first_failure(edge, triangle):
+    report = homomorphism_domination_exponent(
+        edge, triangle, denominator=1, max_numerator=4
+    )
+    # Once an exponent fails, larger exponents are not attempted.
+    failed = [exp for exp, verdict in report["verdicts"].items() if verdict != "contained"]
+    if failed:
+        assert max(report["verdicts"]) == min(failed)

@@ -1,0 +1,112 @@
+"""Unit tests for the E_T expression and the Eq. (8) containment inequality."""
+
+import pytest
+
+from repro.cq.decompositions import join_tree, junction_tree
+from repro.cq.parser import parse_query
+from repro.core.containment_inequality import build_containment_inequality
+from repro.core.et_expression import (
+    et_expression,
+    et_expression_inclusion_exclusion,
+    et_substituted,
+)
+from repro.exceptions import QueryError
+from repro.infotheory.functions import parity_function
+from repro.workloads.generators import path_query, star_query
+
+
+def test_et_expression_for_path2(path2_query, parity):
+    tree = join_tree(path2_query)
+    expression = et_expression(tree)
+    assert expression.is_simple
+    # E_T = h(Y1Y2) + h(Y3|Y1) = h(Y1Y2) + h(Y1Y3) - h(Y1).
+    linear = expression.to_linear()
+    assert linear.coefficients[frozenset({"Y1", "Y2"})] == pytest.approx(1.0)
+    assert linear.coefficients[frozenset({"Y1", "Y3"})] == pytest.approx(1.0)
+    assert linear.coefficients[frozenset({"Y1"})] == pytest.approx(-1.0)
+
+
+def test_et_edge_form_matches_conditional_form(path2_query):
+    tree = join_tree(path2_query)
+    conditional = et_expression(tree).to_linear()
+    edge_form = et_expression_inclusion_exclusion(tree)
+    assert conditional.coefficients == edge_form.coefficients
+
+
+def test_et_edge_form_matches_on_larger_queries():
+    for query in (path_query(4), star_query(4), parse_query("R(a,b,c), S(c,d), T(d,e)")):
+        tree = join_tree(query)
+        assert (
+            et_expression(tree).to_linear().coefficients
+            == et_expression_inclusion_exclusion(tree).coefficients
+        )
+
+
+def test_et_lee_identity_on_acyclic_relation():
+    # Lee's theorem: E_T(h) = h(V) when the relation decomposes along T.
+    from repro.cq.structures import Relation
+    from repro.infotheory.entropy import relation_entropy
+
+    query = parse_query("R(Y1,Y2), S(Y1,Y3)")
+    tree = join_tree(query)
+    relation = Relation(
+        attributes=("Y1", "Y2", "Y3"),
+        rows={(u, v, w) for u in range(2) for v in range(2) for w in range(2)},
+    )
+    entropy = relation_entropy(relation)
+    assert et_expression(tree, ground=("Y1", "Y2", "Y3")).evaluate(
+        entropy
+    ) == pytest.approx(entropy.total())
+
+
+def test_et_substituted_is_pullback(path2_query, triangle_query, parity):
+    tree = join_tree(path2_query)
+    homomorphism = {"Y1": "X1", "Y2": "X2", "Y3": "X2"}
+    substituted = et_substituted(tree, homomorphism, triangle_query.variables)
+    # (E_T ∘ φ)(h) = h(X1X2) + h(X2|X1) = 2 + 1 = 3 for the parity function.
+    assert substituted.evaluate(parity) == pytest.approx(3.0)
+    assert substituted.is_simple
+
+
+def test_containment_inequality_vee(triangle_query, path2_query, parity):
+    inequality = build_containment_inequality(triangle_query, path2_query)
+    assert inequality.ground == ("X1", "X2", "X3")
+    assert len(inequality.branches) == 3
+    assert inequality.all_branches_simple
+    assert not inequality.is_trivially_false
+    # It is exactly Example 3.8 and holds on the parity function.
+    assert inequality.holds_for(parity)
+    assert inequality.right_hand_side(parity) == pytest.approx(3.0)
+
+
+def test_containment_inequality_requires_boolean_queries():
+    q1 = parse_query("(x) :- R(x, y)")
+    q2 = parse_query("(x) :- R(x, y)")
+    with pytest.raises(QueryError):
+        build_containment_inequality(q1, q2)
+
+
+def test_containment_inequality_no_homomorphism():
+    q1 = parse_query("R(x, y)")
+    q2 = parse_query("S(u, v)")
+    inequality = build_containment_inequality(q1, q2)
+    assert inequality.is_trivially_false
+    with pytest.raises(QueryError):
+        inequality.as_max_ii()
+
+
+def test_containment_inequality_deduplicates_branches():
+    # Two homomorphisms that induce the same substituted expression collapse.
+    q1 = parse_query("R(x, x)")
+    q2 = parse_query("R(y1, y2), R(y2, y3)")
+    inequality = build_containment_inequality(q1, q2)
+    assert len(inequality.branches) == 1
+
+
+def test_containment_inequality_example_35(example_35_pair):
+    inequality = build_containment_inequality(
+        example_35_pair.q1, example_35_pair.q2, [junction_tree(example_35_pair.q2)]
+    )
+    assert inequality.all_branches_simple
+    assert len(inequality.branches) >= 2
+    assert set(inequality.ground) == {"x1", "x2", "xp1", "xp2"}

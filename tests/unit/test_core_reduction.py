@@ -1,0 +1,144 @@
+"""Unit tests for the Section 5 reduction Max-IIP ≤m BagCQC-A."""
+
+import pytest
+
+from repro.cq.decompositions import is_acyclic
+from repro.cq.homomorphism import count_query_to_query_homomorphisms
+from repro.core.reduction import (
+    UniformExpression,
+    build_query_pair,
+    reduce_max_iip_to_containment,
+    uniformize,
+)
+from repro.exceptions import ReductionError
+from repro.infotheory.expressions import LinearExpression, MaxInformationInequality
+from repro.infotheory.maxiip import decide_max_ii
+from repro.workloads.paper_examples import example_5_2_inequality
+
+GROUND = ("X1", "X2", "X3")
+
+
+def single_ii(expression):
+    return MaxInformationInequality.single(expression)
+
+
+def test_uniformize_example_52(example_52_expression):
+    uniform = uniformize(single_ii(example_52_expression))
+    assert len(uniform.branches) == 1
+    branch = uniform.branches[0]
+    # Example 5.2 / Eq. (20): two negative terms, so n = 2 and q = 3.
+    assert branch.unconditioned_count == 2
+    assert branch.total_coefficient == 3
+    assert branch.distinguished in branch.ground
+    assert set(GROUND) < set(branch.ground)
+
+
+def test_uniform_expression_validation():
+    with pytest.raises(ReductionError):
+        UniformExpression(
+            ground=("A", "U"),
+            distinguished="U",
+            unconditioned_count=1,
+            chain=((frozenset({"A"}), frozenset({"A"})),),  # X_0 must be empty
+            total_coefficient=1,
+        )
+    with pytest.raises(ReductionError):
+        UniformExpression(
+            ground=("A", "U"),
+            distinguished="U",
+            unconditioned_count=1,
+            chain=(
+                (frozenset({"U"}), frozenset()),
+                (frozenset({"A"}), frozenset({"A"})),  # U missing from X_1
+            ),
+            total_coefficient=1,
+        )
+
+
+def test_uniformize_rejects_non_integer_coefficients():
+    expression = LinearExpression(GROUND, {frozenset({"X1"}): 0.5})
+    with pytest.raises(ReductionError):
+        uniformize(single_ii(expression))
+
+
+def test_uniformize_rejects_clashing_distinguished_name():
+    expression = LinearExpression(GROUND, {frozenset({"X1"}): 1.0})
+    with pytest.raises(ReductionError):
+        uniformize(single_ii(expression), distinguished="X1")
+
+
+def test_uniformize_preserves_gamma_validity(example_52_expression):
+    # The uniformized Max-II is valid over Γn iff the original is — for both a
+    # valid and an invalid input.
+    valid_input = single_ii(example_52_expression)
+    assert decide_max_ii(valid_input, over="gamma").valid
+    assert decide_max_ii(uniformize(valid_input).as_max_ii(), over="gamma").valid
+
+    invalid_input = single_ii(
+        -1.0 * LinearExpression.entropy_term(GROUND, {"X1"})
+    )
+    assert not decide_max_ii(invalid_input, over="gamma").valid
+    assert not decide_max_ii(uniformize(invalid_input).as_max_ii(), over="gamma").valid
+
+
+def test_uniformize_multibranch_shapes():
+    branches = (
+        LinearExpression(GROUND, {frozenset({"X1"}): 1.0, frozenset({"X1", "X2"}): -1.0}),
+        LinearExpression(GROUND, {frozenset({"X2"}): 2.0}),
+    )
+    uniform = uniformize(MaxInformationInequality(branches=branches))
+    assert len(uniform.branches) == 2
+    first, second = uniform.branches
+    # All branches share the uniform parameters.
+    assert first.unconditioned_count == second.unconditioned_count
+    assert first.chain_length == second.chain_length
+    assert first.total_coefficient == second.total_coefficient
+
+
+def test_build_query_pair_structure(example_52_expression):
+    uniform = uniformize(single_ii(example_52_expression))
+    q1, q2 = build_query_pair(uniform)
+    assert q2.is_boolean and q1.is_boolean
+    assert is_acyclic(q2)
+    # Q2 has n isolated S-atoms plus the chain of p+1 R-atoms.
+    n = uniform.unconditioned_count
+    p = uniform.chain_length
+    assert len(q2.atoms) == n + p + 1
+    # Q1 contains q adorned copies; at least one atom per relation name of Q2.
+    q2_relations = {atom.relation for atom in q2.atoms}
+    q1_relations = {atom.relation for atom in q1.atoms}
+    assert q2_relations == q1_relations
+    # There is at least one homomorphism Q2 -> Q1.
+    assert count_query_to_query_homomorphisms(q2, q1) >= 1
+
+
+def test_full_reduction_details(example_52_expression):
+    result = reduce_max_iip_to_containment(single_ii(example_52_expression))
+    assert result.details["q"] == 3
+    assert result.details["n"] == 2
+    assert result.details["q2_atoms"] == len(result.q2.atoms)
+    assert is_acyclic(result.q2)
+
+
+def test_reduction_of_valid_input_yields_gamma_valid_containment_inequality():
+    # For a Shannon-valid input, the Eq. (8) inequality of the constructed pair
+    # must itself be valid over Γn (so the sufficient condition proves Q1 ⊑ Q2).
+    # A two-variable monotonicity instance keeps Q1 small enough (8 variables)
+    # for the Γn LP; the full Example 5.2 instance (15 variables, ~860k
+    # elemental inequalities) is exercised structurally elsewhere.
+    from repro.core.containment_inequality import build_containment_inequality
+    from repro.cq.decompositions import join_tree
+
+    small_valid = LinearExpression(
+        ("X1", "X2"),
+        {frozenset({"X1", "X2"}): 1.0, frozenset({"X1"}): -1.0},
+    )
+    result = reduce_max_iip_to_containment(single_ii(small_valid))
+    inequality = build_containment_inequality(
+        result.q1, result.q2, [join_tree(result.q2)]
+    )
+    assert not inequality.is_trivially_false
+    verdict = decide_max_ii(
+        inequality.as_max_ii(), over="gamma", ground=inequality.ground
+    )
+    assert verdict.valid

@@ -1,0 +1,152 @@
+"""Unit tests for witness construction and the brute-force refutation baselines."""
+
+import pytest
+
+from repro.cq.decompositions import junction_tree
+from repro.cq.homomorphism import count_query_to_query_homomorphisms
+from repro.cq.parser import parse_query
+from repro.core.brute_force import (
+    brute_force_refute,
+    containment_holds_on_small_databases,
+    search_normal_witness,
+    search_product_witness,
+    search_random_relation_witness,
+    search_small_database_witness,
+)
+from repro.core.containment_inequality import build_containment_inequality
+from repro.core.witness import (
+    normal_witness_relation,
+    product_witness_relation,
+    verify_witness,
+    witness_from_normal_coefficients,
+    witness_from_relation,
+)
+from repro.exceptions import WitnessError
+from repro.infotheory.entropy import relation_entropy
+from repro.workloads.paper_examples import example_3_5, example_3_5_normal_witness
+
+
+def test_normal_witness_relation_entropy():
+    ground = ("a", "b", "c")
+    multiplicities = {frozenset({"a"}): 2, frozenset({"b", "c"}): 1}
+    relation = normal_witness_relation(ground, multiplicities)
+    assert len(relation) == 2**3
+    entropy = relation_entropy(relation)
+    # The entropy is exactly 2·h_{a} + 1·h_{bc}:
+    #   h({a}) = 2·0 + 1·1 = 1,  h({b}) = 2·1 + 1·0 = 2,  h(V) = 2 + 1 = 3.
+    assert entropy({"a"}) == pytest.approx(1.0)
+    assert entropy({"b"}) == pytest.approx(2.0)
+    assert entropy.total() == pytest.approx(3.0)
+    assert relation.is_totally_uniform()
+
+
+def test_normal_witness_relation_size_guard():
+    with pytest.raises(WitnessError):
+        normal_witness_relation(("a", "b"), {frozenset({"a"}): 20}, max_rows=100)
+    with pytest.raises(WitnessError):
+        normal_witness_relation(("a", "b"), {})
+
+
+def test_product_witness_relation():
+    relation = product_witness_relation(("a", "b"), {"a": 2, "b": 3})
+    assert len(relation) == 6
+    with pytest.raises(WitnessError):
+        product_witness_relation(("a", "b"), {"a": 100, "b": 100}, max_rows=10)
+
+
+def test_verify_witness_positive_and_negative(example_35_pair):
+    witness_relation = example_3_5_normal_witness(n=2)
+    witness = witness_from_relation(
+        example_35_pair.q1, example_35_pair.q2, witness_relation
+    )
+    assert witness is not None
+    assert witness.hom_q1 > witness.hom_q2
+    assert witness.gap > 0
+    # n = 1 gives |P| = 1 which is not a witness in the Fact 3.2 sense.
+    from repro.core.witness import is_fact_32_witness
+
+    too_small = example_3_5_normal_witness(n=1)
+    assert not is_fact_32_witness(example_35_pair.q1, example_35_pair.q2, too_small)
+    assert is_fact_32_witness(
+        example_35_pair.q1, example_35_pair.q2, example_3_5_normal_witness(n=2)
+    )
+
+
+def test_witness_from_normal_coefficients_example_35(example_35_pair):
+    q1, q2 = example_35_pair.q1, example_35_pair.q2
+    inequality = build_containment_inequality(q1, q2, [junction_tree(q2)])
+    hom_count = count_query_to_query_homomorphisms(q2, q1)
+    coefficients = {
+        frozenset({"x1", "x2"}): 1.0,
+        frozenset({"xp1", "xp2"}): 1.0,
+    }
+    witness = witness_from_normal_coefficients(inequality, coefficients, hom_count)
+    assert witness.hom_q1 > witness.hom_q2
+    assert "normal witness" in witness.description
+
+
+def test_witness_from_normal_coefficients_rejects_non_violating(vee_pair):
+    # The Vee pair IS contained, so no coefficients can violate the inequality.
+    inequality = build_containment_inequality(vee_pair.q1, vee_pair.q2)
+    with pytest.raises(WitnessError):
+        witness_from_normal_coefficients(
+            inequality, {frozenset({"X1"}): 1.0}, hom_count=3
+        )
+
+
+def test_search_product_witness_example():
+    # R(x,y) vs R(x,y),R(x,z): counts n^2 vs n^3-ish -> product witness exists
+    # already on a product relation with 2 values per column.
+    q1 = parse_query("R(x, y), R(z, w)")
+    q2 = parse_query("R(u, v)")
+    witness = search_product_witness(q1, q2)
+    assert witness is not None
+    assert witness.hom_q1 > witness.hom_q2
+
+
+def test_search_normal_witness_example_35(example_35_pair):
+    witness = search_normal_witness(example_35_pair.q1, example_35_pair.q2)
+    assert witness is not None
+
+
+def test_search_product_witness_fails_for_example_35(example_35_pair):
+    # Example 3.5's point: no product witness exists (we check small ones).
+    assert (
+        search_product_witness(example_35_pair.q1, example_35_pair.q2, max_column_size=3)
+        is None
+    )
+
+
+def test_random_relation_search_finds_easy_witness():
+    q1 = parse_query("R(x, y), R(z, w)")
+    q2 = parse_query("R(u, v)")
+    witness = search_random_relation_witness(q1, q2, samples=50)
+    assert witness is not None
+
+
+def test_brute_force_refute_contained_pair(vee_pair):
+    assert brute_force_refute(vee_pair.q1, vee_pair.q2, random_samples=30) is None
+
+
+def test_brute_force_refute_uncontained_pair(example_35_pair):
+    witness = brute_force_refute(example_35_pair.q1, example_35_pair.q2)
+    assert witness is not None
+    assert witness.hom_q1 > witness.hom_q2
+
+
+def test_small_database_exhaustive_search():
+    q1 = parse_query("R(x, y), R(z, w)")
+    q2 = parse_query("R(u, v)")
+    witness = search_small_database_witness(q1, q2, domain_size=2, max_tuples_per_relation=2)
+    assert witness is not None
+
+
+def test_containment_holds_on_small_databases(vee_pair):
+    assert containment_holds_on_small_databases(
+        vee_pair.q1, vee_pair.q2, domain_size=2, max_tuples_per_relation=3
+    )
+    q1 = parse_query("R(x, y), R(z, w)")
+    q2 = parse_query("R(u, v)")
+    assert not containment_holds_on_small_databases(
+        q1, q2, domain_size=2, max_tuples_per_relation=3
+    )

@@ -1,0 +1,58 @@
+"""Unit tests for the set-semantics containment baseline (Chandra–Merlin)."""
+
+import pytest
+
+from repro.cq.chandra_merlin import (
+    containment_homomorphism,
+    set_contained,
+    set_equivalent,
+)
+from repro.cq.parser import parse_query
+from repro.exceptions import QueryError
+
+
+def test_triangle_set_contained_in_path(triangle_query, path2_query):
+    # Set semantics: the triangle maps onto the 2-path pattern's image...
+    # there is a homomorphism path2 -> triangle, so triangle ⊆_set path2.
+    assert set_contained(triangle_query, path2_query)
+    # ...but not conversely: no homomorphism triangle -> path2 (path2 has no cycle).
+    assert not set_contained(path2_query, triangle_query)
+
+
+def test_set_containment_with_heads():
+    q1 = parse_query("(x) :- R(x, y), R(y, z)")
+    q2 = parse_query("(x) :- R(x, y)")
+    assert set_contained(q1, q2)
+    assert not set_contained(q2, q1)
+
+
+def test_containment_homomorphism_respects_heads():
+    q1 = parse_query("(x, z) :- R(x, y), R(y, z)")
+    q2 = parse_query("(a, b) :- R(a, c), R(d, b)")
+    witness = containment_homomorphism(q1, q2)
+    assert witness is not None
+    assert witness["a"] == "x"
+    assert witness["b"] == "z"
+
+
+def test_set_equivalence():
+    q1 = parse_query("(x) :- R(x, y)")
+    q2 = parse_query("(u) :- R(u, v), R(u, w)")
+    assert set_equivalent(q1, q2)
+
+
+def test_bag_set_divergence_example():
+    # Classic: under set semantics R(x,y),R(x,z) ≡ R(x,y), but under bag
+    # semantics the double atom counts pairs and is NOT contained in the single
+    # atom query.  Here we only check the set-semantics side.
+    single = parse_query("(x) :- R(x, y)")
+    double = parse_query("(x) :- R(x, y), R(x, z)")
+    assert set_contained(double, single)
+    assert set_contained(single, double)
+
+
+def test_head_arity_mismatch_rejected():
+    q1 = parse_query("(x) :- R(x, y)")
+    q2 = parse_query("R(x, y)")
+    with pytest.raises(QueryError):
+        set_contained(q1, q2)

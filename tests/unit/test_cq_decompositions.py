@@ -1,0 +1,155 @@
+"""Unit tests for Gaifman graphs, acyclicity, chordality and junction trees."""
+
+import networkx as nx
+import pytest
+
+from repro.cq.decompositions import (
+    TreeDecomposition,
+    candidate_tree_decompositions,
+    has_simple_junction_tree,
+    has_totally_disconnected_junction_tree,
+    heuristic_tree_decomposition,
+    is_acyclic,
+    is_chordal,
+    join_tree,
+    junction_tree,
+)
+from repro.cq.gaifman import gaifman_graph, is_clique, maximal_cliques
+from repro.cq.parser import parse_query
+from repro.exceptions import DecompositionError
+from repro.workloads.generators import clique_query, cycle_query, path_query, star_query
+
+
+def test_gaifman_graph_triangle(triangle_query):
+    graph = gaifman_graph(triangle_query)
+    assert set(graph.nodes) == {"X1", "X2", "X3"}
+    assert graph.number_of_edges() == 3
+    assert is_clique(graph, ("X1", "X2", "X3"))
+
+
+def test_gaifman_graph_isolated_variable():
+    query = parse_query("R(x, x), S(y, z)")
+    graph = gaifman_graph(query)
+    assert "x" in graph.nodes
+    assert graph.degree("x") == 0
+
+
+def test_maximal_cliques_path():
+    graph = gaifman_graph(path_query(3))
+    cliques = maximal_cliques(graph)
+    assert len(cliques) == 3
+    assert all(len(c) == 2 for c in cliques)
+
+
+def test_acyclicity_of_families():
+    assert is_acyclic(path_query(4))
+    assert is_acyclic(star_query(4))
+    assert is_acyclic(cycle_query(2))
+    assert not is_acyclic(cycle_query(3))
+    assert not is_acyclic(cycle_query(5))
+
+
+def test_acyclicity_single_atom_and_clique_query():
+    assert is_acyclic(parse_query("R(x, y, z)"))
+    # The clique query has one atom per pair: cyclic for size >= 3.
+    assert not is_acyclic(clique_query(3))
+
+
+def test_join_tree_path(path2_query):
+    tree = join_tree(path2_query)
+    assert tree.is_valid(path2_query)
+    assert tree.is_simple()
+    assert {frozenset(bag) for bag in tree.bags.values()} == {
+        frozenset({"Y1", "Y2"}),
+        frozenset({"Y1", "Y3"}),
+    }
+
+
+def test_join_tree_rejects_cyclic(triangle_query):
+    with pytest.raises(DecompositionError):
+        join_tree(triangle_query)
+
+
+def test_chordality():
+    assert is_chordal(parse_query("R(x, y, z)"))
+    assert is_chordal(triangle := cycle_query(3)) and triangle is not None
+    assert not is_chordal(cycle_query(4))
+    assert is_chordal(path_query(5))
+
+
+def test_junction_tree_triangle(triangle_query):
+    tree = junction_tree(triangle_query)
+    assert tree.is_valid(triangle_query)
+    assert len(tree.bags) == 1
+    assert set(tree.bags.values()) == {frozenset({"X1", "X2", "X3"})}
+    assert tree.is_junction_tree(triangle_query)
+
+
+def test_junction_tree_rejects_non_chordal():
+    with pytest.raises(DecompositionError):
+        junction_tree(cycle_query(4))
+
+
+def test_simple_junction_tree_detection():
+    # Example 3.5's Q2 has the simple junction tree {y1,y3}-{y1,y2}-{y2,y4}.
+    q2 = parse_query("A(y1,y2), B(y1,y3), C(y4,y2)")
+    assert has_simple_junction_tree(q2)
+    # Two triangles glued on an edge share a 2-element separator: not simple.
+    glued = parse_query("R(a,b), R(b,c), R(c,a), R(b,d), R(c,d)")
+    assert is_chordal(glued)
+    assert not has_simple_junction_tree(glued)
+    assert not has_simple_junction_tree(cycle_query(4))
+
+
+def test_totally_disconnected_junction_tree():
+    disconnected = parse_query("R(a,b), S(c,d)")
+    assert has_totally_disconnected_junction_tree(disconnected)
+    assert not has_totally_disconnected_junction_tree(path_query(2))
+
+
+def test_heuristic_decomposition_covers_cyclic_query():
+    query = cycle_query(5)
+    decomposition = heuristic_tree_decomposition(query)
+    decomposition.validate(query)
+    assert decomposition.width() >= 1
+
+
+def test_candidate_decompositions_deduplicate(path2_query):
+    candidates = candidate_tree_decompositions(path2_query)
+    signatures = {candidate.signature() for candidate in candidates}
+    assert len(signatures) == len(candidates)
+    assert all(candidate.is_valid(path2_query) for candidate in candidates)
+
+
+def test_decomposition_validation_catches_errors(triangle_query):
+    tree = nx.Graph()
+    tree.add_nodes_from([0, 1])
+    bags = {0: frozenset({"X1", "X2"}), 1: frozenset({"X2", "X3"})}
+    decomposition = TreeDecomposition(tree=tree, bags=bags)
+    # Running intersection ok (no edge between nodes sharing X2 -> fails).
+    assert not decomposition.is_valid()
+    tree2 = nx.Graph()
+    tree2.add_edge(0, 1)
+    decomposition2 = TreeDecomposition(tree=tree2, bags=bags)
+    # Coverage fails: the atom R(X3, X1) is in no bag.
+    assert decomposition2.is_valid()
+    assert not decomposition2.is_valid(triangle_query)
+
+
+def test_rooting_and_atom_assignment(path2_query):
+    tree = join_tree(path2_query)
+    parents = tree.rooted_parents()
+    roots = [node for node, parent in parents.items() if parent is None]
+    assert len(roots) == 1
+    order = tree.topological_order()
+    assert order[0] in roots
+    assignment = tree.assign_atoms(path2_query)
+    assigned_atoms = [atom for atoms in assignment.values() for atom in atoms]
+    assert sorted(map(str, assigned_atoms)) == sorted(map(str, path2_query.atoms))
+
+
+def test_separators_and_width(path2_query):
+    tree = join_tree(path2_query)
+    assert tree.separators() == [frozenset({"Y1"})]
+    assert tree.width() == 1
+    assert tree.all_variables() == frozenset({"Y1", "Y2", "Y3"})

@@ -1,0 +1,90 @@
+"""Unit tests for bag-set / set semantics evaluation."""
+
+import pytest
+
+from repro.cq.evaluation import (
+    bag_contained_on,
+    bag_multiplicity,
+    enumerate_databases,
+    evaluate_bag,
+    evaluate_set,
+    set_contained_on,
+)
+from repro.cq.parser import parse_query
+from repro.cq.query import Vocabulary
+from repro.cq.structures import Structure
+
+
+@pytest.fixture
+def head_query():
+    return parse_query("(x) :- R(x, y)")
+
+
+@pytest.fixture
+def fan_database():
+    return Structure.from_facts(
+        [("R", (0, 1)), ("R", (0, 2)), ("R", (1, 2))]
+    )
+
+
+def test_evaluate_bag_groups_by_head(head_query, fan_database):
+    answer = evaluate_bag(head_query, fan_database)
+    assert answer == {(0,): 2, (1,): 1}
+
+
+def test_evaluate_set(head_query, fan_database):
+    assert evaluate_set(head_query, fan_database) == frozenset({(0,), (1,)})
+
+
+def test_boolean_query_bag_answer(fan_database):
+    query = parse_query("R(x, y), R(y, z)")
+    answer = evaluate_bag(query, fan_database)
+    # The only length-2 path in the fan database is 0 -> 1 -> 2.
+    assert answer == {(): 1}
+
+
+def test_bag_multiplicity(head_query, fan_database):
+    assert bag_multiplicity(head_query, fan_database, (0,)) == 2
+    assert bag_multiplicity(head_query, fan_database, (2,)) == 0
+
+
+def test_bag_containment_on_single_database(fan_database):
+    q1 = parse_query("(x) :- R(x, y)")
+    q2 = parse_query("(x) :- R(x, y), R(x, z)")
+    # q2 counts pairs of out-edges, so q1(D) <= q2(D) pointwise here.
+    assert bag_contained_on(q1, q2, fan_database)
+    assert not bag_contained_on(q2, q1, fan_database)
+
+
+def test_set_containment_on_single_database(fan_database):
+    q1 = parse_query("(x) :- R(x, y)")
+    q2 = parse_query("(x) :- R(x, y), R(x, z)")
+    assert set_contained_on(q1, q2, fan_database)
+    assert set_contained_on(q2, q1, fan_database)
+
+
+def test_containment_checks_require_same_head_arity(fan_database):
+    q1 = parse_query("(x) :- R(x, y)")
+    q2 = parse_query("R(x, y)")
+    with pytest.raises(ValueError):
+        bag_contained_on(q1, q2, fan_database)
+    with pytest.raises(ValueError):
+        set_contained_on(q1, q2, fan_database)
+
+
+def test_enumerate_databases_counts():
+    vocabulary = Vocabulary({"R": 1})
+    databases = list(enumerate_databases(vocabulary, domain_size=2))
+    # Unary relation over a 2-element domain: 4 possible relations.
+    assert len(databases) == 4
+    sizes = sorted(len(db.tuples("R")) for db in databases)
+    assert sizes == [0, 1, 1, 2]
+
+
+def test_enumerate_databases_with_cap():
+    vocabulary = Vocabulary({"R": 2})
+    databases = list(
+        enumerate_databases(vocabulary, domain_size=2, max_tuples_per_relation=1)
+    )
+    # Empty relation plus the four singleton relations.
+    assert len(databases) == 5

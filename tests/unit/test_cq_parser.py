@@ -1,0 +1,76 @@
+"""Unit tests for the conjunctive-query parser."""
+
+import pytest
+
+from repro.cq.parser import parse_atom, parse_query
+from repro.exceptions import ParseError
+
+
+def test_parse_atom_simple():
+    atom = parse_atom("R(x, y)")
+    assert atom.relation == "R"
+    assert atom.args == ("x", "y")
+
+
+def test_parse_atom_repeated_variables():
+    atom = parse_atom("R(x, x, y)")
+    assert atom.args == ("x", "x", "y")
+
+
+def test_parse_atom_primed_variables():
+    atom = parse_atom("A(x', y')")
+    assert atom.args == ("x'", "y'")
+
+
+def test_parse_atom_errors():
+    with pytest.raises(ParseError):
+        parse_atom("R(x")
+    with pytest.raises(ParseError):
+        parse_atom("R()")
+    with pytest.raises(ParseError):
+        parse_atom("(x, y)")
+
+
+def test_parse_boolean_query():
+    query = parse_query("R(x, y), R(y, z)")
+    assert query.is_boolean
+    assert query.variables == ("x", "y", "z")
+    assert len(query.atoms) == 2
+
+
+def test_parse_query_with_conjunction_symbols():
+    query = parse_query("R(x, y) ∧ S(y, z) & T(z)")
+    assert len(query.atoms) == 3
+
+
+def test_parse_query_with_head():
+    query = parse_query("(x, z) :- P(x), S(u, x), S(v, z), R(z)")
+    assert query.head == ("x", "z")
+    assert len(query.atoms) == 4
+
+
+def test_parse_query_with_named_head():
+    query = parse_query("Q5(x) :- R(x, y)")
+    assert query.name == "Q5"
+    assert query.head == ("x",)
+
+
+def test_parse_query_empty_head():
+    query = parse_query("() :- R(x, y)")
+    assert query.head == ()
+
+
+def test_parse_query_errors():
+    with pytest.raises(ParseError):
+        parse_query("")
+    with pytest.raises(ParseError):
+        parse_query("x, y")
+    with pytest.raises(ParseError):
+        parse_query("R(x,, y)")
+
+
+def test_parse_roundtrip_variables():
+    text = "R(X1,X2), R(X2,X3), R(X3,X1)"
+    query = parse_query(text)
+    assert query.variables == ("X1", "X2", "X3")
+    assert {atom.relation for atom in query.atoms} == {"R"}

@@ -1,0 +1,88 @@
+"""Unit tests for generalized projections and the induced database of Eq. (4)."""
+
+import pytest
+
+from repro.cq.homomorphism import count_query_homomorphisms
+from repro.cq.parser import parse_query
+from repro.cq.projection import (
+    annotate_relation,
+    atom_projection,
+    erasing_homomorphism,
+    generalized_projection,
+    induced_database,
+)
+from repro.cq.structures import Relation
+from repro.exceptions import StructureError
+
+
+@pytest.fixture
+def pair_relation():
+    return Relation(attributes=("x", "y"), rows={("a", "b"), ("c", "d")})
+
+
+def test_generalized_projection_with_repeats(pair_relation):
+    projected = generalized_projection(pair_relation, {"u": "x", "v": "x", "w": "y"})
+    assert projected.attributes == ("u", "v", "w")
+    assert projected.rows == {("a", "a", "b"), ("c", "c", "d")}
+
+
+def test_generalized_projection_sequence_form(pair_relation):
+    projected = generalized_projection(pair_relation, ("y", "x"))
+    assert projected.rows == {("b", "a"), ("d", "c")}
+
+
+def test_atom_projection_repeated_variable():
+    # The paper's example: Q1 = R(x, x, y), P = {(a, b)} gives R^D = {(a, a, b)}.
+    relation = Relation(attributes=("x", "y"), rows={("a", "b")})
+    assert atom_projection(relation, ("x", "x", "y")) == frozenset({("a", "a", "b")})
+
+
+def test_induced_database_example_3_5(diagonal_relation):
+    query = parse_query(
+        "A(x1,x2), B(x1,x2), C(x1,x2), A(xp1,xp2), B(xp1,xp2), C(xp1,xp2)"
+    )
+    database = induced_database(query, diagonal_relation)
+    # A^D = B^D = C^D = {(u, u) | u in [2]}.
+    assert database.tuples("A") == frozenset({(0, 0), (1, 1)})
+    assert database.tuples("A") == database.tuples("B") == database.tuples("C")
+
+
+def test_induced_database_requires_all_variables():
+    query = parse_query("R(x, y)")
+    relation = Relation(attributes=("x",), rows={(1,)})
+    with pytest.raises(StructureError):
+        induced_database(query, relation)
+
+
+def test_witness_relation_embeds_into_induced_database(diagonal_relation):
+    # P ⊆ hom(Q1, Π_Q1(P)) (Fact 3.2): the count is at least |P|.
+    query = parse_query(
+        "A(x1,x2), B(x1,x2), C(x1,x2), A(xp1,xp2), B(xp1,xp2), C(xp1,xp2)"
+    )
+    database = induced_database(query, annotate_relation(diagonal_relation))
+    assert count_query_homomorphisms(query, database) >= len(diagonal_relation)
+
+
+def test_annotate_relation_preserves_uniformity(diagonal_relation):
+    annotated = annotate_relation(diagonal_relation)
+    assert len(annotated) == len(diagonal_relation)
+    assert annotated.is_totally_uniform()
+    for row in annotated.rows:
+        for attribute, (tag, _value) in zip(annotated.attributes, row):
+            assert tag == attribute
+
+
+def test_erasing_homomorphism(diagonal_relation):
+    query = parse_query("A(x1,x2), A(xp1,xp2)")
+    database = induced_database(query, annotate_relation(diagonal_relation))
+    erasure = erasing_homomorphism(database)
+    assert set(erasure.values()) <= {"x1", "x2", "xp1", "xp2"}
+    for (tag, _value), variable in erasure.items():
+        assert tag == variable
+
+
+def test_erasing_homomorphism_requires_annotation(diagonal_relation):
+    query = parse_query("A(x1,x2), A(xp1,xp2)")
+    database = induced_database(query, diagonal_relation)
+    with pytest.raises(StructureError):
+        erasing_homomorphism(database)

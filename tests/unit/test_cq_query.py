@@ -1,0 +1,119 @@
+"""Unit tests for repro.cq.query (atoms, queries, vocabularies)."""
+
+import pytest
+
+from repro.cq.query import Atom, ConjunctiveQuery, Vocabulary, make_query
+from repro.exceptions import QueryError, VocabularyError
+
+
+def test_atom_basic():
+    atom = Atom("R", ("x", "y", "x"))
+    assert atom.arity == 3
+    assert atom.variables == ("x", "y")
+    assert atom.variable_set == frozenset({"x", "y"})
+    assert str(atom) == "R(x, y, x)"
+
+
+def test_atom_rename():
+    atom = Atom("R", ("x", "y"))
+    renamed = atom.rename({"x": "z"})
+    assert renamed.args == ("z", "y")
+
+
+def test_atom_rejects_empty_relation_and_args():
+    with pytest.raises(QueryError):
+        Atom("", ("x",))
+    with pytest.raises(QueryError):
+        Atom("R", ())
+    with pytest.raises(QueryError):
+        Atom("R", ("x", ""))
+
+
+def test_query_variables_order():
+    query = make_query([("R", ("b", "a")), ("S", ("a", "c"))])
+    assert query.variables == ("b", "a", "c")
+    assert query.variable_set == frozenset({"a", "b", "c"})
+
+
+def test_query_deduplicates_atoms():
+    query = make_query([("R", ("x", "y")), ("R", ("x", "y")), ("S", ("x",))])
+    assert len(query.atoms) == 2
+
+
+def test_query_head_must_be_in_body():
+    with pytest.raises(QueryError):
+        make_query([("R", ("x", "y"))], head=("z",))
+
+
+def test_query_arity_consistency():
+    with pytest.raises(VocabularyError):
+        make_query([("R", ("x", "y")), ("R", ("x",))])
+
+
+def test_query_boolean_and_projection_free():
+    boolean = make_query([("R", ("x", "y"))])
+    assert boolean.is_boolean
+    full = make_query([("R", ("x", "y"))], head=("x", "y"))
+    assert full.is_projection_free
+    partial = make_query([("R", ("x", "y"))], head=("x",))
+    assert not partial.is_projection_free
+    assert partial.existential_variables == ("y",)
+
+
+def test_query_vocabulary():
+    query = make_query([("R", ("x", "y")), ("S", ("y", "z", "z"))])
+    vocabulary = query.vocabulary
+    assert vocabulary.arity("R") == 2
+    assert vocabulary.arity("S") == 3
+    assert set(vocabulary.relations()) == {"R", "S"}
+
+
+def test_vocabulary_merge_conflict():
+    with pytest.raises(VocabularyError):
+        Vocabulary({"R": 2}).merged_with(Vocabulary({"R": 3}))
+
+
+def test_vocabulary_unknown_relation():
+    with pytest.raises(VocabularyError):
+        Vocabulary({"R": 2}).arity("S")
+
+
+def test_atoms_within():
+    query = make_query([("R", ("x", "y")), ("S", ("y", "z"))])
+    assert query.atoms_within({"x", "y"}) == (Atom("R", ("x", "y")),)
+    assert query.atoms_within({"x"}) == ()
+
+
+def test_rename_and_fresh_variables():
+    query = make_query([("R", ("x", "y"))], head=("x",))
+    renamed = query.rename({"x": "u"})
+    assert renamed.head == ("u",)
+    fresh = query.with_fresh_variables("_1")
+    assert set(fresh.variables) == {"x_1", "y_1"}
+
+
+def test_conjoin_merges_heads():
+    q1 = make_query([("R", ("x", "y"))], head=("x",), name="A")
+    q2 = make_query([("S", ("y", "z"))], head=("z",), name="B")
+    combined = q1.conjoin(q2)
+    assert set(combined.head) == {"x", "z"}
+    assert len(combined.atoms) == 2
+
+
+def test_disjoint_copies_counts():
+    query = make_query([("R", ("x", "y"))])
+    tripled = query.disjoint_copies(3)
+    assert len(tripled.atoms) == 3
+    assert len(tripled.variables) == 6
+    with pytest.raises(QueryError):
+        query.disjoint_copies(0)
+
+
+def test_query_requires_at_least_one_atom():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery(atoms=(), head=())
+
+
+def test_drop_head():
+    query = make_query([("R", ("x", "y"))], head=("x",))
+    assert query.drop_head().is_boolean

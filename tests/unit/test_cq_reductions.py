@@ -1,0 +1,131 @@
+"""Unit tests for the Appendix A reductions (Boolean, bag-bag, saturation)."""
+
+import pytest
+
+from repro.cq.decompositions import has_simple_junction_tree, is_acyclic, is_chordal
+from repro.cq.evaluation import evaluate_bag
+from repro.cq.homomorphism import count_query_homomorphisms
+from repro.cq.parser import parse_query
+from repro.cq.reductions import (
+    bag_bag_to_bag_set,
+    bag_database_to_set_database,
+    boolean_pair_database,
+    desaturate_database,
+    saturate_database,
+    saturate_query,
+    to_boolean_pair,
+)
+from repro.cq.structures import Structure
+from repro.exceptions import ReductionError
+from repro.workloads.paper_examples import chaudhuri_vardi_example
+
+
+def test_to_boolean_pair_adds_guards():
+    q1, q2 = chaudhuri_vardi_example()
+    b1, b2 = to_boolean_pair(q1, q2)
+    assert b1.is_boolean and b2.is_boolean
+    assert len(b1.atoms) == len(q1.atoms) + 2
+    assert len(b2.atoms) == len(q2.atoms) + 2
+
+
+def test_to_boolean_pair_requires_matching_heads():
+    q1 = parse_query("(x) :- R(x, y)")
+    q2 = parse_query("R(x, y)")
+    with pytest.raises(ReductionError):
+        to_boolean_pair(q1, q2)
+
+
+def test_to_boolean_pair_preserves_structure():
+    # Lemma A.1 preserves acyclicity / chordality / simplicity.
+    q1 = parse_query("(y1) :- A(y1,y2), B(y1,y3), C(y4,y2)")
+    q2 = parse_query("(y1) :- A(y1,y2), B(y1,y3), C(y4,y2)")
+    b1, b2 = to_boolean_pair(q1, q2)
+    assert is_acyclic(b2) == is_acyclic(q2.drop_head())
+    assert is_chordal(b2)
+    assert has_simple_junction_tree(b2)
+
+
+def test_boolean_semantics_matches_multiplicity():
+    # |Q[d](D)| equals |hom(Q_bool, D + singleton guards)| (Lemma A.1 proof).
+    q1, q2 = chaudhuri_vardi_example()
+    b1, _ = to_boolean_pair(q1, q2)
+    database = Structure.from_facts(
+        [
+            ("P", (0,)),
+            ("R", (1,)),
+            ("S", (2, 0)),
+            ("S", (3, 1)),
+            ("S", (2, 1)),
+        ]
+    )
+    bag_answer = evaluate_bag(q1, database)
+    for head, multiplicity in bag_answer.items():
+        extended = boolean_pair_database(database, head, head_count=2)
+        assert count_query_homomorphisms(b1, extended) == multiplicity
+
+
+def test_bag_bag_reduction_shapes():
+    query = parse_query("R(x, y), S(y, z)")
+    reduced = bag_bag_to_bag_set(query)
+    assert all(atom.arity == 3 for atom in reduced.atoms)
+    assert len(reduced.variables) == len(query.variables) + 2
+
+
+def test_bag_database_to_set_database_multiplicities():
+    database = bag_database_to_set_database({"R": {(0, 1): 3, (1, 1): 1}})
+    assert len(database.tuples("R_bb")) == 4
+    with pytest.raises(ReductionError):
+        bag_database_to_set_database({"R": {(0, 1): -1}})
+
+
+def test_bag_bag_reduction_counts_duplicates():
+    # The query R(x) over a bag database with tuple (0) of multiplicity 3
+    # has bag-bag answer 3; after the reduction it is a bag-set count of 3.
+    query = parse_query("R(x)")
+    reduced = bag_bag_to_bag_set(query)
+    database = bag_database_to_set_database({"R": {(0,): 3}})
+    assert count_query_homomorphisms(reduced, database) == 3
+
+
+def test_saturate_query_adds_projection_atoms():
+    query = parse_query("R(x, y, z)")
+    saturated = saturate_query(query)
+    # 1 original atom + 6 proper non-empty projections.
+    assert len(saturated.atoms) == 7
+    assert is_chordal(saturated) == is_chordal(query)
+
+
+def test_saturation_preserves_hom_counts():
+    # Fact A.3: counts coincide between (Q, D) and (Q̂, D̂).
+    query = parse_query("R(x, y), R(y, z)")
+    saturated = saturate_query(query)
+    database = Structure.from_facts(
+        [("R", (0, 1)), ("R", (1, 0)), ("R", (1, 1))]
+    )
+    saturated_db = saturate_database(database)
+    assert count_query_homomorphisms(query, database) == count_query_homomorphisms(
+        saturated, saturated_db
+    )
+
+
+def test_desaturate_database_roundtrip():
+    query = parse_query("R(x, y)")
+    database = Structure.from_facts([("R", (0, 1)), ("R", (1, 1))])
+    saturated_db = saturate_database(database)
+    recovered = desaturate_database(saturated_db, query.vocabulary)
+    assert recovered.tuples("R") == database.tuples("R")
+
+
+def test_desaturate_drops_unsupported_tuples():
+    query = parse_query("R(x, y)")
+    # A saturated-vocabulary database where one tuple's projection is missing.
+    database = Structure.from_facts(
+        [
+            ("R", (0, 1)),
+            ("R", (2, 3)),
+            ("R__proj_0", (0,)),
+            ("R__proj_1", (1,)),
+        ]
+    )
+    recovered = desaturate_database(database, query.vocabulary)
+    assert recovered.tuples("R") == frozenset({(0, 1)})

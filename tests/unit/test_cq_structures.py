@@ -1,0 +1,141 @@
+"""Unit tests for structures, relations and canonical structures."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.cq.structures import Relation, Structure, canonical_structure
+from repro.exceptions import StructureError
+
+
+def test_structure_from_facts_active_domain():
+    database = Structure.from_facts([("R", (0, 1)), ("S", (1, 2))])
+    assert database.domain == frozenset({0, 1, 2})
+    assert database.tuples("R") == frozenset({(0, 1)})
+    assert database.arity("S") == 2
+    assert database.total_tuples() == 2
+
+
+def test_structure_rejects_mixed_arity():
+    with pytest.raises(StructureError):
+        Structure(domain={0, 1}, relations={"R": {(0,), (0, 1)}})
+
+
+def test_structure_rejects_out_of_domain_values():
+    with pytest.raises(StructureError):
+        Structure(domain={0}, relations={"R": {(0, 1)}})
+
+
+def test_structure_disjoint_union_counts():
+    left = Structure.from_facts([("R", (0, 1))])
+    right = Structure.from_facts([("R", (0, 1)), ("R", (1, 0))])
+    union = left.disjoint_union(right)
+    assert len(union.domain) == 4
+    assert len(union.tuples("R")) == 3
+
+
+def test_structure_product_multiplies_relations():
+    left = Structure.from_facts([("R", (0, 1))])
+    right = Structure.from_facts([("R", ("a", "b")), ("R", ("b", "a"))])
+    product = left.product(right)
+    assert len(product.tuples("R")) == 2
+    assert ((0, "a"), (1, "b")) in product.tuples("R")
+
+
+def test_structure_rename_must_be_injective():
+    database = Structure.from_facts([("R", (0, 1))])
+    with pytest.raises(StructureError):
+        database.rename_domain({0: "x", 1: "x"})
+
+
+def test_canonical_structure(triangle_query):
+    structure = canonical_structure(triangle_query)
+    assert structure.domain == frozenset({"X1", "X2", "X3"})
+    assert ("X1", "X2") in structure.tuples("R")
+    assert len(structure.tuples("R")) == 3
+
+
+def test_canonical_structure_repeated_variables():
+    query = parse_query("R(x, x, y)")
+    structure = canonical_structure(query)
+    assert ("x", "x", "y") in structure.tuples("R")
+
+
+def test_relation_basics(diagonal_relation):
+    assert len(diagonal_relation) == 4
+    assert diagonal_relation.attribute_set == {"x1", "x2", "xp1", "xp2"}
+    assert diagonal_relation.active_domain() == frozenset({0, 1})
+
+
+def test_relation_attributes_must_be_distinct():
+    with pytest.raises(StructureError):
+        Relation(attributes=("a", "a"), rows={(1, 2)})
+
+
+def test_relation_row_width_checked():
+    with pytest.raises(StructureError):
+        Relation(attributes=("a", "b"), rows={(1, 2, 3)})
+
+
+def test_relation_project(diagonal_relation):
+    projected = diagonal_relation.project(("x1", "xp1"))
+    assert projected.rows == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+def test_relation_product_relation():
+    relation = Relation.product_relation({"a": [0, 1], "b": [0, 1, 2]})
+    assert len(relation) == 6
+
+
+def test_relation_step_relation():
+    relation = Relation.step_relation(("a", "b", "c"), low_part=("c",))
+    assert len(relation) == 2
+    rows = sorted(relation.rows)
+    assert (1, 1, 1) in relation.rows
+    assert (2, 2, 1) in relation.rows
+    assert len(rows) == 2
+
+
+def test_relation_step_relation_unknown_attribute():
+    with pytest.raises(StructureError):
+        Relation.step_relation(("a", "b"), low_part=("z",))
+
+
+def test_relation_natural_join():
+    left = Relation(attributes=("a", "b"), rows={(1, 2), (3, 4)})
+    right = Relation(attributes=("b", "c"), rows={(2, 5), (9, 9)})
+    joined = left.natural_join(right)
+    assert joined.attributes == ("a", "b", "c")
+    assert joined.rows == {(1, 2, 5)}
+
+
+def test_relation_semijoin():
+    left = Relation(attributes=("a", "b"), rows={(1, 2), (3, 4)})
+    right = Relation(attributes=("b",), rows={(2,)})
+    assert left.semijoin(right).rows == {(1, 2)}
+
+
+def test_relation_domain_product_sizes():
+    left = Relation.step_relation(("a", "b"), low_part=("a",))
+    right = Relation.step_relation(("a", "b"), low_part=("b",))
+    product = left.domain_product(right)
+    assert len(product) == 4
+
+
+def test_relation_domain_product_requires_same_attributes():
+    left = Relation(attributes=("a",), rows={(1,)})
+    right = Relation(attributes=("b",), rows={(1,)})
+    with pytest.raises(StructureError):
+        left.domain_product(right)
+
+
+def test_relation_total_uniformity(diagonal_relation):
+    assert diagonal_relation.is_totally_uniform()
+    skewed = Relation(attributes=("a", "b"), rows={(0, 0), (0, 1), (1, 0)})
+    assert not skewed.is_totally_uniform()
+
+
+def test_relation_select_and_rename():
+    relation = Relation(attributes=("a", "b"), rows={(1, 2), (1, 3), (2, 2)})
+    assert len(relation.select_equal("a", 1)) == 2
+    renamed = relation.rename({"a": "x"})
+    assert renamed.attributes == ("x", "b")

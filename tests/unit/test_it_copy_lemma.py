@@ -1,0 +1,116 @@
+"""Unit tests for the copy-lemma strengthened prover."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.infotheory.copy_lemma import (
+    CopyLemmaProver,
+    CopyStep,
+    copy_steps,
+    prove_with_copy_lemma,
+    zhang_yeung_copy_step,
+)
+from repro.infotheory.expressions import InformationInequality, LinearExpression
+from repro.infotheory.non_shannon import (
+    is_shannon_provable,
+    zhang_yeung_inequality,
+)
+
+GROUND = ("A", "B", "C", "D")
+
+
+def test_copy_step_validation():
+    with pytest.raises(ExpressionError):
+        CopyStep(copied=(), over=("A",))
+    with pytest.raises(ExpressionError):
+        CopyStep(copied=("A",), over=("A", "B"))
+
+
+def test_copy_steps_builder_assigns_unique_suffixes():
+    steps = copy_steps((("C",), ("A",)), (("D",), ("B",)))
+    assert steps[0].suffix != steps[1].suffix
+    assert steps[0].copy_names() == ("C_cp1",)
+    assert steps[1].copy_names() == ("D_cp2",)
+
+
+def test_extended_ground_contains_copies_in_order():
+    prover = CopyLemmaProver(GROUND, [zhang_yeung_copy_step(GROUND)])
+    assert prover.extended_ground == GROUND + ("A_cp1",)
+
+
+def test_unknown_variable_in_step_rejected():
+    with pytest.raises(ExpressionError):
+        CopyLemmaProver(GROUND, [CopyStep(copied=("E",), over=("A",))])
+
+
+def test_copy_name_clash_rejected():
+    step = CopyStep(copied=("A",), over=("C",), suffix="")  # copy name equals "A"
+    with pytest.raises(ExpressionError):
+        CopyLemmaProver(GROUND, [step])
+
+
+def test_constraint_count_reports_lp_shape():
+    prover = CopyLemmaProver(GROUND, [zhang_yeung_copy_step(GROUND)])
+    counts = prover.constraint_count()
+    assert counts["variables"] == 5
+    assert counts["columns"] == 2 ** 5
+    assert counts["copy_equalities"] > 0
+    assert counts["elementals"] == 5 + 10 * 2 ** 3
+
+
+def test_shannon_inequalities_remain_provable_with_copy_steps():
+    # Submodularity I(A;B) >= 0 is Shannon; adding copy constraints can only help.
+    expression = (
+        LinearExpression.entropy_term(GROUND, {"A"})
+        + LinearExpression.entropy_term(GROUND, {"B"})
+        - LinearExpression.entropy_term(GROUND, {"A", "B"})
+    )
+    prover = CopyLemmaProver(GROUND, [zhang_yeung_copy_step(GROUND)])
+    assert prover.is_valid(expression)
+
+
+def test_invalid_inequality_stays_invalid():
+    # -h(A) >= 0 is false for entropic functions; no copy step can prove it.
+    expression = -1.0 * LinearExpression.entropy_term(GROUND, {"A"})
+    prover = CopyLemmaProver(GROUND, [zhang_yeung_copy_step(GROUND)])
+    assert not prover.is_valid(expression)
+
+
+def test_zhang_yeung_not_shannon_but_copy_provable():
+    zy = zhang_yeung_inequality(GROUND)
+    assert not is_shannon_provable(zy)
+    assert prove_with_copy_lemma(zy, [zhang_yeung_copy_step(GROUND)])
+
+
+def test_zhang_yeung_not_proved_by_a_wrong_copy_step():
+    # Copying D over (A, B) does not close the gap — the prover must not
+    # over-claim validity.
+    zy = zhang_yeung_inequality(GROUND)
+    wrong = CopyStep(copied=("D",), over=("A", "B"), suffix="_cp1")
+    assert not prove_with_copy_lemma(zy, [wrong])
+
+
+def test_expression_outside_ground_rejected():
+    prover = CopyLemmaProver(GROUND, [])
+    stray = LinearExpression.entropy_term(("E",), {"E"})
+    with pytest.raises(ExpressionError):
+        prover.is_valid(stray)
+
+
+def test_prover_without_steps_matches_shannon_prover():
+    expression = (
+        LinearExpression.entropy_term(GROUND, {"A", "B"})
+        - LinearExpression.entropy_term(GROUND, {"A"})
+    )
+    prover = CopyLemmaProver(GROUND, [])
+    assert prover.is_valid(expression)
+    assert prover.is_valid_inequality(InformationInequality(expression))
+    assert prover.constraint_count()["copy_equalities"] == 0
+
+
+def test_minimum_returns_function_on_extended_ground():
+    prover = CopyLemmaProver(GROUND, [zhang_yeung_copy_step(GROUND)])
+    zy = zhang_yeung_inequality(GROUND)
+    value, function = prover.minimum(zy.expression.with_ground(prover.extended_ground))
+    assert value >= -1e-7
+    assert function.ground_set == frozenset(prover.extended_ground)

@@ -1,0 +1,71 @@
+"""Unit tests for the entropic counterexample searcher (Lemma B.9 in practice)."""
+
+import pytest
+
+from repro.exceptions import SearchBudgetExceeded
+from repro.infotheory.counterexample import CounterexampleSearcher
+from repro.infotheory.expressions import LinearExpression, MaxInformationInequality
+from repro.infotheory.polymatroid import is_polymatroid
+
+GROUND = ("X1", "X2", "X3")
+
+
+def invalid_single_branch():
+    # -h(X1) >= 0 fails on any function with positive h(X1).
+    return MaxInformationInequality.single(
+        -1.0 * LinearExpression.entropy_term(GROUND, {"X1"})
+    )
+
+
+def valid_single_branch():
+    return MaxInformationInequality.single(
+        LinearExpression.entropy_term(GROUND, {"X1"})
+    )
+
+
+def test_search_finds_counterexample_for_invalid():
+    searcher = CounterexampleSearcher(GROUND)
+    found = searcher.search(invalid_single_branch())
+    assert found is not None
+    assert invalid_single_branch().max_value(found.function) < 0
+    assert is_polymatroid(found.function)
+    assert found.source in {"modular", "normal", "group", "relation"}
+
+
+def test_search_returns_none_for_valid():
+    searcher = CounterexampleSearcher(GROUND, max_coefficient=1, random_relations=5)
+    assert searcher.search(valid_single_branch(), budget=500) is None
+
+
+def test_search_or_raise():
+    searcher = CounterexampleSearcher(GROUND, max_coefficient=1, random_relations=5)
+    with pytest.raises(SearchBudgetExceeded):
+        searcher.search_or_raise(valid_single_branch(), budget=200)
+    assert searcher.search_or_raise(invalid_single_branch()) is not None
+
+
+def test_search_respects_budget():
+    searcher = CounterexampleSearcher(GROUND)
+    # With a budget of zero candidates nothing can be found.
+    assert searcher.search(invalid_single_branch(), budget=0) is None
+
+
+def test_candidates_are_entropic_like():
+    searcher = CounterexampleSearcher(GROUND, max_coefficient=1, random_relations=10)
+    count = 0
+    for candidate in searcher.candidates():
+        assert is_polymatroid(candidate.function, tolerance=1e-6)
+        count += 1
+        if count >= 200:
+            break
+    assert count >= 50
+
+
+def test_max_ii_needs_all_branches_negative():
+    # max(h(X1) - h(X2), h(X2) - h(X1)) is always >= 0: no counterexample.
+    e1 = LinearExpression.entropy_term(GROUND, {"X1"}) - LinearExpression.entropy_term(
+        GROUND, {"X2"}
+    )
+    inequality = MaxInformationInequality(branches=(e1, -1.0 * e1))
+    searcher = CounterexampleSearcher(GROUND, max_coefficient=1, random_relations=10)
+    assert searcher.search(inequality, budget=1000) is None

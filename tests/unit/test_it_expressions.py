@@ -1,0 +1,154 @@
+"""Unit tests for linear / conditional / max-linear expressions."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.infotheory.expressions import (
+    ConditionalExpression,
+    ConditionalTerm,
+    InformationInequality,
+    LinearExpression,
+    MaxInformationInequality,
+)
+from repro.infotheory.functions import parity_function
+
+GROUND = ("X1", "X2", "X3")
+
+
+def test_entropy_term_and_evaluation(parity):
+    expression = LinearExpression.entropy_term(GROUND, {"X1", "X2"}, 2.0)
+    assert expression.evaluate(parity) == pytest.approx(4.0)
+
+
+def test_conditional_term_expansion(parity):
+    expression = LinearExpression.conditional_term(GROUND, {"X2"}, {"X1"})
+    # h(X2 | X1) = h(X1X2) - h(X1) = 1 for the parity function.
+    assert expression.evaluate(parity) == pytest.approx(1.0)
+    assert expression.coefficients[frozenset({"X1", "X2"})] == 1.0
+    assert expression.coefficients[frozenset({"X1"})] == -1.0
+
+
+def test_empty_set_coefficient_dropped():
+    expression = LinearExpression(GROUND, {frozenset(): 5.0, frozenset({"X1"}): 1.0})
+    assert frozenset() not in expression.coefficients
+
+
+def test_zero_coefficients_dropped():
+    expression = LinearExpression(GROUND, {frozenset({"X1"}): 0.0})
+    assert expression.is_zero()
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(ExpressionError):
+        LinearExpression(GROUND, {frozenset({"Z"}): 1.0})
+
+
+def test_addition_and_scaling(parity):
+    left = LinearExpression.entropy_term(GROUND, {"X1"})
+    right = LinearExpression.entropy_term(GROUND, {"X2"}, -1.0)
+    combined = 2.0 * (left + right)
+    assert combined.evaluate(parity) == pytest.approx(0.0)
+    assert (left - left).is_zero()
+
+
+def test_substitution_collapses_images(parity):
+    expression = LinearExpression.entropy_term(GROUND, {"X1", "X2"}, 3.0)
+    substituted = expression.substitute({"X1": "X2"}, ground=GROUND)
+    assert substituted.coefficients == {frozenset({"X2"}): 3.0}
+    # Example 4.1 of the paper: 3h(Y1) + 4h(Y2Y3) - 6h(Y3) with φ collapsing
+    # Y2, Y3 to X2 becomes 3h(X1) - 2h(X2).
+    y_ground = ("Y1", "Y2", "Y3")
+    example = (
+        LinearExpression.entropy_term(y_ground, {"Y1"}, 3.0)
+        + LinearExpression.entropy_term(y_ground, {"Y2", "Y3"}, 4.0)
+        + LinearExpression.entropy_term(y_ground, {"Y3"}, -6.0)
+    )
+    image = example.substitute({"Y1": "X1", "Y2": "X2", "Y3": "X2"}, ground=GROUND)
+    assert image.coefficients == {
+        frozenset({"X1"}): 3.0,
+        frozenset({"X2"}): -2.0,
+    }
+
+
+def test_conditional_term_properties():
+    term = ConditionalTerm(targets={"X1", "X2"}, given={"X3"})
+    assert term.is_simple
+    assert not term.is_unconditioned
+    wide = ConditionalTerm(targets={"X1"}, given={"X2", "X3"})
+    assert not wide.is_simple
+    with pytest.raises(ExpressionError):
+        ConditionalTerm(targets={"X1"}, coefficient=-1.0)
+
+
+def test_conditional_expression_flattening(parity):
+    expression = ConditionalExpression(
+        ground=GROUND,
+        terms=(
+            ConditionalTerm(targets={"X1", "X2"}),
+            ConditionalTerm(targets={"X2"}, given={"X1"}),
+        ),
+    )
+    assert expression.is_simple
+    assert not expression.is_unconditioned
+    assert expression.evaluate(parity) == pytest.approx(3.0)
+    linear = expression.to_linear()
+    assert linear.evaluate(parity) == pytest.approx(3.0)
+
+
+def test_conditional_expression_substitution_keeps_structure():
+    expression = ConditionalExpression(
+        ground=("Y1", "Y2", "Y3"),
+        terms=(
+            ConditionalTerm(targets={"Y1", "Y2"}),
+            ConditionalTerm(targets={"Y3"}, given={"Y1"}),
+        ),
+    )
+    substituted = expression.substitute({"Y1": "X1", "Y2": "X2", "Y3": "X2"}, GROUND)
+    assert substituted.is_simple
+    assert len(substituted.terms) == 2
+
+
+def test_conditional_expression_checks_ground():
+    with pytest.raises(ExpressionError):
+        ConditionalExpression(
+            ground=("X1",), terms=(ConditionalTerm(targets={"X2"}),)
+        )
+
+
+def test_information_inequality_holds(parity):
+    valid = InformationInequality(
+        LinearExpression.entropy_term(GROUND, {"X1"})
+        + LinearExpression.entropy_term(GROUND, {"X2"})
+        - LinearExpression.entropy_term(GROUND, {"X1", "X2"})
+    )
+    assert valid.holds_for(parity)
+    assert valid.violation(parity) == 0.0
+    invalid = InformationInequality(
+        LinearExpression.entropy_term(GROUND, {"X1", "X2"})
+        - LinearExpression.entropy_term(GROUND, {"X1", "X2", "X3"})
+        - LinearExpression.entropy_term(GROUND, {"X3"})
+    )
+    # h(X1X2) - h(X1X2X3) - h(X3) = 2 - 2 - 1 = -1 on the parity function.
+    assert invalid.expression.evaluate(parity) == pytest.approx(-1.0)
+    assert not invalid.holds_for(parity)
+    assert invalid.violation(parity) == pytest.approx(-1.0)
+
+
+def test_max_information_inequality(parity, example_38_max_ii):
+    assert example_38_max_ii.holds_for(parity)
+    assert len(example_38_max_ii) == 3
+    assert set(example_38_max_ii.ground) == set(GROUND)
+    single = MaxInformationInequality.single(
+        LinearExpression.entropy_term(GROUND, {"X1"})
+    )
+    assert len(single) == 1
+    with pytest.raises(ExpressionError):
+        MaxInformationInequality(branches=())
+
+
+def test_containment_form(parity):
+    branch = LinearExpression.entropy_term(GROUND, {"X1", "X2"})
+    inequality = MaxInformationInequality.containment_form(1.0, GROUND, [branch])
+    # branch - h(V) on parity: 2 - 2 = 0, so the inequality holds with equality.
+    assert inequality.max_value(parity) == pytest.approx(0.0)
+    assert inequality.holds_for(parity)

@@ -1,0 +1,145 @@
+"""Unit tests for polymatroid axioms, elemental inequalities and the I-measure."""
+
+import pytest
+
+from repro.infotheory.functions import (
+    modular_function,
+    normal_function,
+    step_function,
+)
+from repro.infotheory.imeasure import (
+    from_mobius_inverse,
+    i_measure,
+    is_normal_function,
+    mobius_inverse,
+    step_decomposition,
+)
+from repro.infotheory.polymatroid import (
+    conditional_independence_holds,
+    elemental_inequalities,
+    functional_dependency_holds,
+    is_modular,
+    is_monotone,
+    is_polymatroid,
+    is_submodular,
+)
+from repro.infotheory.setfunction import SetFunction
+
+
+def test_elemental_inequality_count():
+    # n monotonicity + C(n,2) * 2^(n-2) submodularity inequalities.
+    for n in (2, 3, 4):
+        ground = tuple(f"X{i}" for i in range(n))
+        expected = n + (n * (n - 1) // 2) * 2 ** (n - 2)
+        assert len(elemental_inequalities(ground)) == expected
+
+
+def test_parity_satisfies_all_elementals(parity):
+    for inequality in elemental_inequalities(parity.ground):
+        assert inequality.evaluate(parity) >= -1e-9
+
+
+def test_polymatroid_axioms_on_parity(parity):
+    assert is_polymatroid(parity)
+    assert is_monotone(parity)
+    assert is_submodular(parity)
+    assert not is_modular(parity)
+
+
+def test_non_polymatroid_detected():
+    bad = SetFunction(
+        ground=("a", "b"),
+        values={
+            frozenset({"a"}): 1.0,
+            frozenset({"b"}): 1.0,
+            frozenset({"a", "b"}): 3.0,  # violates submodularity
+        },
+    )
+    assert not is_polymatroid(bad)
+    assert not is_submodular(bad)
+    assert is_monotone(bad)
+
+
+def test_non_monotone_detected():
+    bad = SetFunction(
+        ground=("a", "b"),
+        values={frozenset({"a"}): 2.0, frozenset({"b"}): 1.0, frozenset({"a", "b"}): 1.0},
+    )
+    assert not is_monotone(bad)
+    assert not is_polymatroid(bad)
+
+
+def test_modular_is_polymatroid():
+    modular = modular_function({"a": 1.0, "b": 0.5, "c": 2.0})
+    assert is_polymatroid(modular)
+    assert is_modular(modular)
+
+
+def test_functional_dependency_and_independence():
+    # Entropy of a relation where the first column determines the second.
+    from repro.cq.structures import Relation
+    from repro.infotheory.entropy import relation_entropy
+
+    relation = Relation(attributes=("a", "b"), rows={(0, 0), (1, 1), (2, 1)})
+    entropy = relation_entropy(relation)
+    assert functional_dependency_holds(entropy, ("a",), ("b",))
+    assert not functional_dependency_holds(entropy, ("b",), ("a",))
+
+    product = Relation.product_relation({"a": range(2), "b": range(2)})
+    product_entropy = relation_entropy(product)
+    assert conditional_independence_holds(product_entropy, ("a",), ("b",))
+
+
+def test_mobius_inverse_of_parity_matches_paper(parity):
+    # Table in Appendix B: g(123) = 2, g(pairs) = 0, g(singletons) = -1, g(∅) = 1.
+    inverse = mobius_inverse(parity)
+    assert inverse[frozenset({"X1", "X2", "X3"})] == pytest.approx(2.0)
+    for pair in ({"X1", "X2"}, {"X1", "X3"}, {"X2", "X3"}):
+        assert inverse[frozenset(pair)] == pytest.approx(0.0)
+    for single in ("X1", "X2", "X3"):
+        assert inverse[frozenset({single})] == pytest.approx(-1.0)
+    assert inverse[frozenset()] == pytest.approx(1.0)
+
+
+def test_mobius_roundtrip(parity):
+    inverse = mobius_inverse(parity)
+    rebuilt = from_mobius_inverse(parity.ground, inverse)
+    assert rebuilt.is_close_to(parity)
+
+
+def test_parity_not_normal(parity):
+    assert not is_normal_function(parity)
+    with pytest.raises(ValueError):
+        step_decomposition(parity)
+
+
+def test_normal_functions_are_normal():
+    ground = ("a", "b", "c")
+    normal = normal_function(
+        ground,
+        {frozenset({"a"}): 2.0, frozenset({"b", "c"}): 1.0, frozenset(): 0.5},
+    )
+    assert is_normal_function(normal)
+
+
+def test_step_decomposition_roundtrip():
+    ground = ("a", "b", "c")
+    coefficients = {frozenset({"a"}): 2.0, frozenset({"b", "c"}): 1.5, frozenset(): 1.0}
+    normal = normal_function(ground, coefficients)
+    recovered = step_decomposition(normal)
+    assert set(recovered) == set(coefficients)
+    for key, value in coefficients.items():
+        assert recovered[key] == pytest.approx(value)
+    rebuilt = normal_function(ground, recovered)
+    assert rebuilt.is_close_to(normal)
+
+
+def test_modular_functions_are_normal():
+    modular = modular_function({"a": 1.0, "b": 2.0, "c": 0.0})
+    assert is_normal_function(modular)
+
+
+def test_i_measure_nonnegative_iff_normal(parity):
+    normal = step_function(("X1", "X2", "X3"), low_part=("X1",))
+    assert all(value >= -1e-9 for value in i_measure(normal).values())
+    assert any(value < -1e-9 for value in i_measure(parity).values())

@@ -1,0 +1,108 @@
+"""Unit tests for SetFunction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EntropyError
+from repro.infotheory.setfunction import SetFunction
+
+
+@pytest.fixture
+def simple_function():
+    return SetFunction(
+        ground=("a", "b"),
+        values={
+            frozenset({"a"}): 1.0,
+            frozenset({"b"}): 1.0,
+            frozenset({"a", "b"}): 1.5,
+        },
+    )
+
+
+def test_empty_set_is_zero(simple_function):
+    assert simple_function(()) == 0.0
+    assert simple_function(frozenset()) == 0.0
+
+
+def test_lookup_and_total(simple_function):
+    assert simple_function({"a"}) == 1.0
+    assert simple_function(("a", "b")) == 1.5
+    assert simple_function.total() == 1.5
+
+
+def test_string_argument_means_singleton(simple_function):
+    assert simple_function("a") == 1.0
+
+
+def test_unknown_variable_rejected(simple_function):
+    with pytest.raises(EntropyError):
+        simple_function({"z"})
+
+
+def test_repeated_ground_rejected():
+    with pytest.raises(EntropyError):
+        SetFunction(ground=("a", "a"), values={})
+
+
+def test_value_outside_ground_rejected():
+    with pytest.raises(EntropyError):
+        SetFunction(ground=("a",), values={frozenset({"z"}): 1.0})
+
+
+def test_conditional_and_mutual_information(simple_function):
+    assert simple_function.conditional({"b"}, {"a"}) == pytest.approx(0.5)
+    assert simple_function.mutual_information({"a"}, {"b"}) == pytest.approx(0.5)
+
+
+def test_vector_roundtrip(simple_function):
+    vector = simple_function.to_vector()
+    assert isinstance(vector, np.ndarray)
+    rebuilt = SetFunction.from_vector(simple_function.ground, vector)
+    assert rebuilt.is_close_to(simple_function)
+
+
+def test_from_vector_length_checked():
+    with pytest.raises(EntropyError):
+        SetFunction.from_vector(("a", "b"), [1.0, 2.0])
+
+
+def test_arithmetic(simple_function):
+    doubled = 2 * simple_function
+    assert doubled({"a", "b"}) == pytest.approx(3.0)
+    summed = simple_function + simple_function
+    assert summed.is_close_to(doubled)
+    difference = doubled - simple_function
+    assert difference.is_close_to(simple_function)
+
+
+def test_dominates(simple_function):
+    bigger = simple_function + SetFunction(
+        ground=("a", "b"), values={frozenset({"a"}): 0.1}
+    )
+    assert bigger.dominates(simple_function)
+    assert not simple_function.dominates(bigger)
+
+
+def test_restrict(simple_function):
+    restricted = simple_function.restrict(("a",))
+    assert restricted.ground == ("a",)
+    assert restricted({"a"}) == 1.0
+
+
+def test_conditioned_on(simple_function):
+    conditioned = simple_function.conditioned_on({"a"})
+    assert conditioned.ground == ("b",)
+    assert conditioned({"b"}) == pytest.approx(0.5)
+
+
+def test_rename(simple_function):
+    renamed = simple_function.rename({"a": "x"})
+    assert renamed({"x", "b"}) == pytest.approx(1.5)
+    with pytest.raises(EntropyError):
+        simple_function.rename({"a": "b"})
+
+
+def test_from_callable():
+    cardinality = SetFunction.from_callable(("a", "b", "c"), lambda s: float(len(s)))
+    assert cardinality({"a", "c"}) == 2.0
+    assert len(cardinality.subsets()) == 7

@@ -1,0 +1,70 @@
+"""Unit tests for the LP layer (repro.lp)."""
+
+import numpy as np
+import pytest
+
+from repro.lp.certificates import nonnegative_combination
+from repro.lp.solver import LPStatus, check_feasibility, minimize
+
+
+def test_minimize_simple():
+    # minimize x + y subject to x + y >= 1, x, y >= 0.
+    result = minimize([1.0, 1.0], A_ub=[[-1.0, -1.0]], b_ub=[-1.0])
+    assert result.status == LPStatus.OPTIMAL
+    assert result.objective == pytest.approx(1.0)
+
+
+def test_minimize_infeasible():
+    # x <= -1 with x >= 0 is infeasible.
+    result = minimize([1.0], A_ub=[[1.0]], b_ub=[-1.0])
+    assert result.status == LPStatus.INFEASIBLE
+
+
+def test_minimize_unbounded():
+    # minimize -x with x >= 0 unbounded below.
+    result = minimize([-1.0])
+    assert result.status == LPStatus.UNBOUNDED
+
+
+def test_minimize_with_equality():
+    result = minimize([0.0, 1.0], A_eq=[[1.0, 1.0]], b_eq=[2.0])
+    assert result.status == LPStatus.OPTIMAL
+    assert result.solution[0] == pytest.approx(2.0)
+    assert result.solution[1] == pytest.approx(0.0)
+
+
+def test_check_feasibility_feasible():
+    feasible, point = check_feasibility(2, A_ub=[[1.0, 1.0]], b_ub=[5.0])
+    assert feasible
+    assert point is not None
+
+
+def test_check_feasibility_infeasible():
+    feasible, point = check_feasibility(1, A_ub=[[1.0], [-1.0]], b_ub=[-2.0, 1.0])
+    assert not feasible
+    assert point is None
+
+
+def test_nonnegative_combination_exists():
+    generators = np.array([[1.0, 0.0], [0.0, 1.0]])
+    target = np.array([2.0, 3.0])
+    combo = nonnegative_combination(generators, target)
+    assert combo is not None
+    assert np.allclose(combo @ generators, target)
+
+
+def test_nonnegative_combination_missing():
+    generators = np.array([[1.0, 0.0]])
+    target = np.array([0.0, 1.0])
+    assert nonnegative_combination(generators, target) is None
+
+
+def test_nonnegative_combination_negative_target_coordinate():
+    generators = np.array([[1.0, 1.0], [1.0, 0.0]])
+    target = np.array([-1.0, 0.0])
+    assert nonnegative_combination(generators, target) is None
+
+
+def test_nonnegative_combination_shape_mismatch():
+    with pytest.raises(ValueError):
+        nonnegative_combination(np.array([[1.0, 0.0]]), np.array([1.0, 0.0, 0.0]))

@@ -1,0 +1,192 @@
+"""Unit tests for the bag relation data structure and its operators."""
+
+import pytest
+
+from repro.cq.structures import Relation
+from repro.exceptions import StructureError
+from repro.ra.bagrel import BagRelation
+
+
+@pytest.fixture
+def orders():
+    return BagRelation.from_rows(
+        ("customer", "item"),
+        [
+            ("alice", "apple"),
+            ("alice", "apple"),
+            ("alice", "pear"),
+            ("bob", "apple"),
+        ],
+    )
+
+
+@pytest.fixture
+def prices():
+    return BagRelation.from_rows(
+        ("item", "price"),
+        [("apple", 2), ("pear", 3), ("plum", 5)],
+    )
+
+
+def test_construction_accumulates_duplicates(orders):
+    assert len(orders) == 4
+    assert orders.distinct_count() == 3
+    assert orders.multiplicity(("alice", "apple")) == 2
+    assert orders.multiplicity(("carol", "apple")) == 0
+
+
+def test_zero_multiplicities_are_dropped():
+    relation = BagRelation(("a",), {("x",): 0, ("y",): 2})
+    assert relation.support() == frozenset({("y",)})
+
+
+def test_negative_multiplicity_rejected():
+    with pytest.raises(StructureError):
+        BagRelation(("a",), {("x",): -1})
+
+
+def test_mismatched_row_width_rejected():
+    with pytest.raises(StructureError):
+        BagRelation(("a", "b"), {("x",): 1})
+
+
+def test_duplicate_attributes_rejected():
+    with pytest.raises(StructureError):
+        BagRelation(("a", "a"), {})
+
+
+def test_iteration_repeats_rows(orders):
+    rows = list(orders)
+    assert len(rows) == 4
+    assert rows.count(("alice", "apple")) == 2
+
+
+def test_round_trip_with_set_relation(orders):
+    as_set = orders.to_relation()
+    assert isinstance(as_set, Relation)
+    assert as_set.rows == orders.support()
+    back = BagRelation.from_relation(as_set)
+    assert back.multiplicity(("alice", "apple")) == 1
+
+
+def test_projection_adds_multiplicities(orders):
+    by_customer = orders.project(("customer",))
+    assert by_customer.multiplicity(("alice",)) == 3
+    assert by_customer.multiplicity(("bob",)) == 1
+
+
+def test_projection_reorders_columns(orders):
+    flipped = orders.project(("item", "customer"))
+    assert flipped.multiplicity(("apple", "alice")) == 2
+
+
+def test_select_equal_and_predicate(orders):
+    apples = orders.select_equal("item", "apple")
+    assert len(apples) == 3
+    alice_apples = orders.select(lambda row: row["customer"] == "alice" and row["item"] == "apple")
+    assert len(alice_apples) == 2
+
+
+def test_select_equal_columns():
+    relation = BagRelation.from_rows(("a", "b"), [(1, 1), (1, 2), (2, 2)])
+    diagonal = relation.select_equal_columns("a", "b")
+    assert diagonal.support() == frozenset({(1, 1), (2, 2)})
+
+
+def test_rename(orders):
+    renamed = orders.rename({"customer": "who"})
+    assert renamed.attributes == ("who", "item")
+    assert renamed.multiplicity(("alice", "pear")) == 1
+
+
+def test_natural_join_multiplies_multiplicities(orders, prices):
+    joined = orders.natural_join(prices)
+    assert joined.attributes == ("customer", "item", "price")
+    assert joined.multiplicity(("alice", "apple", 2)) == 2
+    assert joined.multiplicity(("bob", "apple", 2)) == 1
+    # plum never sold: absent from the join.
+    assert all(row[1] != "plum" for row in joined.support())
+
+
+def test_join_without_shared_attributes_is_cartesian(prices):
+    left = BagRelation.from_rows(("x",), [(1,), (1,), (2,)])
+    product = left.natural_join(prices)
+    assert len(product) == len(left) * len(prices)
+
+
+def test_semijoin_preserves_multiplicities(orders, prices):
+    cheap = prices.select(lambda row: row["price"] <= 2)
+    reduced = orders.semijoin(cheap)
+    assert reduced.multiplicity(("alice", "apple")) == 2
+    assert reduced.multiplicity(("alice", "pear")) == 0
+
+
+def test_semijoin_without_shared_attributes(orders):
+    nonempty = BagRelation.from_rows(("z",), [(1,)])
+    empty = BagRelation.empty(("z",))
+    assert orders.semijoin(nonempty).same_bag(orders)
+    assert len(orders.semijoin(empty)) == 0
+
+
+def test_union_all_aligns_columns(orders):
+    more = BagRelation.from_rows(("item", "customer"), [("apple", "alice")])
+    combined = orders.union_all(more)
+    assert combined.multiplicity(("alice", "apple")) == 3
+    assert len(combined) == 5
+
+
+def test_union_requires_same_attribute_set(orders, prices):
+    with pytest.raises(StructureError):
+        orders.union_all(prices)
+
+
+def test_difference_is_monus(orders):
+    one_apple = BagRelation.from_rows(("customer", "item"), [("alice", "apple")] * 5)
+    remaining = orders.difference(one_apple)
+    assert remaining.multiplicity(("alice", "apple")) == 0
+    assert remaining.multiplicity(("alice", "pear")) == 1
+
+
+def test_intersection_takes_minimum(orders):
+    other = BagRelation.from_rows(
+        ("customer", "item"), [("alice", "apple"), ("carol", "plum")]
+    )
+    common = orders.intersection(other)
+    assert common.multiplicity(("alice", "apple")) == 1
+    assert common.multiplicity(("carol", "plum")) == 0
+
+
+def test_distinct_resets_multiplicities(orders):
+    assert all(count == 1 for count in orders.distinct().multiplicities.values())
+
+
+def test_group_count_boolean_and_grouped(orders):
+    assert orders.group_count(()) == {(): 4}
+    assert orders.group_count(("customer",)) == {("alice",): 3, ("bob",): 1}
+
+
+def test_scale(orders):
+    doubled = orders.scale(2)
+    assert len(doubled) == 8
+    with pytest.raises(StructureError):
+        orders.scale(-1)
+
+
+def test_bag_containment_and_equality(orders):
+    bigger = orders.union_all(
+        BagRelation.from_rows(("customer", "item"), [("bob", "pear")])
+    )
+    assert orders.bag_contained_in(bigger)
+    assert not bigger.bag_contained_in(orders)
+    assert orders.same_bag(orders.project(("customer", "item")))
+
+
+def test_active_domain_and_mappings(orders):
+    assert "apple" in orders.active_domain()
+    mappings = list(orders.as_mappings())
+    assert {"customer": "bob", "item": "apple"} in mappings
+
+
+def test_str_mentions_counts(orders):
+    text = str(orders)
+    assert "3 distinct" in text and "4 total" in text

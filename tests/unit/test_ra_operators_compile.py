@@ -1,0 +1,207 @@
+"""Unit tests for the plan operators, the query compiler and the SQL emitter."""
+
+import pytest
+
+from repro.cq.evaluation import evaluate_bag, evaluate_set
+from repro.cq.parser import parse_query
+from repro.cq.structures import Structure
+from repro.exceptions import DecompositionError, StructureError
+from repro.ra.bagrel import BagRelation
+from repro.ra.compile import (
+    atom_plan,
+    bag_database,
+    compile_query,
+    evaluate_query_bag,
+    evaluate_query_set,
+    greedy_atom_order,
+    yannakakis_set_evaluation,
+)
+from repro.ra.operators import (
+    CountGroupOp,
+    DistinctOp,
+    JoinOp,
+    ProjectOp,
+    ScanOp,
+    SelectEqualOp,
+    UnionAllOp,
+    join_all,
+)
+from repro.ra.sql import containment_check_sql, create_table_statements, to_sql
+from repro.cq.query import Atom, ConjunctiveQuery
+
+
+@pytest.fixture
+def graph_db():
+    edges = {(0, 1), (1, 2), (2, 0), (1, 0)}
+    return Structure(domain=frozenset(range(3)), relations={"R": edges})
+
+
+@pytest.fixture
+def two_table_db():
+    return Structure(
+        domain=frozenset({"a", "b", "c", 1, 2}),
+        relations={
+            "Person": {("a",), ("b",), ("c",)},
+            "Likes": {("a", 1), ("a", 2), ("b", 1)},
+        },
+    )
+
+
+def test_scan_renames_stored_columns(graph_db):
+    database = bag_database(graph_db)
+    scan = ScanOp(relation="R", columns=("src", "dst"))
+    result = scan.evaluate(database)
+    assert result.attributes == ("src", "dst")
+    assert result.multiplicity((0, 1)) == 1
+
+
+def test_scan_unknown_relation_raises(graph_db):
+    database = bag_database(graph_db)
+    with pytest.raises(StructureError):
+        ScanOp(relation="S", columns=("x",)).evaluate(database)
+
+
+def test_scan_arity_mismatch_raises(graph_db):
+    database = bag_database(graph_db)
+    with pytest.raises(StructureError):
+        ScanOp(relation="R", columns=("only_one",)).evaluate(database)
+
+
+def test_plan_explain_and_metrics(graph_db):
+    query = parse_query("R(x,y), R(y,z)")
+    plan = compile_query(query)
+    text = plan.explain()
+    assert "CountGroup" in text and "Join" in text and "Scan R" in text
+    assert plan.operator_count() >= 5
+    assert plan.depth() >= 3
+    assert str(plan) == text
+
+
+def test_join_all_requires_nodes():
+    with pytest.raises(StructureError):
+        join_all([])
+
+
+def test_union_all_and_distinct_operators(graph_db):
+    database = bag_database(graph_db)
+    scan = ScanOp(relation="R", columns=("a", "b"))
+    doubled = UnionAllOp(left=scan, right=scan)
+    assert len(doubled.evaluate(database)) == 2 * len(graph_db.tuples("R"))
+    assert len(DistinctOp(child=doubled).evaluate(database)) == len(graph_db.tuples("R"))
+
+
+def test_select_equal_operator(two_table_db):
+    database = bag_database(two_table_db)
+    scan = ScanOp(relation="Likes", columns=("who", "what"))
+    selected = SelectEqualOp(child=scan, attribute="who", value="a").evaluate(database)
+    assert len(selected) == 2
+
+
+def test_atom_plan_handles_repeated_variables(graph_db):
+    database = bag_database(graph_db)
+    loops = atom_plan(Atom("R", ("x", "x"))).evaluate(database)
+    assert loops.attributes == ("x",)
+    assert len(loops) == 0  # the fixture has no self-loops
+
+
+def test_greedy_atom_order_prefers_connected_atoms():
+    query = parse_query("S(u,v), R(x,y), R(y,z), T(z,u)")
+    ordered = greedy_atom_order(query)
+    bound = set(ordered[0].variable_set)
+    for atom in ordered[1:-1]:
+        # every intermediate atom shares a variable with the already-joined prefix
+        # unless the query is disconnected at that point.
+        if atom.variable_set & bound:
+            assert True
+        bound |= atom.variable_set
+    assert {a.relation for a in ordered} == {"R", "S", "T"}
+
+
+def test_compiled_plan_matches_homomorphism_evaluator_boolean(graph_db):
+    for text in ["R(x,y), R(y,z)", "R(x,y), R(y,x)", "R(x,x)", "R(x,y), R(y,z), R(z,x)"]:
+        query = parse_query(text)
+        assert evaluate_query_bag(query, graph_db) == evaluate_bag(query, graph_db)
+
+
+def test_compiled_plan_matches_homomorphism_evaluator_with_head(two_table_db):
+    query = parse_query("Q(p) :- Person(p), Likes(p, i)")
+    assert evaluate_query_bag(query, two_table_db) == evaluate_bag(query, two_table_db)
+    assert evaluate_query_set(query, two_table_db) == evaluate_set(query, two_table_db)
+
+
+def test_compiled_plan_on_disconnected_query(graph_db):
+    query = parse_query("R(x,y), R(u,v)")
+    expected = evaluate_bag(query, graph_db)
+    assert evaluate_query_bag(query, graph_db) == expected
+
+
+def test_count_group_answer_matches_evaluate(two_table_db):
+    query = parse_query("Q(p) :- Person(p), Likes(p, i)")
+    plan = compile_query(query)
+    assert isinstance(plan, CountGroupOp)
+    database = bag_database(two_table_db)
+    assert plan.answer(database) == plan.child.evaluate(database).group_count(plan.group_attributes)
+
+
+def test_yannakakis_matches_set_semantics_on_acyclic(two_table_db):
+    query = parse_query("Q(p) :- Person(p), Likes(p, i)")
+    assert yannakakis_set_evaluation(query, two_table_db) == evaluate_set(query, two_table_db)
+
+
+def test_yannakakis_on_path_query(graph_db):
+    query = parse_query("Q(x, z) :- R(x,y), R(y,z)")
+    assert yannakakis_set_evaluation(query, graph_db) == evaluate_set(query, graph_db)
+
+
+def test_yannakakis_boolean_query(graph_db):
+    query = parse_query("R(x,y), R(y,z)")
+    result = yannakakis_set_evaluation(query, graph_db)
+    assert result == evaluate_set(query, graph_db)
+
+
+def test_yannakakis_rejects_cyclic_queries(graph_db):
+    triangle = parse_query("R(x,y), R(y,z), R(z,x)")
+    with pytest.raises(DecompositionError):
+        yannakakis_set_evaluation(triangle, graph_db)
+
+
+# ---------------------------------------------------------------------- #
+# SQL rendering
+# ---------------------------------------------------------------------- #
+def test_to_sql_boolean_query():
+    query = parse_query("R(x,y), R(y,z)")
+    sql = to_sql(query)
+    assert sql.startswith("SELECT COUNT(*) AS multiplicity")
+    assert "R AS r0" in sql and "R AS r1" in sql
+    assert "r0.a2 = r1.a1" in sql
+    assert "GROUP BY" not in sql
+
+
+def test_to_sql_with_head_and_repeated_variable():
+    query = ConjunctiveQuery(
+        atoms=(Atom("R", ("x", "x", "y")), Atom("S", ("y",))), head=("y",), name="Q"
+    )
+    sql = to_sql(query)
+    assert "GROUP BY r0.a3" in sql
+    assert "r0.a1 = r0.a2" in sql
+    assert "COUNT(*)" in sql
+
+
+def test_to_sql_compact_mode_single_line():
+    query = parse_query("R(x,y)")
+    assert "\n" not in to_sql(query, pretty=False)
+
+
+def test_create_table_statements():
+    query = parse_query("R(x,y), S(y)")
+    statements = create_table_statements(query.vocabulary)
+    assert any(s.startswith("CREATE TABLE R (") for s in statements)
+    assert any("a1 TEXT NOT NULL" in s for s in statements)
+
+
+def test_containment_check_sql_mentions_both_queries():
+    q1 = parse_query("Q(x) :- R(x,y), R(y,x)", name="Q1")
+    q2 = parse_query("Q(x) :- R(x,y)", name="Q2")
+    sql1, sql2, comparison = containment_check_sql(q1, q2)
+    assert "COUNT(*)" in sql1 and "COUNT(*)" in sql2
+    assert "WITH q1 AS" in comparison and "LEFT JOIN" in comparison

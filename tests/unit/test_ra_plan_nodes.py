@@ -1,0 +1,106 @@
+"""Focused tests for individual plan-node behaviours (schemas, labels, semijoin)."""
+
+import pytest
+
+from repro.cq.structures import Structure
+from repro.ra.bagrel import BagRelation
+from repro.ra.compile import bag_database
+from repro.ra.operators import (
+    CountGroupOp,
+    DistinctOp,
+    JoinOp,
+    ProjectOp,
+    RenameOp,
+    ScanOp,
+    SelectEqualColumnsOp,
+    SelectEqualOp,
+    SemiJoinOp,
+    UnionAllOp,
+)
+
+
+@pytest.fixture
+def database():
+    structure = Structure(
+        domain=frozenset({1, 2, 3}),
+        relations={"R": {(1, 2), (2, 3), (3, 1)}, "S": {(2,), (3,)}},
+    )
+    return bag_database(structure)
+
+
+@pytest.fixture
+def scan_r():
+    return ScanOp(relation="R", columns=("x", "y"))
+
+
+@pytest.fixture
+def scan_s():
+    return ScanOp(relation="S", columns=("y",))
+
+
+def test_schemas_propagate_through_operators(scan_r, scan_s):
+    renamed = RenameOp(child=scan_r, mapping=(("x", "src"),))
+    assert renamed.schema() == ("src", "y")
+    projected = ProjectOp(child=renamed, attributes=("y",))
+    assert projected.schema() == ("y",)
+    joined = JoinOp(left=scan_r, right=scan_s)
+    assert joined.schema() == ("x", "y")
+    semi = SemiJoinOp(left=scan_r, right=scan_s)
+    assert semi.schema() == ("x", "y")
+    grouped = CountGroupOp(child=joined, group_attributes=("x",))
+    assert grouped.schema() == ("x",)
+    assert SelectEqualOp(child=scan_r, attribute="x", value=1).schema() == ("x", "y")
+    assert SelectEqualColumnsOp(child=scan_r, left="x", right="y").schema() == ("x", "y")
+    assert DistinctOp(child=scan_r).schema() == ("x", "y")
+    assert UnionAllOp(left=scan_r, right=scan_r).schema() == ("x", "y")
+
+
+def test_labels_are_descriptive(scan_r, scan_s):
+    assert "Scan R" in scan_r.label()
+    assert "Join" in JoinOp(left=scan_r, right=scan_s).label()
+    assert "SemiJoin" in SemiJoinOp(left=scan_r, right=scan_s).label()
+    assert "cartesian" in JoinOp(
+        left=scan_r, right=ScanOp(relation="S", columns=("z",))
+    ).label()
+    assert "Rename" in RenameOp(child=scan_r, mapping=(("x", "a"),)).label()
+    assert "CountGroup" in CountGroupOp(child=scan_r, group_attributes=()).label()
+
+
+def test_semijoin_evaluation(database, scan_r, scan_s):
+    semi = SemiJoinOp(left=scan_r, right=scan_s)
+    result = semi.evaluate(database)
+    # Keep R rows whose y appears in S: (1,2) and (2,3).
+    assert result.support() == frozenset({(1, 2), (2, 3)})
+    assert result.attributes == ("x", "y")
+
+
+def test_semijoin_explain_lists_children(scan_r, scan_s):
+    semi = SemiJoinOp(left=scan_r, right=scan_s)
+    text = semi.explain()
+    assert text.splitlines()[0].startswith("SemiJoin")
+    assert len(text.splitlines()) == 3
+    assert semi.operator_count() == 3
+    assert semi.depth() == 2
+
+
+def test_rename_and_project_evaluation(database, scan_r):
+    plan = ProjectOp(
+        child=RenameOp(child=scan_r, mapping=(("x", "src"), ("y", "dst"))),
+        attributes=("dst",),
+    )
+    result = plan.evaluate(database)
+    assert result.attributes == ("dst",)
+    assert len(result) == 3
+
+
+def test_count_group_on_empty_input(database):
+    empty_scan = ScanOp(relation="R", columns=("x", "y"))
+    filtered = SelectEqualOp(child=empty_scan, attribute="x", value=99)
+    grouped = CountGroupOp(child=filtered, group_attributes=())
+    assert grouped.answer(database) == {}
+
+
+def test_union_all_evaluation_counts(database, scan_r):
+    doubled = UnionAllOp(left=scan_r, right=scan_r)
+    result = doubled.evaluate(database)
+    assert all(count == 2 for count in result.multiplicities.values())

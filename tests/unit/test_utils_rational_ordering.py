@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils.rational and repro.utils.ordering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.utils.ordering import argsort_by, canonical_order, stable_unique
+from repro.utils.rational import (
+    as_fraction,
+    fractions_from_floats,
+    lcm_of_denominators,
+    scale_to_integers,
+)
+
+
+def test_stable_unique_preserves_order():
+    assert stable_unique(["b", "a", "b", "c", "a"]) == ("b", "a", "c")
+
+
+def test_canonical_order_is_sorted_and_unique():
+    assert canonical_order(["b", "a", "b"]) == ("a", "b")
+
+
+def test_canonical_order_mixed_types():
+    result = canonical_order([2, 1, "a"])
+    assert set(result) == {1, 2, "a"}
+
+
+def test_argsort_by():
+    assert argsort_by(["a", "b", "c"], [3, 1, 2]) == (1, 2, 0)
+
+
+def test_argsort_by_length_mismatch():
+    with pytest.raises(ValueError):
+        argsort_by(["a"], [1, 2])
+
+
+def test_as_fraction_exact_types():
+    assert as_fraction(3) == Fraction(3)
+    assert as_fraction(Fraction(1, 3)) == Fraction(1, 3)
+
+
+def test_as_fraction_float():
+    assert as_fraction(0.5) == Fraction(1, 2)
+    assert as_fraction(1 / 3, max_denominator=100) == Fraction(1, 3)
+
+
+def test_fractions_from_floats_snaps_zero():
+    values = fractions_from_floats([1e-13, 0.25, -1e-12])
+    assert values == (Fraction(0), Fraction(1, 4), Fraction(0))
+
+
+def test_lcm_of_denominators():
+    assert lcm_of_denominators([Fraction(1, 2), Fraction(1, 3), Fraction(5, 6)]) == 6
+
+
+def test_scale_to_integers():
+    integers, scale = scale_to_integers([Fraction(1, 2), Fraction(1, 3)])
+    assert scale == 6
+    assert integers == (3, 2)
+
+
+def test_scale_to_integers_from_floats():
+    integers, scale = scale_to_integers([0.5, 1.5, 2.0])
+    assert integers == (1, 3, 4)
+    assert scale == 2

@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.subsets."""
+
+from repro.utils.subsets import (
+    all_subsets,
+    bitmask_of,
+    nonempty_subsets,
+    powerset_indexed,
+    proper_subsets,
+    subset_from_bitmask,
+    subsets_of_size,
+)
+
+
+def test_all_subsets_count():
+    items = ("a", "b", "c")
+    assert len(list(all_subsets(items))) == 8
+
+
+def test_all_subsets_includes_empty_and_full():
+    items = ("a", "b")
+    subsets = list(all_subsets(items))
+    assert () in subsets
+    assert ("a", "b") in subsets
+
+
+def test_nonempty_subsets_excludes_empty():
+    assert () not in list(nonempty_subsets(("a", "b")))
+    assert len(list(nonempty_subsets(("a", "b", "c")))) == 7
+
+
+def test_proper_subsets_excludes_full_set():
+    items = ("a", "b", "c")
+    subsets = list(proper_subsets(items))
+    assert ("a", "b", "c") not in subsets
+    assert len(subsets) == 7  # includes the empty set
+
+
+def test_subsets_of_size():
+    assert list(subsets_of_size(("a", "b", "c"), 2)) == [
+        ("a", "b"),
+        ("a", "c"),
+        ("b", "c"),
+    ]
+
+
+def test_powerset_indexed_is_bitmask():
+    index = powerset_indexed(("a", "b", "c"))
+    assert index[frozenset()] == 0
+    assert index[frozenset({"a"})] == 1
+    assert index[frozenset({"b"})] == 2
+    assert index[frozenset({"a", "c"})] == 5
+    assert index[frozenset({"a", "b", "c"})] == 7
+    assert len(index) == 8
+
+
+def test_bitmask_roundtrip():
+    items = ("x", "y", "z", "w")
+    positions = {item: i for i, item in enumerate(items)}
+    for subset in all_subsets(items):
+        mask = bitmask_of(subset, positions)
+        assert subset_from_bitmask(mask, items) == frozenset(subset)
+
+
+def test_deterministic_order():
+    assert list(all_subsets(("a", "b"))) == list(all_subsets(("a", "b")))

@@ -1,0 +1,107 @@
+"""Unit tests for the workload generators and paper-example constructors."""
+
+import pytest
+
+from repro.cq.decompositions import (
+    has_simple_junction_tree,
+    is_acyclic,
+    is_chordal,
+)
+from repro.workloads.generators import (
+    clique_query,
+    cycle_query,
+    path_query,
+    random_chordal_simple_query,
+    random_database,
+    random_max_ii,
+    random_query,
+    star_query,
+)
+from repro.workloads.paper_examples import (
+    chaudhuri_vardi_example,
+    example_3_5,
+    example_3_8_inequality,
+    example_5_2_inequality,
+    example_e2_queries,
+    parity_example,
+    vee_example,
+)
+
+
+def test_path_query_shapes():
+    for length in (1, 2, 4):
+        query = path_query(length)
+        assert len(query.atoms) == length
+        assert is_acyclic(query)
+        assert has_simple_junction_tree(query)
+    with pytest.raises(ValueError):
+        path_query(0)
+
+
+def test_cycle_query_shapes():
+    assert not is_acyclic(cycle_query(3))
+    assert is_chordal(cycle_query(3))
+    assert not is_chordal(cycle_query(4))
+    with pytest.raises(ValueError):
+        cycle_query(1)
+
+
+def test_star_query_shapes():
+    query = star_query(4)
+    assert len(query.variables) == 5
+    assert is_acyclic(query)
+    with pytest.raises(ValueError):
+        star_query(0)
+
+
+def test_clique_query_shapes():
+    query = clique_query(3)
+    assert len(query.variables) == 3
+    assert is_chordal(query)
+    assert has_simple_junction_tree(query)  # a single bag has no separators
+    with pytest.raises(ValueError):
+        clique_query(1)
+
+
+def test_random_query_is_deterministic_and_covers_variables():
+    first = random_query(4, 5, seed=7)
+    second = random_query(4, 5, seed=7)
+    assert first.atoms == second.atoms
+    assert len(first.variables) == 4
+
+
+def test_random_chordal_simple_query_in_fragment():
+    for seed in range(5):
+        query = random_chordal_simple_query(3, clique_size=3, seed=seed)
+        assert is_chordal(query)
+        assert has_simple_junction_tree(query)
+    with pytest.raises(ValueError):
+        random_chordal_simple_query(0)
+
+
+def test_random_database_shape():
+    database = random_database({"R": 2, "S": 3}, domain_size=4, tuples_per_relation=5, seed=1)
+    assert database.arity("R") == 2
+    assert database.arity("S") == 3
+    assert len(database.tuples("R")) <= 5
+    assert database.domain == frozenset(range(4))
+
+
+def test_random_max_ii_integer_coefficients():
+    inequality = random_max_ii(3, 2, seed=3)
+    assert len(inequality) == 2
+    for branch in inequality.branches:
+        for coefficient in branch.coefficients.values():
+            assert float(coefficient).is_integer()
+
+
+def test_paper_example_constructors():
+    assert vee_example().contained
+    assert not example_3_5().contained
+    assert example_e2_queries().contained
+    assert len(example_3_8_inequality().branches) == 3
+    assert example_5_2_inequality().coefficients[frozenset({"X2"})] == 2.0
+    q1, q2 = chaudhuri_vardi_example()
+    assert q1.head == ("x", "z") and q2.head == ("x", "z")
+    parity = parity_example()
+    assert parity.total() == 2.0

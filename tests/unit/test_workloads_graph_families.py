@@ -1,0 +1,166 @@
+"""Unit tests for the graph-shaped workloads (series-parallel queries, graph DBs)."""
+
+import pytest
+
+from repro.cq.decompositions import is_acyclic, is_chordal
+from repro.cq.evaluation import evaluate_bag
+from repro.exceptions import QueryError
+from repro.workloads.graph_families import (
+    TwoTerminalGraph,
+    bipartite_graph_database,
+    book_query,
+    complete_graph_database,
+    cycle_graph_database,
+    diamond_query,
+    fan_query,
+    graph_database_from_edges,
+    grid_query,
+    parallel_composition,
+    path_graph_database,
+    random_graph_database,
+    series_composition,
+    series_parallel_graph,
+    series_parallel_query,
+    single_edge,
+    theta_query,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Series-parallel construction
+# ---------------------------------------------------------------------- #
+def test_single_edge_shape():
+    edge = single_edge()
+    assert edge.source != edge.sink
+    assert len(edge.edges) == 1
+    assert set(edge.vertices()) == {edge.source, edge.sink}
+
+
+def test_series_composition_chains_terminals():
+    path2 = series_composition(single_edge(), single_edge())
+    assert len(path2.edges) == 2
+    assert len(path2.vertices()) == 3
+    assert path2.source != path2.sink
+
+
+def test_parallel_composition_shares_terminals():
+    double_edge = parallel_composition(single_edge(), single_edge())
+    assert len(double_edge.vertices()) == 2
+    # Two parallel copies of the same edge collapse to one atom in the query
+    # (bag-set semantics eliminates repeated atoms).
+    query = double_edge.to_query()
+    assert len(query.atoms) == 1
+
+
+def test_series_parallel_spec_diamond():
+    diamond = series_parallel_graph(("p", ("s", "e", "e"), ("s", "e", "e")))
+    assert len(diamond.vertices()) == 4
+    assert len(diamond.edges) == 4
+
+
+def test_series_parallel_query_is_connected_and_graph_shaped():
+    query = series_parallel_query(("s", "e", ("p", "e", ("s", "e", "e"))))
+    assert query.is_boolean
+    assert all(atom.relation == "R" and atom.arity == 2 for atom in query.atoms)
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(QueryError):
+        series_parallel_graph(("x", "e", "e"))
+    with pytest.raises(QueryError):
+        series_parallel_graph(("s", "e"))
+    with pytest.raises(QueryError):
+        TwoTerminalGraph(source="a", sink="b", edges=()).to_query()
+
+
+def test_diamond_query_shapes():
+    assert len(diamond_query(2, 2).atoms) == 4
+    assert len(diamond_query(3, 1).atoms) == 1  # parallel single edges collapse
+    assert len(diamond_query(1, 3).atoms) == 3
+    with pytest.raises(QueryError):
+        diamond_query(0, 1)
+
+
+# ---------------------------------------------------------------------- #
+# Structured queries
+# ---------------------------------------------------------------------- #
+def test_grid_query_counts():
+    query = grid_query(2, 3)
+    # 2x3 grid: horizontal 2*2=4, vertical 1*3=3 edges.
+    assert len(query.atoms) == 7
+    assert not is_acyclic(query)
+    with pytest.raises(QueryError):
+        grid_query(1, 1)
+
+
+def test_fan_and_book_are_chordal():
+    assert is_chordal(fan_query(3))
+    assert is_chordal(book_query(2))
+    with pytest.raises(QueryError):
+        fan_query(0)
+    with pytest.raises(QueryError):
+        book_query(0)
+
+
+def test_theta_query_structure():
+    query = theta_query([2, 3])
+    assert len(query.atoms) == 5
+    with pytest.raises(QueryError):
+        theta_query([2])
+
+
+# ---------------------------------------------------------------------- #
+# Graph databases
+# ---------------------------------------------------------------------- #
+def test_complete_graph_database_edge_count():
+    db = complete_graph_database(4)
+    assert len(db.tuples("R")) == 12
+    assert len(complete_graph_database(4, with_loops=True).tuples("R")) == 16
+
+
+def test_path_and_cycle_databases():
+    assert len(path_graph_database(5).tuples("R")) == 4
+    assert len(cycle_graph_database(5).tuples("R")) == 5
+    with pytest.raises(QueryError):
+        path_graph_database(1)
+
+
+def test_bipartite_database():
+    db = bipartite_graph_database(2, 3)
+    assert len(db.tuples("R")) == 6
+    assert len(db.domain) == 5
+
+
+def test_random_graph_database_is_deterministic():
+    first = random_graph_database(6, 0.5, seed=7)
+    second = random_graph_database(6, 0.5, seed=7)
+    assert first.tuples("R") == second.tuples("R")
+    with pytest.raises(QueryError):
+        random_graph_database(3, 1.5)
+
+
+def test_graph_database_from_edges_infers_domain():
+    db = graph_database_from_edges([("a", "b"), ("b", "c")])
+    assert db.domain == frozenset({"a", "b", "c"})
+
+
+# ---------------------------------------------------------------------- #
+# Semantics sanity checks
+# ---------------------------------------------------------------------- #
+def test_path_counts_on_complete_graph():
+    # |hom(path_2, K_n)| = n^3 (with loops) — without loops it is n(n-1)^2 + loops...
+    # use the loopful complete graph where the count is exactly n^|vars|.
+    db = complete_graph_database(3, with_loops=True)
+    query = series_parallel_query(("s", "e", "e"))
+    counts = evaluate_bag(query, db)
+    assert counts == {(): 27}
+
+
+def test_diamond_dominates_path_on_cycle_database():
+    # On a directed cycle every vertex has out-degree 1, so both the diamond
+    # and the single path have exactly |V| homomorphisms.
+    db = cycle_graph_database(5)
+    diamond = diamond_query(2, 2)
+    path = series_parallel_query(("s", "e", "e"))
+    assert evaluate_bag(diamond, db)[()] == 5
+    assert evaluate_bag(path, db)[()] == 5
