@@ -1,0 +1,80 @@
+"""E10 — micro-benchmarks for the dense bitmask ``SetFunction`` core.
+
+Times the operations the PR-1 refactor vectorized — algebra over the subset
+lattice, polymatroid axiom checking, the Möbius transform and Shannon-prover
+construction — at n ∈ {6, 8, 10} so the perf trajectory of the hot paths is
+tracked alongside the experiment benchmarks.
+"""
+
+import random
+
+import pytest
+
+from repro.infotheory.functions import uniform_function
+from repro.infotheory.imeasure import mobius_inverse_vector
+from repro.infotheory.polymatroid import is_polymatroid
+from repro.infotheory.setfunction import SetFunction
+from repro.infotheory.shannon import ShannonProver
+
+SIZES = [6, 8, 10]
+
+
+def _ground(n):
+    return tuple(f"X{i}" for i in range(n))
+
+
+def _random_function(n, seed=0):
+    ground = _ground(n)
+    rng = random.Random(seed)
+    values = {
+        subset: rng.uniform(0.0, 4.0)
+        for subset in SetFunction.zero(ground).subsets()
+    }
+    return SetFunction(ground=ground, values=values)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_setfunction_algebra(benchmark, record, n):
+    left = _random_function(n, seed=1)
+    right = _random_function(n, seed=2)
+
+    def algebra():
+        return (left + right) - (0.5 * left)
+
+    result = benchmark(algebra)
+    assert result.ground == left.ground
+    record(experiment="E10", n=n, op="add/sub/scale", coordinates=2**n - 1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_setfunction_dominates(benchmark, record, n):
+    function = _random_function(n, seed=3)
+    shifted = function + SetFunction(
+        ground=function.ground, values={frozenset([function.ground[0]]): 1.0}
+    )
+    assert benchmark(shifted.dominates, function)
+    record(experiment="E10", n=n, op="dominates")
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_polymatroid_axiom_check(benchmark, record, n):
+    function = uniform_function(_ground(n), rank=max(1, n // 2))
+    assert benchmark(is_polymatroid, function)
+    record(experiment="E10", n=n, op="is_polymatroid",
+           elementals=n + (n * (n - 1) // 2) * 2 ** max(0, n - 2))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_mobius_transform(benchmark, record, n):
+    function = _random_function(n, seed=4)
+    inverse = benchmark(mobius_inverse_vector, function)
+    assert inverse.shape == (2**n,)
+    record(experiment="E10", n=n, op="mobius_inverse")
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_prover_construction(benchmark, record, n):
+    ground = _ground(n)
+    prover = benchmark(ShannonProver, ground)
+    assert len(prover.elementals) == prover._elemental_matrix.shape[0]
+    record(experiment="E10", n=n, op="ShannonProver.__init__")

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Benchmark harness entry point: run pytest-benchmark, write ``BENCH_<N>.json``.
+
+Runs the ``benchmarks/`` suite under pytest-benchmark and writes the JSON
+report to the repo root (default ``BENCH_1.json``), so every PR leaves a
+perf snapshot behind and future PRs have a trajectory to compare against::
+
+    python benchmarks/run_benchmarks.py                    # full suite
+    python benchmarks/run_benchmarks.py --fast             # hot-path subset
+    python benchmarks/run_benchmarks.py -k setfunction     # pytest -k filter
+    python benchmarks/run_benchmarks.py --output BENCH_2.json
+
+The script re-invokes pytest in a subprocess with ``PYTHONPATH=src`` set, so
+it works from a clean checkout without installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The benchmarks exercising the PR-1 hot paths (dense SetFunction core and
+# cached prover construction); --fast runs only these.
+FAST_FILES = [
+    "benchmarks/bench_setfunction_ops.py",
+    "benchmarks/bench_shannon_scaling.py",
+    "benchmarks/bench_normalization.py",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_1.json",
+        help="JSON report path, relative to the repo root (default: BENCH_1.json)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="run only the hot-path benchmark files instead of the full suite",
+    )
+    parser.add_argument("-k", dest="select", default=None, help="pytest -k filter")
+    parser.add_argument(
+        "pytest_args", nargs="*", help="extra arguments forwarded to pytest"
+    )
+    args = parser.parse_args(argv)
+
+    output = Path(args.output)
+    if not output.is_absolute():
+        output = REPO_ROOT / output
+
+    if args.fast:
+        targets = FAST_FILES
+    else:
+        # Benchmark modules are named bench_*.py, which pytest's default
+        # test_*.py collection pattern skips — pass the files explicitly.
+        targets = sorted(
+            str(path.relative_to(REPO_ROOT))
+            for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+        )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *targets,
+        "-q",
+        "--benchmark-only",
+        "--benchmark-disable-gc",
+        f"--benchmark-json={output}",
+    ]
+    if args.select:
+        command += ["-k", args.select]
+    command += args.pytest_args
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    print("+", " ".join(command))
+    status = subprocess.call(command, cwd=REPO_ROOT, env=env)
+    if status != 0:
+        return status
+
+    text = output.read_text() if output.exists() else ""
+    if not text.strip():
+        print(f"no benchmarks were collected; {output} is empty", file=sys.stderr)
+        return 1
+    report = json.loads(text)
+    rows = sorted(
+        (bench["name"], bench["stats"]["mean"]) for bench in report["benchmarks"]
+    )
+    print(f"\nwrote {output} ({len(rows)} benchmarks)")
+    for name, mean in rows:
+        print(f"  {mean * 1e3:10.3f} ms  {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,14 @@ Three layers:
   searches, returning ``UNKNOWN`` when neither side can be established
   (which is unavoidable in general — the decidability of the full problem is
   open, as the paper shows).
+
+Performance notes
+-----------------
+The LP machinery underneath (:func:`repro.infotheory.maxiip.decide_max_ii`)
+resolves cones and Shannon provers through per-ground-tuple caches, and the
+elemental constraint matrices come from the shared bitmask lattice context —
+so repeated containment checks over the same arity rebuild nothing: only the
+per-query expression vectors and the LP solves themselves are paid per call.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.infotheory.expressions import LinearExpression, MaxInformationInequality
-from repro.infotheory.shannon import ShannonCertificate, ShannonProver
+from repro.infotheory.shannon import ShannonCertificate, ShannonProver, shannon_prover
 from repro.lp.solver import check_feasibility
 
 
@@ -69,7 +69,7 @@ def find_convex_certificate(
         raise ValueError("at least one expression is required")
     if ground is None:
         ground = MaxInformationInequality(branches=tuple(expressions)).ground
-    prover = ShannonProver(tuple(ground))
+    prover = shannon_prover(tuple(ground))
     branch_vectors = np.array(
         [prover.expression_vector(e.with_ground(prover.ground)) for e in expressions]
     )

@@ -57,7 +57,7 @@ from repro.infotheory.expressions import (
     LinearExpression,
     MaxInformationInequality,
 )
-from repro.infotheory.shannon import ShannonCertificate, ShannonProver
+from repro.infotheory.shannon import ShannonCertificate, ShannonProver, shannon_prover
 from repro.infotheory.cones import GammaCone, ModularCone, NormalCone
 from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii
 from repro.infotheory.normalization import modular_lower_bound, normal_lower_bound
@@ -102,6 +102,7 @@ __all__ = [
     "MaxInformationInequality",
     "ShannonProver",
     "ShannonCertificate",
+    "shannon_prover",
     "GammaCone",
     "NormalCone",
     "ModularCone",

@@ -21,6 +21,7 @@ the open problem the paper connects to query containment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +33,7 @@ from repro.infotheory.imeasure import is_normal_function
 from repro.infotheory.polymatroid import elemental_inequalities, is_modular, is_polymatroid
 from repro.infotheory.setfunction import SetFunction
 from repro.lp.solver import check_feasibility
+from repro.utils.lattice import lattice_context
 from repro.utils.subsets import proper_subsets
 
 
@@ -70,20 +72,13 @@ class GammaCone(Cone):
 
     def __init__(self, ground: Sequence[str]):
         super().__init__(ground)
-        self._subsets = SetFunction.zero(self.ground).subsets()
+        lattice = lattice_context(self.ground)
+        self._lattice = lattice
+        self._subsets = lattice.nonempty_subsets
         self._index = {subset: i for i, subset in enumerate(self._subsets)}
-        self._elementals = elemental_inequalities(self.ground)
-        rows: List[int] = []
-        cols: List[int] = []
-        data: List[float] = []
-        for row, inequality in enumerate(self._elementals):
-            for subset, coefficient in inequality.as_dict().items():
-                rows.append(row)
-                cols.append(self._index[subset])
-                data.append(coefficient)
-        self._elemental_matrix = sp.csr_matrix(
-            (data, (rows, cols)), shape=(len(self._elementals), len(self._subsets))
-        )
+        # Shared, cached CSR matrix built from bitmask arithmetic.
+        self._elemental_matrix = lattice.elemental_matrix()
+        self._num_elementals = self._elemental_matrix.shape[0]
 
     def _expression_row(self, expression: LinearExpression) -> np.ndarray:
         row = np.zeros(len(self._subsets))
@@ -102,25 +97,26 @@ class GammaCone(Cone):
         )
         A_ub = sp.vstack([-self._elemental_matrix, branch_rows], format="csr")
         b_ub = np.concatenate(
-            [np.zeros(len(self._elementals)), -margin * np.ones(len(expressions))]
+            [np.zeros(self._num_elementals), -margin * np.ones(len(expressions))]
         )
         feasible, solution = check_feasibility(
             num_variables=len(self._subsets),
             A_ub=A_ub,
             b_ub=b_ub,
-            bounds=[(0, None)] * len(self._subsets),
         )
         if not feasible or solution is None:
             return None
-        function = SetFunction(
-            ground=self.ground,
-            values={subset: solution[i] for subset, i in self._index.items()},
-        )
+        function = SetFunction.from_vector(self.ground, solution)
         return ConePoint(function=function, coefficients=None)
 
 
 class _GeneratedCone(Cone):
     """A cone given by finitely many generator functions (``Nn`` and ``Mn``)."""
+
+    def __init__(self, ground: Sequence[str]):
+        super().__init__(ground)
+        self._generator_cache: Optional[List[Tuple[FrozenSet[str], SetFunction]]] = None
+        self._generator_matrix: Optional[np.ndarray] = None
 
     def _generators(self) -> List[Tuple[FrozenSet[str], SetFunction]]:
         raise NotImplementedError
@@ -128,19 +124,32 @@ class _GeneratedCone(Cone):
     def _combine(self, coefficients: Dict[FrozenSet[str], float]) -> SetFunction:
         raise NotImplementedError
 
+    def _generator_data(self) -> Tuple[List[Tuple[FrozenSet[str], SetFunction]], np.ndarray]:
+        """Generators plus their stacked canonical coordinate vectors (cached)."""
+        if self._generator_cache is None:
+            generators = self._generators()
+            matrix = np.array([gen.to_vector() for _, gen in generators])
+            self._generator_cache = generators
+            self._generator_matrix = matrix
+        return self._generator_cache, self._generator_matrix
+
     def find_point_below(
         self, expressions: Sequence[LinearExpression], margin: float = 1.0
     ) -> Optional[ConePoint]:
-        generators = self._generators()
-        # Column g, row ℓ: E_ℓ evaluated on generator g.
-        matrix = np.array(
-            [[expr.evaluate(gen) for _, gen in generators] for expr in expressions]
-        )
+        generators, generator_matrix = self._generator_data()
+        lattice = lattice_context(self.ground)
+        canon_index = lattice.canon_index
+        # Row ℓ: E_ℓ in canonical coordinates; entry (ℓ, g) of the LP matrix
+        # is then E_ℓ evaluated on generator g — one matmul for all pairs.
+        expression_rows = np.zeros((len(expressions), lattice.size - 1))
+        for row, expression in enumerate(expressions):
+            for subset, coefficient in expression.coefficients.items():
+                expression_rows[row, canon_index[subset] - 1] += coefficient
+        matrix = expression_rows @ generator_matrix.T
         feasible, solution = check_feasibility(
             num_variables=len(generators),
             A_ub=matrix,
             b_ub=-margin * np.ones(len(expressions)),
-            bounds=[(0, None)] * len(generators),
         )
         if not feasible or solution is None:
             return None
@@ -193,9 +202,21 @@ class ModularCone(_GeneratedCone):
         return modular_function(weights)
 
 
+_CONES = {"gamma": GammaCone, "normal": NormalCone, "modular": ModularCone}
+
+
+@lru_cache(maxsize=128)
+def _cone_instance(name: str, ground: Tuple[str, ...]) -> Cone:
+    return _CONES[name](ground)
+
+
 def cone_by_name(name: str, ground: Sequence[str]) -> Cone:
-    """Factory: ``"gamma"`` → :class:`GammaCone`, ``"normal"`` → :class:`NormalCone`, ``"modular"`` → :class:`ModularCone`."""
-    cones = {"gamma": GammaCone, "normal": NormalCone, "modular": ModularCone}
-    if name not in cones:
-        raise ValueError(f"unknown cone {name!r}; expected one of {sorted(cones)}")
-    return cones[name](ground)
+    """Factory: ``"gamma"`` → :class:`GammaCone`, ``"normal"`` → :class:`NormalCone`, ``"modular"`` → :class:`ModularCone`.
+
+    Instances are cached per ``(name, ground)`` — cones are stateless after
+    construction, and sharing them lets repeated containment checks over the
+    same ground set reuse the elemental matrix and generator tables.
+    """
+    if name not in _CONES:
+        raise ValueError(f"unknown cone {name!r}; expected one of {sorted(_CONES)}")
+    return _cone_instance(name, tuple(ground))

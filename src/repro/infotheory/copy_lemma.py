@@ -40,6 +40,7 @@ from repro.infotheory.expressions import InformationInequality, LinearExpression
 from repro.infotheory.polymatroid import elemental_inequalities
 from repro.infotheory.setfunction import SetFunction
 from repro.lp.solver import LPStatus, minimize
+from repro.utils.lattice import lattice_context
 from repro.utils.subsets import all_subsets
 
 
@@ -124,10 +125,10 @@ class CopyLemmaProver:
             raise ExpressionError("the ground set must be non-empty")
         self.steps: Tuple[CopyStep, ...] = tuple(steps)
         self.extended_ground = self._extended_ground()
-        self._subsets = tuple(
-            frozenset(s) for s in all_subsets(self.extended_ground)
-        )
-        self._index = {subset: i for i, subset in enumerate(self._subsets)}
+        lattice = lattice_context(self.extended_ground)
+        self._lattice = lattice
+        self._subsets = lattice.subsets_canonical
+        self._index = lattice.canon_index
         self._elementals = elemental_inequalities(self.extended_ground)
         self._elemental_matrix = self._build_elemental_matrix()
         self._equalities = self._copy_constraints()
@@ -154,17 +155,13 @@ class CopyLemmaProver:
         return tuple(names)
 
     def _build_elemental_matrix(self) -> sp.csr_matrix:
-        rows: List[int] = []
-        cols: List[int] = []
-        data: List[float] = []
-        for row, inequality in enumerate(self._elementals):
-            for subset, coefficient in inequality.as_dict().items():
-                rows.append(row)
-                cols.append(self._index[subset])
-                data.append(coefficient)
-        return sp.csr_matrix(
-            (data, (rows, cols)), shape=(len(self._elementals), len(self._subsets))
-        )
+        # This prover's coordinate order is the canonical order *including*
+        # the empty set at position 0, so the shared lattice matrix (built
+        # from bitmask arithmetic, non-empty columns only) is padded with one
+        # zero column on the left.
+        shared = self._lattice.elemental_matrix()
+        empty_column = sp.csr_matrix((shared.shape[0], 1))
+        return sp.hstack([empty_column, shared], format="csr")
 
     def _expression_vector(self, coefficients: Dict[FrozenSet[str], float]) -> np.ndarray:
         vector = np.zeros(len(self._subsets))
@@ -251,15 +248,15 @@ class CopyLemmaProver:
             b_ub=b_ub,
             A_eq=A_eq,
             b_eq=b_eq,
-            bounds=[(0, None)] * len(self._subsets),
         )
         if result.status != LPStatus.OPTIMAL:
             raise ExpressionError(
                 f"unexpected LP status {result.status} in the copy-lemma prover"
             )
-        function = SetFunction(
-            ground=self.extended_ground,
-            values={subset: result.solution[i] for subset, i in self._index.items()},
+        # Coordinate 0 is the empty set; the remainder is the canonical
+        # non-empty order, i.e. exactly the from_vector layout.
+        function = SetFunction.from_vector(
+            self.extended_ground, result.solution[1:]
         )
         return result.objective, function
 

@@ -10,9 +10,12 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.cq.structures import Relation
 from repro.exceptions import EntropyError
 from repro.infotheory.setfunction import SetFunction
+from repro.utils.lattice import lattice_context
 from repro.utils.subsets import all_subsets
 
 
@@ -40,18 +43,6 @@ def entropy_of_distribution(probabilities: Iterable[float]) -> float:
     return -sum(p * math.log2(p) for p in probabilities if p > 0)
 
 
-def _marginal_counts(
-    rows: Iterable[Tuple],
-    weights: Mapping[Tuple, float],
-    indices: Sequence[int],
-) -> Dict[Tuple, float]:
-    marginal: Dict[Tuple, float] = {}
-    for row in rows:
-        key = tuple(row[i] for i in indices)
-        marginal[key] = marginal.get(key, 0.0) + weights[row]
-    return marginal
-
-
 def distribution_entropy(
     attributes: Sequence[str], pmf: Mapping[Tuple, float]
 ) -> SetFunction:
@@ -69,18 +60,38 @@ def distribution_entropy(
         if len(row) != len(attributes):
             raise EntropyError(f"row {row!r} does not match attributes")
     rows = [row for row, mass in pmf.items() if mass > 0]
-    weights = {row: float(pmf[row]) for row in rows}
+    weights = np.array([float(pmf[row]) for row in rows])
 
-    values: Dict[frozenset, float] = {}
-    for subset in all_subsets(attributes):
-        if not subset:
-            continue
-        indices = [attributes.index(a) for a in subset]
-        marginal = _marginal_counts(rows, weights, indices)
-        values[frozenset(subset)] = -sum(
-            mass * math.log2(mass) for mass in marginal.values() if mass > 0
-        )
-    return SetFunction(ground=attributes, values=values)
+    # Encode each attribute column as dense integer codes once; the marginal
+    # of any subset is then a vectorized bincount over mixed-radix keys
+    # (compressed after every attribute so the keys never overflow).
+    lattice = lattice_context(attributes)
+    codes: list = []
+    for position in range(len(attributes)):
+        seen: Dict[object, int] = {}
+        column = np.empty(len(rows), dtype=np.int64)
+        for row_index, row in enumerate(rows):
+            column[row_index] = seen.setdefault(row[position], len(seen))
+        codes.append((column, len(seen)))
+
+    vec = np.zeros(lattice.size)
+    for mask in range(1, lattice.size):
+        keys = np.zeros(len(rows), dtype=np.int64)
+        cardinality = 1
+        remaining = mask
+        while remaining:
+            position = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            column, width = codes[position]
+            keys = keys * width + column
+            cardinality *= width
+            if cardinality > len(rows):
+                _, keys = np.unique(keys, return_inverse=True)
+                cardinality = int(keys.max()) + 1 if keys.size else 1
+        masses = np.bincount(keys, weights=weights)
+        masses = masses[masses > 0]
+        vec[mask] = -float(np.sum(masses * np.log2(masses)))
+    return SetFunction._from_dense(attributes, vec, lattice)
 
 
 def relation_entropy(relation: Relation) -> SetFunction:

@@ -91,11 +91,12 @@ class LinearExpression:
     # Algebra and evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, function: SetFunction) -> float:
-        """Evaluate the expression on a set function."""
-        return sum(
-            coefficient * function(subset)
-            for subset, coefficient in self.coefficients.items()
-        )
+        """Evaluate the expression on a set function.
+
+        Delegates to the bitmask fast path of
+        :meth:`SetFunction.evaluate_combination` (one mask lookup per term).
+        """
+        return function.evaluate_combination(self.coefficients)
 
     def __add__(self, other: "LinearExpression") -> "LinearExpression":
         ground = stable_unique(self.ground + tuple(other.ground))

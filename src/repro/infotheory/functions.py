@@ -11,8 +11,11 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.exceptions import EntropyError
 from repro.infotheory.setfunction import SetFunction
+from repro.utils.lattice import lattice_context
 
 
 def zero_function(ground: Sequence[str]) -> SetFunction:
@@ -34,9 +37,11 @@ def step_function(ground: Sequence[str], low_part: Iterable[str]) -> SetFunction
         raise EntropyError("W must be a subset of the ground set")
     if low == frozenset(ground):
         raise EntropyError("the step function requires a proper subset W ⊊ V")
-    return SetFunction.from_callable(
-        ground, lambda subset: 0.0 if subset <= low else 1.0
-    )
+    lattice = lattice_context(ground)
+    low_mask = lattice.mask_of(low)
+    # h_W(X) = 0 iff X ⊆ W, i.e. iff X's mask has no bit outside W's.
+    vec = ((lattice.arange & ~low_mask) != 0).astype(float)
+    return SetFunction._from_dense(ground, vec, lattice)
 
 
 def modular_function(weights: Mapping[str, float]) -> SetFunction:
@@ -45,9 +50,11 @@ def modular_function(weights: Mapping[str, float]) -> SetFunction:
     for variable, weight in weights.items():
         if weight < 0:
             raise EntropyError(f"modular weight of {variable!r} must be non-negative")
-    return SetFunction.from_callable(
-        ground, lambda subset: float(sum(weights[v] for v in subset))
-    )
+    lattice = lattice_context(ground)
+    vec = np.zeros(lattice.size)
+    for i, variable in enumerate(ground):
+        vec += ((lattice.arange >> i) & 1) * float(weights[variable])
+    return SetFunction._from_dense(ground, vec, lattice)
 
 
 def normal_function(
@@ -60,7 +67,8 @@ def normal_function(
     """
     ground = tuple(ground)
     ground_set = frozenset(ground)
-    result = SetFunction.zero(ground)
+    lattice = lattice_context(ground)
+    vec = np.zeros(lattice.size)
     for low_part, coefficient in coefficients.items():
         low = frozenset(low_part)
         if coefficient < 0:
@@ -71,8 +79,9 @@ def normal_function(
             raise EntropyError(
                 f"step index {sorted(low)} must be a proper subset of the ground set"
             )
-        result = result + coefficient * step_function(ground, low)
-    return result
+        low_mask = lattice.mask_of(low)
+        vec += coefficient * ((lattice.arange & ~low_mask) != 0)
+    return SetFunction._from_dense(ground, vec, lattice)
 
 
 def parity_function(ground: Sequence[str] = ("X1", "X2", "X3")) -> SetFunction:
@@ -86,9 +95,9 @@ def parity_function(ground: Sequence[str] = ("X1", "X2", "X3")) -> SetFunction:
     ground = tuple(ground)
     if len(ground) != 3:
         raise EntropyError("the parity function is defined on exactly 3 variables")
-    return SetFunction.from_callable(
-        ground, lambda subset: float(min(len(subset), 2))
-    )
+    lattice = lattice_context(ground)
+    vec = np.minimum(lattice.popcount, 2).astype(float)
+    return SetFunction._from_dense(ground, vec, lattice)
 
 
 def uniform_function(ground: Sequence[str], rank: int, scale: float = 1.0) -> SetFunction:
@@ -100,9 +109,10 @@ def uniform_function(ground: Sequence[str], rank: int, scale: float = 1.0) -> Se
     """
     if rank < 0:
         raise EntropyError("rank must be non-negative")
-    return SetFunction.from_callable(
-        tuple(ground), lambda subset: scale * float(min(len(subset), rank))
-    )
+    ground = tuple(ground)
+    lattice = lattice_context(ground)
+    vec = scale * np.minimum(lattice.popcount, rank).astype(float)
+    return SetFunction._from_dense(ground, vec, lattice)
 
 
 def conditional_entropy_function(base: SetFunction, given: Iterable[str]) -> SetFunction:

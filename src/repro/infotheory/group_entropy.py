@@ -18,10 +18,12 @@ from __future__ import annotations
 from itertools import product
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.cq.structures import Relation
 from repro.exceptions import EntropyError
 from repro.infotheory.setfunction import SetFunction
-from repro.utils.subsets import all_subsets
+from repro.utils.lattice import lattice_context
 
 Vector = Tuple[int, ...]
 
@@ -82,19 +84,19 @@ def entropy_from_subspaces(
         variable: span(generators, dimension)
         for variable, generators in subspace_generators.items()
     }
-    values = {}
-    for subset in all_subsets(ground):
-        if not subset:
-            continue
-        intersection = None
-        for variable in subset:
-            intersection = (
-                subspaces[variable]
-                if intersection is None
-                else intersection & subspaces[variable]
-            )
-        values[frozenset(subset)] = float(dimension - subspace_dimension(intersection))
-    return SetFunction(ground=ground, values=values)
+    # Walk the subset lattice by bitmask, reusing the intersection of each
+    # mask-minus-lowest-bit so every subset costs a single set intersection.
+    lattice = lattice_context(ground)
+    intersections: List[FrozenSet[Vector]] = [frozenset()] * lattice.size
+    vec = np.zeros(lattice.size)
+    for mask in range(1, lattice.size):
+        low_bit = mask & -mask
+        rest = mask ^ low_bit
+        subspace = subspaces[ground[low_bit.bit_length() - 1]]
+        intersection = subspace if rest == 0 else intersections[rest] & subspace
+        intersections[mask] = intersection
+        vec[mask] = float(dimension - subspace_dimension(intersection))
+    return SetFunction._from_dense(ground, vec, lattice)
 
 
 def group_characterizable_relation(

@@ -5,14 +5,30 @@ satisfies ``h(X) = Σ_{Y ⊇ X} g(Y)``.  The paper shows that ``h`` is a
 *normal* function (a non-negative combination of step functions) exactly
 when ``g(X) ≤ 0`` for every ``X ≠ V`` — equivalently when the I-measure of
 ``h`` is non-negative (Fact B.7).
+
+Performance notes
+-----------------
+Both directions of the transform run as the standard subset-convolution DP
+(``O(n · 2^n)`` vectorized numpy operations) over the dense bitmask-indexed
+value vector, via :meth:`SubsetLattice.mobius_superset` and
+:meth:`SubsetLattice.zeta_superset` — instead of the naive ``O(4^n)`` pair
+enumeration.  :func:`mobius_inverse_vector` exposes the dense form directly
+for callers that stay in mask coordinates.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Tuple
 
+import numpy as np
+
 from repro.infotheory.setfunction import DEFAULT_TOLERANCE, SetFunction
-from repro.utils.subsets import all_subsets
+from repro.utils.lattice import lattice_context
+
+
+def mobius_inverse_vector(function: SetFunction) -> np.ndarray:
+    """The Möbius inverse as a dense bitmask-indexed vector (Eq. (33))."""
+    return function.lattice.mobius_superset(function.dense_values())
 
 
 def mobius_inverse(function: SetFunction) -> Dict[FrozenSet[str], float]:
@@ -21,32 +37,26 @@ def mobius_inverse(function: SetFunction) -> Dict[FrozenSet[str], float]:
     The result includes the empty set: ``g(∅) = Σ_Y (-1)^{|Y|} h(Y)``, which
     equals ``-Σ_{Y ≠ ∅} g(Y)`` because ``h(∅) = 0``.
     """
-    ground = function.ground
-    result: Dict[FrozenSet[str], float] = {}
-    subsets = [frozenset(s) for s in all_subsets(ground)]
-    for lower in subsets:
-        value = 0.0
-        for upper in subsets:
-            if lower <= upper:
-                sign = -1.0 if (len(upper) - len(lower)) % 2 else 1.0
-                value += sign * function(upper)
-        result[lower] = value
-    return result
+    lattice = function.lattice
+    inverse = mobius_inverse_vector(function)
+    return {
+        subset: float(inverse[mask])
+        for subset, mask in zip(lattice.subsets_canonical, lattice.canon_masks)
+    }
 
 
 def from_mobius_inverse(
     ground: Tuple[str, ...], inverse: Dict[FrozenSet[str], float]
 ) -> SetFunction:
     """Rebuild ``h`` from its Möbius inverse: ``h(X) = Σ_{Y ⊇ X} g(Y)``."""
-    subsets = [frozenset(s) for s in all_subsets(ground)]
-    values = {}
-    for lower in subsets:
-        if not lower:
-            continue
-        values[lower] = sum(
-            inverse.get(upper, 0.0) for upper in subsets if lower <= upper
-        )
-    return SetFunction(ground=tuple(ground), values=values)
+    ground = tuple(ground)
+    lattice = lattice_context(ground)
+    dense_inverse = np.zeros(lattice.size)
+    for subset, value in inverse.items():
+        dense_inverse[lattice.mask_of(subset)] = float(value)
+    vec = lattice.zeta_superset(dense_inverse)
+    vec[0] = 0.0
+    return SetFunction._from_dense(ground, vec, lattice)
 
 
 def i_measure(function: SetFunction) -> Dict[FrozenSet[str], float]:
@@ -59,16 +69,15 @@ def i_measure(function: SetFunction) -> Dict[FrozenSet[str], float]:
     ``Σ_{C ⊆ X̂} µ(C) = h(X)`` for every ``X`` and the measure is
     non-negative exactly when the function is normal.
     """
-    inverse = mobius_inverse(function)
-    full = frozenset(function.ground)
-    measure: Dict[FrozenSet[str], float] = {}
-    for subset in all_subsets(function.ground):
-        positive = frozenset(subset)
-        if not positive:
-            continue
-        negative = full - positive
-        measure[positive] = -inverse[negative]
-    return measure
+    lattice = function.lattice
+    inverse = mobius_inverse_vector(function)
+    full = lattice.full_mask
+    return {
+        subset: float(-inverse[full ^ mask])
+        for subset, mask in zip(
+            lattice.subsets_canonical[1:], lattice.canon_masks[1:]
+        )
+    }
 
 
 def is_normal_function(
@@ -79,11 +88,9 @@ def is_normal_function(
     By Fact B.7 this is equivalent to ``g(X) ≤ 0`` for every ``X ≠ V`` where
     ``g`` is the Möbius inverse of ``function``.
     """
-    inverse = mobius_inverse(function)
-    full = frozenset(function.ground)
-    return all(
-        value <= tolerance for subset, value in inverse.items() if subset != full
-    )
+    inverse = mobius_inverse_vector(function)
+    # Exclude the full set (mask 2^n - 1): its inverse value is unconstrained.
+    return bool(np.all(inverse[: function.lattice.full_mask] <= tolerance))
 
 
 def step_decomposition(
@@ -98,10 +105,11 @@ def step_decomposition(
     """
     if not is_normal_function(function, tolerance):
         raise ValueError("function is not normal; no step decomposition exists")
-    inverse = mobius_inverse(function)
-    full = frozenset(function.ground)
+    lattice = function.lattice
+    inverse = mobius_inverse_vector(function)
+    full = lattice.full_mask
     return {
-        subset: max(0.0, -value)
-        for subset, value in inverse.items()
-        if subset != full and -value > tolerance
+        subset: max(0.0, float(-inverse[mask]))
+        for subset, mask in zip(lattice.subsets_canonical, lattice.canon_masks)
+        if mask != full and -inverse[mask] > tolerance
     }

@@ -27,7 +27,7 @@ from repro.infotheory.expressions import (
     MaxInformationInequality,
 )
 from repro.infotheory.setfunction import SetFunction
-from repro.infotheory.shannon import ShannonCertificate, ShannonProver
+from repro.infotheory.shannon import ShannonCertificate, shannon_prover
 
 
 @dataclass(frozen=True)
@@ -85,7 +85,7 @@ def decide_max_ii(
         )
     certificate = None
     if with_certificate and over == "gamma" and len(branches) == 1:
-        certificate = ShannonProver(ground).certificate(branches[0])
+        certificate = shannon_prover(ground).certificate(branches[0])
     return MaxIIVerdict(valid=True, cone=over, certificate=certificate)
 
 

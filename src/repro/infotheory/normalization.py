@@ -12,15 +12,26 @@ Two constructions:
 Both constructions are purely combinatorial (no LP) and are verified against
 their stated invariants by the test suite, including on the parity function
 (Example C.4).
+
+Performance notes
+-----------------
+Both constructions work directly on the dense bitmask-indexed value vector.
+The Theorem C.3 recursion splits the lattice on the *highest* bit, so the
+"contains the last variable" half is literally the upper half of the vector
+and each recombination step is two vectorized slice operations — the overall
+construction is ``O(n · 2^n)`` numpy work instead of ``O(4^n)`` dictionary
+building.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence
 
+import numpy as np
+
 from repro.exceptions import EntropyError
 from repro.infotheory.setfunction import SetFunction
-from repro.utils.subsets import all_subsets
+from repro.utils.lattice import lattice_context
 
 
 def modular_lower_bound(
@@ -36,26 +47,34 @@ def modular_lower_bound(
     order = tuple(order) if order is not None else function.ground
     if set(order) != set(function.ground):
         raise EntropyError("order must be a permutation of the ground set")
-    weights: Dict[str, float] = {}
-    previous: list = []
+    lattice = function.lattice
+    vec = function.dense_values()
+    previous_mask = 0
+    weights = np.zeros(lattice.n)
     for variable in order:
-        weights[variable] = function.conditional([variable], previous)
-        previous.append(variable)
-    values = {}
-    for subset in all_subsets(function.ground):
-        if subset:
-            values[frozenset(subset)] = sum(weights[v] for v in subset)
-    return SetFunction(ground=function.ground, values=values)
+        bit = lattice.bits[variable]
+        weights[lattice.positions[variable]] = (
+            vec[previous_mask | bit] - vec[previous_mask]
+        )
+        previous_mask |= bit
+    result = np.zeros(lattice.size)
+    for i in range(lattice.n):
+        result += ((lattice.arange >> i) & 1) * weights[i]
+    return SetFunction._from_dense(function.ground, result, lattice)
 
 
 def _max_construction(ground: Sequence[str], weights: Dict[str, float]) -> SetFunction:
     """The normal polymatroid ``h(X) = max_{i∈X} weights[i]`` of Lemma C.2."""
     ground = tuple(ground)
-    values = {}
-    for subset in all_subsets(ground):
-        if subset:
-            values[frozenset(subset)] = max(weights[v] for v in subset)
-    return SetFunction(ground=ground, values=values)
+    lattice = lattice_context(ground)
+    result = np.full(lattice.size, -np.inf)
+    for i, variable in enumerate(ground):
+        contribution = np.where(
+            (lattice.arange >> i) & 1, float(weights[variable]), -np.inf
+        )
+        np.maximum(result, contribution, out=result)
+    result[0] = 0.0
+    return SetFunction._from_dense(ground, result, lattice)
 
 
 def normal_lower_bound(function: SetFunction) -> SetFunction:
@@ -76,45 +95,32 @@ def normal_lower_bound(function: SetFunction) -> SetFunction:
     ground = function.ground
     if len(ground) == 0:
         raise EntropyError("the ground set must be non-empty")
+    vec = function.dense_values()
     if len(ground) == 1:
         # Any single-variable polymatroid is a (scaled) step function at ∅.
-        return SetFunction(
-            ground=ground, values={frozenset(ground): function(ground)}
-        )
+        return SetFunction._from_dense(ground, vec.copy())
 
-    last = ground[-1]
     rest = ground[:-1]
+    half = 1 << (len(ground) - 1)  # the bit of the last variable
 
-    # h2 over `rest`: h2(X) = h(X ∪ {last}) - h({last})   (conditional on last)
-    h2_values = {}
-    for subset in all_subsets(rest):
-        if subset:
-            h2_values[frozenset(subset)] = function(frozenset(subset) | {last}) - function(
-                [last]
-            )
-    h2 = SetFunction(ground=rest, values=h2_values)
-    h2_prime = normal_lower_bound(h2)
+    # h2 over `rest`: h2(X) = h(X ∪ {last}) - h({last}).  The last variable
+    # carries the highest bit, so those subsets are the upper half of `vec`.
+    h2 = SetFunction._from_dense(rest, vec[half:] - vec[half])
+    h2_prime_vec = normal_lower_bound(h2).dense_values()
 
     # h1' over `rest`: the max-construction applied to I({i} ; {last}).
     mutual = {
-        variable: function.mutual_information([variable], [last]) for variable in rest
+        variable: vec[1 << i] + vec[half] - vec[(1 << i) | half]
+        for i, variable in enumerate(rest)
     }
-    h1_prime = _max_construction(rest, mutual)
+    h1_prime_vec = _max_construction(rest, mutual).dense_values()
 
     # Combine (Eqs. (42) and (43) of the paper).
-    values: Dict[frozenset, float] = {}
-    for subset in all_subsets(ground):
-        subset = frozenset(subset)
-        if not subset:
-            continue
-        if last in subset:
-            remainder = subset - {last}
-            values[subset] = function([last]) + (
-                h2_prime(remainder) if remainder else 0.0
-            )
-        else:
-            values[subset] = h1_prime(subset) + h2_prime(subset)
-    return SetFunction(ground=ground, values=values)
+    result = np.empty(2 * half)
+    result[:half] = h1_prime_vec + h2_prime_vec
+    result[half:] = vec[half] + h2_prime_vec
+    result[0] = 0.0
+    return SetFunction._from_dense(ground, result)
 
 
 def normalization_gap(function: SetFunction) -> Dict[frozenset, float]:
@@ -124,6 +130,11 @@ def normalization_gap(function: SetFunction) -> Dict[frozenset, float]:
     each subset (it loses nothing on ``V`` and on singletons).
     """
     lower = normal_lower_bound(function)
+    gap = function.dense_values() - lower.dense_values()
+    lattice = function.lattice
     return {
-        subset: function(subset) - lower(subset) for subset in function.subsets()
+        subset: float(gap[mask])
+        for subset, mask in zip(
+            lattice.subsets_canonical[1:], lattice.canon_masks[1:]
+        )
     }

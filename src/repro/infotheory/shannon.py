@@ -14,11 +14,24 @@ decidable by linear programming; this module implements both directions:
 
 This is the decision engine behind Theorem 3.6 and the Theorem 3.1
 containment algorithm.
+
+Performance notes
+-----------------
+Coordinates follow the canonical subset order (by size, then
+lexicographically) shared with :meth:`SetFunction.to_vector`; internally the
+subsets are bitmasks (element ``ground[i]`` ↦ bit ``2**i``).  The elemental
+CSR matrix is built once per ground tuple from bitmask arithmetic by the
+shared :func:`repro.utils.lattice.lattice_context` and reused by every
+prover, so ``ShannonProver(ground)`` is cheap after the first construction
+for a given arity.  Use :func:`shannon_prover` to share whole prover
+instances process-wide (repeated containment checks over the same arity then
+skip all constraint-matrix work).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +43,7 @@ from repro.infotheory.polymatroid import ElementalInequality, elemental_inequali
 from repro.infotheory.setfunction import SetFunction
 from repro.lp.certificates import nonnegative_combination
 from repro.lp.solver import LPStatus, minimize
+from repro.utils.lattice import lattice_context
 
 
 @dataclass(frozen=True)
@@ -68,24 +82,17 @@ class ShannonProver:
         self.ground: Tuple[str, ...] = tuple(ground)
         if not self.ground:
             raise ValueError("the ground set must be non-empty")
-        self._subsets = SetFunction.zero(self.ground).subsets()
-        self._subset_index = {subset: i for i, subset in enumerate(self._subsets)}
+        lattice = lattice_context(self.ground)
+        self._lattice = lattice
+        self._subsets = lattice.nonempty_subsets
+        # Canonical position of each non-empty subset (the LP coordinate order).
+        self._subset_index = {
+            subset: i for i, subset in enumerate(self._subsets)
+        }
         self.elementals: List[ElementalInequality] = elemental_inequalities(self.ground)
-        self._elemental_matrix = self._build_elemental_matrix()
-
-    def _build_elemental_matrix(self) -> sp.csr_matrix:
-        """Sparse row-per-elemental matrix (each row has at most four non-zeros)."""
-        rows: List[int] = []
-        cols: List[int] = []
-        data: List[float] = []
-        for row, inequality in enumerate(self.elementals):
-            for subset, coefficient in inequality.as_dict().items():
-                rows.append(row)
-                cols.append(self._subset_index[subset])
-                data.append(coefficient)
-        return sp.csr_matrix(
-            (data, (rows, cols)), shape=(len(self.elementals), len(self._subsets))
-        )
+        # Shared, cached CSR matrix built from bitmask arithmetic (one row per
+        # elemental inequality, one column per canonical non-empty subset).
+        self._elemental_matrix = lattice.elemental_matrix()
 
     # ------------------------------------------------------------------ #
     # Vector encoding
@@ -108,10 +115,7 @@ class ShannonProver:
 
     def function_from_vector(self, vector: np.ndarray) -> SetFunction:
         """Rebuild a :class:`SetFunction` from an LP solution vector."""
-        return SetFunction(
-            ground=self.ground,
-            values={subset: vector[i] for subset, i in self._subset_index.items()},
-        )
+        return SetFunction.from_vector(self.ground, vector)
 
     # ------------------------------------------------------------------ #
     # Decision procedures
@@ -131,12 +135,7 @@ class ShannonProver:
         )
         A_ub = sp.vstack([-self._elemental_matrix, total_row], format="csr")
         b_ub = np.concatenate([np.zeros(len(self.elementals)), np.array([1.0])])
-        result = minimize(
-            objective,
-            A_ub=A_ub,
-            b_ub=b_ub,
-            bounds=[(0, None)] * len(self._subsets),
-        )
+        result = minimize(objective, A_ub=A_ub, b_ub=b_ub)
         if result.status != LPStatus.OPTIMAL:
             raise CertificateError(f"unexpected LP status {result.status} in Shannon prover")
         return result.objective, self.function_from_vector(result.solution)
@@ -179,3 +178,15 @@ class ShannonProver:
             if multiplier > tolerance
         )
         return ShannonCertificate(ground=self.ground, multipliers=pairs)
+
+
+@lru_cache(maxsize=128)
+def shannon_prover(ground: Tuple[str, ...]) -> ShannonProver:
+    """A process-wide shared :class:`ShannonProver` for a ground tuple.
+
+    Provers are stateless after construction, so sharing them is safe; the
+    cache lets repeated containment checks over the same arity skip the LP
+    constraint-matrix construction entirely.  Bounded so processes that see
+    many distinct variable-name tuples don't grow without limit.
+    """
+    return ShannonProver(tuple(ground))

@@ -81,13 +81,15 @@ def minimize(
     """
     objective = np.asarray(objective, dtype=float)
     width = objective.shape[0]
+    # A single (min, max) pair applies to every variable — scipy broadcasts
+    # it, which avoids materializing a 2^n-entry bounds list per solve.
     result = linprog(
         c=objective,
         A_ub=_as_array(A_ub, width),
         b_ub=None if b_ub is None else np.asarray(b_ub, dtype=float),
         A_eq=_as_array(A_eq, width),
         b_eq=None if b_eq is None else np.asarray(b_eq, dtype=float),
-        bounds=bounds if bounds is not None else [(0, None)] * width,
+        bounds=bounds if bounds is not None else (0, None),
         method="highs",
     )
     if result.status == 0:

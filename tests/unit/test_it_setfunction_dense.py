@@ -1,0 +1,214 @@
+"""Representation-equivalence tests for the dense bitmask SetFunction core.
+
+The vectorized operations must agree with a retained pure-dict reference
+implementation (the pre-refactor semantics) on random set functions.  Every
+test is parametrized over ground sizes up to n = 6 and several random seeds,
+covering algebra, dominance, conditioning, the Möbius transform and the
+elemental-matrix rows.
+"""
+
+import random
+from itertools import chain, combinations
+
+import numpy as np
+import pytest
+
+from repro.infotheory.imeasure import from_mobius_inverse, mobius_inverse
+from repro.infotheory.polymatroid import elemental_inequalities
+from repro.infotheory.setfunction import SetFunction
+from repro.utils.lattice import lattice_context
+
+
+# --------------------------------------------------------------------- #
+# Pure-dict reference implementation (the pre-vectorization semantics)
+# --------------------------------------------------------------------- #
+def _all_subsets(items):
+    return chain.from_iterable(
+        combinations(items, size) for size in range(len(items) + 1)
+    )
+
+
+class DictSetFunction:
+    """Reference ``h : 2^V → R`` backed by a frozenset-keyed dict."""
+
+    def __init__(self, ground, values):
+        self.ground = tuple(ground)
+        self.values = {frozenset(s): float(v) for s, v in values.items() if s}
+
+    def __call__(self, subset):
+        return self.values.get(frozenset(subset), 0.0)
+
+    def subsets(self):
+        return [frozenset(s) for s in _all_subsets(self.ground) if s]
+
+    def add(self, other):
+        return {s: self(s) + other(s) for s in self.subsets()}
+
+    def sub(self, other):
+        return {s: self(s) - other(s) for s in self.subsets()}
+
+    def scale(self, scalar):
+        return {s: scalar * self(s) for s in self.subsets()}
+
+    def dominates(self, other, tolerance=1e-9):
+        return all(self(s) >= other(s) - tolerance for s in self.subsets())
+
+    def conditioned_on(self, given):
+        given = frozenset(given)
+        remaining = tuple(v for v in self.ground if v not in given)
+        return {
+            frozenset(s): self(frozenset(s) | given) - self(given)
+            for s in _all_subsets(remaining)
+            if s
+        }
+
+    def mobius_inverse(self):
+        subsets = [frozenset(s) for s in _all_subsets(self.ground)]
+        result = {}
+        for lower in subsets:
+            value = 0.0
+            for upper in subsets:
+                if lower <= upper:
+                    sign = -1.0 if (len(upper) - len(lower)) % 2 else 1.0
+                    value += sign * self(upper)
+            result[lower] = value
+        return result
+
+
+def _random_pair(n, seed):
+    ground = tuple(f"X{i}" for i in range(n))
+    rng = random.Random(seed)
+    values = {
+        frozenset(s): rng.uniform(-2.0, 2.0) for s in _all_subsets(ground) if s
+    }
+    return (
+        ground,
+        values,
+        SetFunction(ground=ground, values=values),
+        DictSetFunction(ground, values),
+    )
+
+
+CASES = [(n, seed) for n in range(1, 7) for seed in (0, 1, 2)]
+
+
+@pytest.mark.parametrize("n,seed", CASES)
+def test_algebra_matches_reference(n, seed):
+    ground, _, dense_a, ref_a = _random_pair(n, seed)
+    _, _, dense_b, ref_b = _random_pair(n, seed + 100)
+    for dense_result, ref_result in [
+        (dense_a + dense_b, ref_a.add(ref_b)),
+        (dense_a - dense_b, ref_a.sub(ref_b)),
+        (3.25 * dense_a, ref_a.scale(3.25)),
+        (dense_a * -0.5, ref_a.scale(-0.5)),
+    ]:
+        for subset, expected in ref_result.items():
+            assert dense_result(subset) == pytest.approx(expected, abs=1e-12)
+
+
+@pytest.mark.parametrize("n,seed", CASES)
+def test_evaluation_and_vector_roundtrip(n, seed):
+    ground, values, dense, ref = _random_pair(n, seed)
+    for subset in ref.subsets():
+        assert dense(subset) == pytest.approx(ref(subset))
+    assert dense(()) == 0.0
+    vector = dense.to_vector()
+    assert np.allclose(vector, [ref(s) for s in dense.subsets()])
+    rebuilt = SetFunction.from_vector(ground, vector)
+    assert rebuilt.is_close_to(dense, tolerance=0.0)
+
+
+@pytest.mark.parametrize("n,seed", CASES)
+def test_dominates_matches_reference(n, seed):
+    _, _, dense_a, ref_a = _random_pair(n, seed)
+    _, _, dense_b, ref_b = _random_pair(n, seed + 100)
+    assert dense_a.dominates(dense_b) == ref_a.dominates(ref_b)
+    assert dense_b.dominates(dense_a) == ref_b.dominates(ref_a)
+    assert dense_a.dominates(dense_a)
+    bumped = dense_a + SetFunction(
+        ground=dense_a.ground, values={frozenset([dense_a.ground[0]]): 0.25}
+    )
+    assert bumped.dominates(dense_a)
+    assert not dense_a.dominates(bumped)
+
+
+@pytest.mark.parametrize("n,seed", CASES)
+def test_conditioned_on_matches_reference(n, seed):
+    ground, _, dense, ref = _random_pair(n, seed)
+    rng = random.Random(seed + 7)
+    given = frozenset(v for v in ground if rng.random() < 0.5)
+    conditioned = dense.conditioned_on(given)
+    expected = ref.conditioned_on(given)
+    assert conditioned.ground == tuple(v for v in ground if v not in given)
+    for subset, value in expected.items():
+        assert conditioned(subset) == pytest.approx(value, abs=1e-12)
+
+
+@pytest.mark.parametrize("n,seed", CASES)
+def test_mobius_transform_matches_reference(n, seed):
+    ground, _, dense, ref = _random_pair(n, seed)
+    vectorized = mobius_inverse(dense)
+    reference = ref.mobius_inverse()
+    assert set(vectorized) == set(reference)
+    for subset, value in reference.items():
+        assert vectorized[subset] == pytest.approx(value, abs=1e-9)
+    # Round trip: ζ(μ(h)) = h.
+    rebuilt = from_mobius_inverse(ground, vectorized)
+    assert rebuilt.is_close_to(dense, tolerance=1e-9)
+
+
+@pytest.mark.parametrize("n", range(1, 7))
+def test_elemental_matrix_rows_match_inequalities(n):
+    ground = tuple(f"X{i}" for i in range(n))
+    lattice = lattice_context(ground)
+    matrix = lattice.elemental_matrix().toarray()
+    inequalities = elemental_inequalities(ground)
+    assert matrix.shape == (len(inequalities), 2**n - 1)
+    index = {subset: i for i, subset in enumerate(lattice.nonempty_subsets)}
+    for row, inequality in enumerate(inequalities):
+        expected = np.zeros(2**n - 1)
+        for subset, coefficient in inequality.as_dict().items():
+            expected[index[subset]] += coefficient
+        assert np.array_equal(matrix[row], expected), inequality.description
+
+
+@pytest.mark.parametrize("n,seed", CASES)
+def test_elemental_evaluate_matches_matrix(n, seed):
+    _, _, dense, _ = _random_pair(n, seed)
+    matrix = dense.lattice.elemental_matrix()
+    via_matrix = matrix @ dense.to_vector()
+    via_evaluate = np.array(
+        [ineq.evaluate(dense) for ineq in elemental_inequalities(dense.ground)]
+    )
+    assert np.allclose(via_matrix, via_evaluate, atol=1e-9)
+
+
+@pytest.mark.parametrize("n,seed", [(3, 0), (5, 1)])
+def test_restrict_and_rename_match_reference(n, seed):
+    ground, _, dense, ref = _random_pair(n, seed)
+    kept = ground[: max(1, n - 1)]
+    restricted = dense.restrict(kept)
+    for s in _all_subsets(kept):
+        if s:
+            assert restricted(s) == pytest.approx(ref(s))
+    renamed = dense.rename({ground[0]: "Z"})
+    assert renamed.ground[0] == "Z"
+    for s in ref.subsets():
+        image = frozenset("Z" if v == ground[0] else v for v in s)
+        assert renamed(image) == pytest.approx(ref(s))
+
+
+def test_reversed_ground_order_algebra_aligns():
+    ground = ("a", "b", "c")
+    values = {
+        frozenset(s): float(len(s) * 10 + i)
+        for i, s in enumerate(x for x in _all_subsets(ground) if x)
+    }
+    forward = SetFunction(ground=ground, values=values)
+    backward = SetFunction(ground=tuple(reversed(ground)), values=values)
+    total = forward + backward
+    for subset in forward.subsets():
+        assert total(subset) == pytest.approx(forward(subset) + backward(subset))
+    assert forward.dominates(backward) == all(
+        forward(s) >= backward(s) - 1e-9 for s in forward.subsets()
+    )
