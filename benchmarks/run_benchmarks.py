@@ -94,6 +94,13 @@ def main(argv=None) -> int:
         print(f"no benchmarks were collected; {output} is empty", file=sys.stderr)
         return 1
     report = json.loads(text)
+
+    # pytest-benchmark stores every raw timing sample, which balloons the
+    # report to tens of MB; keep only the summary statistics so the snapshot
+    # is reviewable and cheap to track in git.
+    for bench in report["benchmarks"]:
+        bench["stats"].pop("data", None)
+    output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
     rows = sorted(
         (bench["name"], bench["stats"]["mean"]) for bench in report["benchmarks"]
     )
