@@ -1,0 +1,122 @@
+"""E13 — batch containment service throughput (PR 2).
+
+Measures pairs/second on mixed workloads (``mixed_containment_pairs``) at
+batch sizes 1 / 16 / 128, comparing
+
+* the **sequential** baseline — a plain ``decide_containment`` loop, which
+  pays a full pipeline and its own cold HiGHS solves per pair, versus
+* the **batch service** — canonical dedup behind the plan cache plus
+  arity-grouped block-LP solving (``decide_containment_many``), with grouping
+  additionally ablated via ``chunk_size=1`` (dedup only, one LP call per
+  cone decision).
+
+The acceptance bar of ISSUE 2: on the 128-pair workload the batch service
+must reach ≥ 3× the sequential throughput with pair-for-pair identical
+verdicts (asserted here, and recorded in ``extra_info``).
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.containment import decide_containment
+from repro.service import ContainmentService
+from repro.workloads.generators import mixed_containment_pairs
+
+WORKLOAD_SEED = 7
+
+
+def _workload(size):
+    return mixed_containment_pairs(size, seed=WORKLOAD_SEED)
+
+
+def _sequential(pairs):
+    return [decide_containment(q1, q2) for q1, q2 in pairs]
+
+
+@lru_cache(maxsize=None)
+def _sequential_statuses(size):
+    """The sequential baseline's statuses, computed once per workload size."""
+    return [r.status for r in _sequential(_workload(size))]
+
+
+def _batched(pairs, chunk_size=32):
+    # A fresh service per run: cross-run plan-cache hits would measure the
+    # cache, not the engine.
+    return ContainmentService(chunk_size=chunk_size).decide_many(pairs)
+
+
+@pytest.mark.parametrize("size", [1, 16, 128])
+def test_sequential_loop(benchmark, record, size):
+    pairs = _workload(size)
+    benchmark.pedantic(_sequential, args=(pairs,), rounds=1, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    record(
+        experiment="E13",
+        mode="sequential",
+        batch_size=size,
+        pairs_per_second=size / seconds,
+    )
+
+
+@pytest.mark.parametrize("size", [1, 16, 128])
+def test_batch_service_grouped(benchmark, record, size):
+    pairs = _workload(size)
+    results = benchmark.pedantic(_batched, args=(pairs,), rounds=1, iterations=1)
+    assert [r.status for r in results] == _sequential_statuses(size)
+    seconds = benchmark.stats.stats.mean
+    record(
+        experiment="E13",
+        mode="batch-grouped",
+        batch_size=size,
+        chunk_size=32,
+        pairs_per_second=size / seconds,
+    )
+
+
+@pytest.mark.parametrize("size", [16, 128])
+def test_batch_service_ungrouped(benchmark, record, size):
+    """Ablation: dedup and plan cache only, no LP grouping (chunk_size=1)."""
+    pairs = _workload(size)
+    results = benchmark.pedantic(
+        _batched, args=(pairs,), kwargs={"chunk_size": 1}, rounds=1, iterations=1
+    )
+    assert [r.status for r in results] == _sequential_statuses(size)
+    seconds = benchmark.stats.stats.mean
+    record(
+        experiment="E13",
+        mode="batch-ungrouped",
+        batch_size=size,
+        chunk_size=1,
+        pairs_per_second=size / seconds,
+    )
+
+
+def test_batch_speedup_acceptance(benchmark, record):
+    """The ISSUE 2 acceptance measurement: 128 mixed pairs, ≥ 3× throughput."""
+    import time
+
+    pairs = _workload(128)
+    started = time.perf_counter()
+    sequential = _sequential(pairs)
+    sequential_seconds = time.perf_counter() - started
+
+    def run_batch():
+        return _batched(pairs)
+
+    results = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    batch_seconds = benchmark.stats.stats.mean
+    speedup = sequential_seconds / batch_seconds
+    identical = [r.status for r in results] == [r.status for r in sequential]
+    _sequential_statuses.cache_clear()
+    assert identical
+    assert speedup >= 3.0, f"batch speedup {speedup:.2f}x below the 3x acceptance bar"
+    record(
+        experiment="E13",
+        mode="acceptance",
+        batch_size=128,
+        sequential_seconds=sequential_seconds,
+        batch_seconds=batch_seconds,
+        speedup=speedup,
+        verdicts_identical=identical,
+    )

@@ -2,13 +2,15 @@
 """Benchmark harness entry point: run pytest-benchmark, write ``BENCH_<N>.json``.
 
 Runs the ``benchmarks/`` suite under pytest-benchmark and writes the JSON
-report to the repo root (default ``BENCH_1.json``), so every PR leaves a
-perf snapshot behind and future PRs have a trajectory to compare against::
+report to the repo root, so every PR leaves a perf snapshot behind and future
+PRs have a trajectory to compare against.  By default the output name is the
+next free index in the ``BENCH_<N>.json`` sequence (PR 1 wrote
+``BENCH_1.json``, so a fresh run writes ``BENCH_2.json``, and so on)::
 
     python benchmarks/run_benchmarks.py                    # full suite
     python benchmarks/run_benchmarks.py --fast             # hot-path subset
     python benchmarks/run_benchmarks.py -k setfunction     # pytest -k filter
-    python benchmarks/run_benchmarks.py --output BENCH_2.json
+    python benchmarks/run_benchmarks.py --output BENCH_9.json
 
 The script re-invokes pytest in a subprocess with ``PYTHONPATH=src`` set, so
 it works from a clean checkout without installation.
@@ -19,11 +21,22 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def next_bench_name() -> str:
+    """The next unused ``BENCH_<N>.json`` name at the repo root."""
+    taken = [
+        int(match.group(1))
+        for path in REPO_ROOT.glob("BENCH_*.json")
+        if (match := re.fullmatch(r"BENCH_(\d+)\.json", path.name))
+    ]
+    return f"BENCH_{max(taken, default=0) + 1}.json"
 
 # The benchmarks exercising the PR-1 hot paths (dense SetFunction core and
 # cached prover construction); --fast runs only these.
@@ -38,8 +51,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default="BENCH_1.json",
-        help="JSON report path, relative to the repo root (default: BENCH_1.json)",
+        default=None,
+        help=(
+            "JSON report path, relative to the repo root "
+            "(default: the next free BENCH_<N>.json index)"
+        ),
     )
     parser.add_argument(
         "--fast",
@@ -52,7 +68,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    output = Path(args.output)
+    output = Path(args.output if args.output is not None else next_bench_name())
     if not output.is_absolute():
         output = REPO_ROOT / output
 

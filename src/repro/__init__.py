@@ -58,8 +58,13 @@ from repro.infotheory import (
     decide_max_ii,
     relation_entropy,
 )
+from repro.service import (
+    BatchOptions,
+    ContainmentService,
+    decide_containment_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -78,6 +83,9 @@ __all__ = [
     "ContainmentResult",
     "WitnessDatabase",
     "decide_containment",
+    "decide_containment_many",
+    "ContainmentService",
+    "BatchOptions",
     "theorem_3_1_decision",
     "sufficient_containment_check",
     "build_containment_inequality",

@@ -1,23 +1,35 @@
 """Command-line interface.
 
-Three sub-commands expose the main workflows::
+Four sub-commands expose the main workflows::
 
     python -m repro contain "R(x,y), R(y,z), R(z,x)" "R(a,b), R(a,c)"
     python -m repro inspect "A(y1,y2), B(y1,y3), C(y4,y2)"
     python -m repro dominate --base "R:0,1;1,2;2,0" --dominating "R:a,b;a,c"
+    python -m repro batch pairs.txt --jobs 4 --stats
 
 ``contain`` decides bag containment and prints the verdict, the decision
 method and (for refutations) the witness database.  ``inspect`` reports the
 structural properties that determine which fragment of the paper a query
 falls into.  ``dominate`` runs the DOM problem on two structures given in a
-compact facts syntax (``Rel:v1,v2;v1,v3 Rel2:...``).
+compact facts syntax (``Rel:v1,v2;v1,v3 Rel2:...``).  ``batch`` reads a file
+of query pairs and decides them all through the batch containment service,
+emitting one JSON verdict per line.
+
+The ``batch`` input format is one pair per line, either as the two query
+bodies separated by ``|``::
+
+    R(x,y), R(y,z), R(z,x) | R(a,b), R(a,c)
+
+or as a JSON object ``{"q1": "...", "q2": "..."}``.  Blank lines and lines
+starting with ``#`` are ignored.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.containment import decide_containment
 from repro.core.domination import dominates
@@ -28,8 +40,10 @@ from repro.cq.decompositions import (
     is_chordal,
 )
 from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
 from repro.cq.structures import Structure
 from repro.exceptions import ReproError
+from repro.service import BatchOptions, ContainmentService
 
 
 def _parse_structure(text: str) -> Structure:
@@ -96,6 +110,84 @@ def _cmd_dominate(args, out) -> int:
     return 0 if result.status.value != "unknown" else 2
 
 
+def _parse_pair_line(line: str, line_number: int) -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Parse one ``batch`` input line (``Q1 | Q2`` or a JSON object)."""
+    if line.lstrip().startswith("{"):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"line {line_number}: invalid JSON ({error})") from None
+        if not isinstance(record, dict) or "q1" not in record or "q2" not in record:
+            raise ReproError(f"line {line_number}: JSON pairs need 'q1' and 'q2' keys")
+        q1_text, q2_text = record["q1"], record["q2"]
+        if not isinstance(q1_text, str) or not isinstance(q2_text, str):
+            raise ReproError(
+                f"line {line_number}: 'q1' and 'q2' must be query strings"
+            )
+    else:
+        parts = line.split("|")
+        if len(parts) != 2:
+            raise ReproError(
+                f"line {line_number}: expected 'Q1 | Q2' (exactly one '|' separator)"
+            )
+        q1_text, q2_text = parts
+    return (
+        parse_query(q1_text.strip(), name=f"Q1@{line_number}"),
+        parse_query(q2_text.strip(), name=f"Q2@{line_number}"),
+    )
+
+
+def _read_pairs(path: str) -> List[Tuple[ConjunctiveQuery, ConjunctiveQuery]]:
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    pairs = []
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        pairs.append(_parse_pair_line(stripped, line_number))
+    if not pairs:
+        raise ReproError("the batch input contains no query pairs")
+    return pairs
+
+
+def _cmd_batch(args, out) -> int:
+    pairs = _read_pairs(args.pairs_file)
+    service = ContainmentService(
+        BatchOptions(
+            method=args.method,
+            chunk_size=args.chunk_size,
+            max_workers=args.jobs,
+            pair_budget=args.budget,
+            on_error="capture",
+        )
+    )
+    report = service.run(pairs)
+    for outcome, (q1, q2) in zip(report.outcomes, pairs):
+        record = {
+            "index": outcome.index,
+            "status": outcome.result.status.value,
+            "method": outcome.result.method,
+            "source": outcome.source,
+            "q1": str(q1),
+            "q2": str(q2),
+        }
+        if outcome.result.witness is not None:
+            record["witness_rows"] = sum(
+                1 for _ in outcome.result.witness.database.facts()
+            )
+        print(json.dumps(record), file=out)
+    if args.stats:
+        print(json.dumps({"stats": report.stats}), file=sys.stderr)
+    unknown = sum(
+        1 for outcome in report.outcomes if outcome.result.status.value == "unknown"
+    )
+    return 0 if unknown == 0 else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -121,6 +213,44 @@ def build_parser() -> argparse.ArgumentParser:
     dominate.add_argument("--base", required=True, help="structure A in 'R:0,1;1,2' syntax")
     dominate.add_argument("--dominating", required=True, help="structure B")
     dominate.set_defaults(handler=_cmd_dominate)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="decide a file of query pairs through the batch service (JSONL out)",
+    )
+    batch.add_argument(
+        "pairs_file",
+        help="path to the pairs file ('-' for stdin); one 'Q1 | Q2' or JSON pair per line",
+    )
+    batch.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "theorem-3.1", "sufficient", "brute-force"],
+    )
+    batch.add_argument(
+        "--chunk-size",
+        type=int,
+        default=32,
+        help="max Γn decisions folded into one block-LP solve (default 32)",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for pipeline advancement and LP solving (default 1)",
+    )
+    batch.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="per-pair wall-clock budget in seconds (over-budget pairs report unknown)",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service statistics as JSON to stderr after the verdicts",
+    )
+    batch.set_defaults(handler=_cmd_batch)
     return parser
 
 

@@ -37,9 +37,12 @@ from repro.core.witness import (
     witness_from_modular_weights,
 )
 from repro.core.containment import (
+    ConeDecisionRequest,
     ContainmentResult,
     ContainmentStatus,
+    containment_pipeline,
     decide_containment,
+    run_containment_pipeline,
     sufficient_containment_check,
     theorem_3_1_decision,
 )
@@ -78,6 +81,9 @@ __all__ = [
     "is_fact_32_witness",
     "ContainmentStatus",
     "ContainmentResult",
+    "ConeDecisionRequest",
+    "containment_pipeline",
+    "run_containment_pipeline",
     "decide_containment",
     "theorem_3_1_decision",
     "sufficient_containment_check",

@@ -19,6 +19,25 @@ Three layers:
   (which is unavoidable in general — the decidability of the full problem is
   open, as the paper shows).
 
+Pipeline architecture
+---------------------
+The decision logic is written once, as the *generator*
+:func:`containment_pipeline`: a coroutine that performs all query-side work
+(Boolean reduction, inequality construction, witness building, brute-force
+refutation) inline and ``yield``s a :class:`ConeDecisionRequest` every time
+it needs an LP verdict, receiving the :class:`MaxIIVerdict` back through
+``send``.  The single-pair entry points below drive the generator by
+answering each request immediately with :func:`decide_max_ii`; the batch
+engine of :mod:`repro.service` drives many generators side by side and
+answers their requests from grouped block-LP solves.  Both drivers therefore
+execute the *same* per-pair pipeline — the batch path cannot drift from the
+sequential semantics.
+
+The pipeline booleanizes the pair exactly once (Lemma A.1) and threads the
+Boolean pair through every stage; the public ``sufficient_containment_check``
+and ``theorem_3_1_decision`` wrappers still accept non-Boolean pairs and
+reduce them on entry for direct callers.
+
 Performance notes
 -----------------
 The LP machinery underneath (:func:`repro.infotheory.maxiip.decide_max_ii`)
@@ -32,7 +51,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Generator, Optional, Sequence, Tuple
 
 from repro.cq.decompositions import (
     TreeDecomposition,
@@ -59,6 +78,7 @@ from repro.core.witness import (
     witness_from_normal_coefficients,
 )
 from repro.exceptions import QueryError, WitnessError
+from repro.infotheory.expressions import MaxInformationInequality
 from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii
 
 
@@ -109,6 +129,46 @@ class ContainmentResult:
         return self.status == ContainmentStatus.NOT_CONTAINED
 
 
+@dataclass(frozen=True)
+class ConeDecisionRequest:
+    """One LP decision the containment pipeline needs answered.
+
+    The pipeline generator yields these and expects a
+    :class:`~repro.infotheory.maxiip.MaxIIVerdict` in return — exactly the
+    contract of :func:`repro.infotheory.maxiip.decide_max_ii`.  ``over`` is
+    the cone name (``"gamma"``, ``"normal"`` or ``"modular"``) and ``ground``
+    the ground tuple the decision must be made over.
+    """
+
+    max_ii: MaxInformationInequality
+    over: str
+    ground: Tuple[str, ...]
+
+
+ContainmentPipeline = Generator[ConeDecisionRequest, MaxIIVerdict, ContainmentResult]
+ConeDecider = Callable[..., MaxIIVerdict]
+
+
+def run_containment_pipeline(
+    pipeline: ContainmentPipeline,
+    decider: ConeDecider = decide_max_ii,
+) -> ContainmentResult:
+    """Drive a containment pipeline, answering each request with ``decider``.
+
+    ``decider`` must accept ``(max_ii, over=..., ground=...)`` and return a
+    :class:`MaxIIVerdict` — the signature of :func:`decide_max_ii`, the
+    default.  The batch engine substitutes a decider that resolves requests
+    from grouped block-LP solves.
+    """
+    try:
+        request = next(pipeline)
+        while True:
+            verdict = decider(request.max_ii, over=request.over, ground=request.ground)
+            request = pipeline.send(verdict)
+    except StopIteration as stop:
+        return stop.value
+
+
 # ---------------------------------------------------------------------- #
 # Helpers
 # ---------------------------------------------------------------------- #
@@ -122,17 +182,17 @@ def _no_homomorphism_witness(
     )
 
 
-def _refute_from_cone(
+def _refute_from_cone_pipeline(
     inequality: ContainmentInequality,
     hom_count: int,
     max_rows: int,
     prefer_modular: bool,
-) -> Optional[WitnessDatabase]:
+) -> Generator[ConeDecisionRequest, MaxIIVerdict, Optional[WitnessDatabase]]:
     """Turn an LP violation over Nn (or Mn) into a verified witness, if possible."""
     max_ii = inequality.as_max_ii()
     cones = ("modular", "normal") if prefer_modular else ("normal", "modular")
     for cone in cones:
-        verdict = decide_max_ii(max_ii, over=cone, ground=inequality.ground)
+        verdict = yield ConeDecisionRequest(max_ii, cone, inequality.ground)
         if verdict.valid or verdict.violating_coefficients is None:
             continue
         try:
@@ -158,18 +218,12 @@ def _refute_from_cone(
 # ---------------------------------------------------------------------- #
 # Sufficient condition (Theorem 4.2)
 # ---------------------------------------------------------------------- #
-def sufficient_containment_check(
+def _sufficient_pipeline(
     q1: ConjunctiveQuery,
     q2: ConjunctiveQuery,
     decompositions: Optional[Sequence[TreeDecomposition]] = None,
-) -> ContainmentResult:
-    """The Theorem 4.2 sufficient condition, decided over the Shannon cone.
-
-    A CONTAINED verdict is always sound (``Γ*n ⊆ Γn``); any other outcome is
-    reported as UNKNOWN by this function alone.
-    """
-    if not (q1.is_boolean and q2.is_boolean):
-        q1, q2 = to_boolean_pair(q1, q2)
+) -> ContainmentPipeline:
+    """Theorem 4.2 pipeline for an already-Boolean pair."""
     inequality = build_containment_inequality(q1, q2, decompositions)
     if inequality.is_trivially_false:
         witness = _no_homomorphism_witness(q1, q2)
@@ -186,7 +240,9 @@ def sufficient_containment_check(
             inequality=inequality,
             details={"note": "hom(Q2,Q1) is empty but the canonical witness failed"},
         )
-    verdict = decide_max_ii(inequality.as_max_ii(), over="gamma", ground=inequality.ground)
+    verdict = yield ConeDecisionRequest(
+        inequality.as_max_ii(), "gamma", inequality.ground
+    )
     if verdict.valid:
         return ContainmentResult(
             status=ContainmentStatus.CONTAINED,
@@ -203,23 +259,30 @@ def sufficient_containment_check(
     )
 
 
-# ---------------------------------------------------------------------- #
-# Theorem 3.1: complete decision for chordal Q2 with a simple junction tree
-# ---------------------------------------------------------------------- #
-def theorem_3_1_decision(
+def sufficient_containment_check(
     q1: ConjunctiveQuery,
     q2: ConjunctiveQuery,
-    max_witness_rows: int = 1024,
+    decompositions: Optional[Sequence[TreeDecomposition]] = None,
 ) -> ContainmentResult:
-    """The complete, exponential-time procedure of Theorem 3.1.
+    """The Theorem 4.2 sufficient condition, decided over the Shannon cone.
 
-    Requires ``Q2`` to be chordal with a simple junction tree (raises
-    :class:`QueryError` otherwise).  The verdict is always CONTAINED or
-    NOT_CONTAINED; NOT_CONTAINED verdicts carry a verified witness whenever
-    one of size at most ``max_witness_rows`` exists.
+    A CONTAINED verdict is always sound (``Γ*n ⊆ Γn``); any other outcome is
+    reported as UNKNOWN by this function alone.
     """
     if not (q1.is_boolean and q2.is_boolean):
         q1, q2 = to_boolean_pair(q1, q2)
+    return run_containment_pipeline(_sufficient_pipeline(q1, q2, decompositions))
+
+
+# ---------------------------------------------------------------------- #
+# Theorem 3.1: complete decision for chordal Q2 with a simple junction tree
+# ---------------------------------------------------------------------- #
+def _theorem_3_1_pipeline(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    max_witness_rows: int = 1024,
+) -> ContainmentPipeline:
+    """Theorem 3.1 pipeline for an already-Boolean pair."""
     if not has_simple_junction_tree(q2):
         raise QueryError(
             "Theorem 3.1 requires Q2 to be chordal with a simple junction tree"
@@ -235,7 +298,9 @@ def theorem_3_1_decision(
             witness=witness,
             details={"reason": "hom(Q2, Q1) is empty"},
         )
-    verdict = decide_max_ii(inequality.as_max_ii(), over="gamma", ground=inequality.ground)
+    verdict = yield ConeDecisionRequest(
+        inequality.as_max_ii(), "gamma", inequality.ground
+    )
     if verdict.valid:
         return ContainmentResult(
             status=ContainmentStatus.CONTAINED,
@@ -245,7 +310,7 @@ def theorem_3_1_decision(
             details={"branches": len(inequality.branches), "simple": True},
         )
     hom_count = count_query_to_query_homomorphisms(q2, q1)
-    witness = _refute_from_cone(
+    witness = yield from _refute_from_cone_pipeline(
         inequality,
         hom_count,
         max_rows=max_witness_rows,
@@ -269,30 +334,41 @@ def theorem_3_1_decision(
     )
 
 
+def theorem_3_1_decision(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    max_witness_rows: int = 1024,
+) -> ContainmentResult:
+    """The complete, exponential-time procedure of Theorem 3.1.
+
+    Requires ``Q2`` to be chordal with a simple junction tree (raises
+    :class:`QueryError` otherwise).  The verdict is always CONTAINED or
+    NOT_CONTAINED; NOT_CONTAINED verdicts carry a verified witness whenever
+    one of size at most ``max_witness_rows`` exists.
+    """
+    if not (q1.is_boolean and q2.is_boolean):
+        q1, q2 = to_boolean_pair(q1, q2)
+    return run_containment_pipeline(_theorem_3_1_pipeline(q1, q2, max_witness_rows))
+
+
 # ---------------------------------------------------------------------- #
 # The general entry point
 # ---------------------------------------------------------------------- #
-def decide_containment(
+def containment_pipeline(
     q1: ConjunctiveQuery,
     q2: ConjunctiveQuery,
     method: str = "auto",
     max_witness_rows: int = 1024,
     refutation_effort: int = 1,
-) -> ContainmentResult:
-    """Decide (or semi-decide) ``Q1 ⊑ Q2`` under bag-set semantics.
+) -> ContainmentPipeline:
+    """The per-pair containment pipeline (see the module docstring).
 
-    ``method`` is one of:
-
-    * ``"auto"`` — use Theorem 3.1 when ``Q2`` is chordal with a simple
-      junction tree, otherwise combine the sufficient check with witness
-      searches;
-    * ``"theorem-3.1"`` — force the complete procedure (raises when ``Q2`` is
-      outside the decidable fragment);
-    * ``"sufficient"`` — only run the Theorem 4.2 sufficient check;
-    * ``"brute-force"`` — only run the explicit witness searches.
-
-    ``refutation_effort`` scales the witness-search budgets in the general
-    (possibly undecidable) case.
+    A generator that yields :class:`ConeDecisionRequest` objects, expects
+    :class:`MaxIIVerdict` answers via ``send`` and returns the final
+    :class:`ContainmentResult`.  ``method``, ``max_witness_rows`` and
+    ``refutation_effort`` have the same meaning as in
+    :func:`decide_containment`.  The Lemma A.1 Boolean reduction is applied
+    exactly once, here; every downstream stage receives the Boolean pair.
     """
     if len(q1.head) != len(q2.head):
         raise QueryError("queries must have the same number of head variables")
@@ -302,9 +378,11 @@ def decide_containment(
     boolean_q1, boolean_q2 = to_boolean_pair(q1, q2)
 
     if method == "theorem-3.1":
-        return theorem_3_1_decision(boolean_q1, boolean_q2, max_witness_rows)
+        return (
+            yield from _theorem_3_1_pipeline(boolean_q1, boolean_q2, max_witness_rows)
+        )
     if method == "sufficient":
-        return sufficient_containment_check(boolean_q1, boolean_q2)
+        return (yield from _sufficient_pipeline(boolean_q1, boolean_q2))
     if method == "brute-force":
         witness = brute_force_refute(
             boolean_q1,
@@ -326,11 +404,13 @@ def decide_containment(
         raise QueryError(f"unknown containment method {method!r}")
 
     if has_simple_junction_tree(boolean_q2):
-        return theorem_3_1_decision(boolean_q1, boolean_q2, max_witness_rows)
+        return (
+            yield from _theorem_3_1_pipeline(boolean_q1, boolean_q2, max_witness_rows)
+        )
 
     # General case: sufficient check first, then refutation attempts.
     decompositions = candidate_tree_decompositions(boolean_q2)
-    sufficient = sufficient_containment_check(boolean_q1, boolean_q2, decompositions)
+    sufficient = yield from _sufficient_pipeline(boolean_q1, boolean_q2, decompositions)
     if sufficient.status != ContainmentStatus.UNKNOWN:
         return sufficient
 
@@ -338,7 +418,7 @@ def decide_containment(
     hom_count = count_query_to_query_homomorphisms(boolean_q2, boolean_q1)
     witness = None
     if inequality is not None and not inequality.is_trivially_false:
-        witness = _refute_from_cone(
+        witness = yield from _refute_from_cone_pipeline(
             inequality, hom_count, max_rows=max_witness_rows, prefer_modular=False
         )
     if witness is None:
@@ -375,4 +455,41 @@ def decide_containment(
             "acyclic_q2": is_acyclic(boolean_q2),
             "chordal_q2": is_chordal(boolean_q2),
         },
+    )
+
+
+def decide_containment(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    method: str = "auto",
+    max_witness_rows: int = 1024,
+    refutation_effort: int = 1,
+) -> ContainmentResult:
+    """Decide (or semi-decide) ``Q1 ⊑ Q2`` under bag-set semantics.
+
+    ``method`` is one of:
+
+    * ``"auto"`` — use Theorem 3.1 when ``Q2`` is chordal with a simple
+      junction tree, otherwise combine the sufficient check with witness
+      searches;
+    * ``"theorem-3.1"`` — force the complete procedure (raises when ``Q2`` is
+      outside the decidable fragment);
+    * ``"sufficient"`` — only run the Theorem 4.2 sufficient check;
+    * ``"brute-force"`` — only run the explicit witness searches.
+
+    ``refutation_effort`` scales the witness-search budgets in the general
+    (possibly undecidable) case.
+
+    This is the sequential driver over :func:`containment_pipeline`; the
+    batch engine (:func:`repro.service.decide_containment_many`) runs the
+    same pipeline with grouped LP solving and a plan cache.
+    """
+    return run_containment_pipeline(
+        containment_pipeline(
+            q1,
+            q2,
+            method=method,
+            max_witness_rows=max_witness_rows,
+            refutation_effort=refutation_effort,
+        )
     )

@@ -59,7 +59,7 @@ from repro.infotheory.expressions import (
 )
 from repro.infotheory.shannon import ShannonCertificate, ShannonProver, shannon_prover
 from repro.infotheory.cones import GammaCone, ModularCone, NormalCone
-from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii
+from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii, decide_max_ii_many
 from repro.infotheory.normalization import modular_lower_bound, normal_lower_bound
 from repro.infotheory.group_entropy import (
     entropy_from_subspaces,
@@ -107,6 +107,7 @@ __all__ = [
     "NormalCone",
     "ModularCone",
     "decide_max_ii",
+    "decide_max_ii_many",
     "MaxIIVerdict",
     "modular_lower_bound",
     "normal_lower_bound",

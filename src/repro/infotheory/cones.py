@@ -32,7 +32,11 @@ from repro.infotheory.functions import modular_function, normal_function, step_f
 from repro.infotheory.imeasure import is_normal_function
 from repro.infotheory.polymatroid import elemental_inequalities, is_modular, is_polymatroid
 from repro.infotheory.setfunction import SetFunction
-from repro.lp.solver import check_feasibility
+from repro.lp.solver import (
+    FeasibilityBlock,
+    check_feasibility,
+    solve_feasibility_blocks,
+)
 from repro.utils.lattice import lattice_context
 from repro.utils.subsets import proper_subsets
 
@@ -63,6 +67,20 @@ class Cone:
     ) -> Optional[ConePoint]:
         """A cone point with ``E_ℓ(h) ≤ -margin`` for every expression, if any."""
         raise NotImplementedError
+
+    def find_points_below_many(
+        self,
+        expression_lists: Sequence[Sequence[LinearExpression]],
+        margin: float = 1.0,
+    ) -> List[Optional[ConePoint]]:
+        """Batched :meth:`find_point_below`: one answer per expression list.
+
+        The base implementation falls back to sequential solves; the
+        concrete cones override it to stack all systems into a single
+        block-diagonal LP (:func:`repro.lp.solver.solve_feasibility_blocks`)
+        so a whole batch pays one HiGHS invocation.
+        """
+        return [self.find_point_below(exprs, margin) for exprs in expression_lists]
 
 
 class GammaCone(Cone):
@@ -109,14 +127,54 @@ class GammaCone(Cone):
         function = SetFunction.from_vector(self.ground, solution)
         return ConePoint(function=function, coefficients=None)
 
+    def find_points_below_many(
+        self,
+        expression_lists: Sequence[Sequence[LinearExpression]],
+        margin: float = 1.0,
+    ) -> List[Optional[ConePoint]]:
+        if not expression_lists:
+            return []
+        negated_elementals = -self._elemental_matrix
+        hard_rhs = np.zeros(self._num_elementals)
+        blocks = []
+        for expressions in expression_lists:
+            branch_rows = sp.csr_matrix(
+                np.array([self._expression_row(e) for e in expressions])
+            )
+            blocks.append(
+                FeasibilityBlock(
+                    num_variables=len(self._subsets),
+                    A_soft=branch_rows,
+                    b_soft=-margin * np.ones(len(expressions)),
+                    A_hard=negated_elementals,
+                    b_hard=hard_rhs,
+                )
+            )
+        # The optimal slack of a cone-shaped block is exactly 0 or margin
+        # (see solve_feasibility_blocks); threshold at the midpoint.
+        results = solve_feasibility_blocks(blocks, slack_threshold=margin / 2)
+        points: List[Optional[ConePoint]] = []
+        for result in results:
+            if not result.feasible or result.solution is None:
+                points.append(None)
+            else:
+                points.append(
+                    ConePoint(
+                        function=SetFunction.from_vector(self.ground, result.solution),
+                        coefficients=None,
+                    )
+                )
+        return points
+
 
 class _GeneratedCone(Cone):
     """A cone given by finitely many generator functions (``Nn`` and ``Mn``)."""
 
     def __init__(self, ground: Sequence[str]):
         super().__init__(ground)
-        self._generator_cache: Optional[List[Tuple[FrozenSet[str], SetFunction]]] = None
-        self._generator_matrix: Optional[np.ndarray] = None
+        self._generator_data_cache: Optional[
+            Tuple[List[Tuple[FrozenSet[str], SetFunction]], np.ndarray]
+        ] = None
 
     def _generators(self) -> List[Tuple[FrozenSet[str], SetFunction]]:
         raise NotImplementedError
@@ -125,18 +183,25 @@ class _GeneratedCone(Cone):
         raise NotImplementedError
 
     def _generator_data(self) -> Tuple[List[Tuple[FrozenSet[str], SetFunction]], np.ndarray]:
-        """Generators plus their stacked canonical coordinate vectors (cached)."""
-        if self._generator_cache is None:
+        """Generators plus their stacked canonical coordinate vectors (cached).
+
+        Cone instances are shared process-wide through :func:`cone_by_name`
+        and may be hit from several batch-engine worker threads at once, so
+        the lazy cache is a *single* attribute assigned atomically: a racing
+        thread either sees the complete (generators, matrix) pair or builds
+        its own identical copy, never a half-initialized state.
+        """
+        data = self._generator_data_cache
+        if data is None:
             generators = self._generators()
             matrix = np.array([gen.to_vector() for _, gen in generators])
-            self._generator_cache = generators
-            self._generator_matrix = matrix
-        return self._generator_cache, self._generator_matrix
+            data = (generators, matrix)
+            self._generator_data_cache = data
+        return data
 
-    def find_point_below(
-        self, expressions: Sequence[LinearExpression], margin: float = 1.0
-    ) -> Optional[ConePoint]:
-        generators, generator_matrix = self._generator_data()
+    def _lp_matrix(self, expressions: Sequence[LinearExpression]) -> np.ndarray:
+        """The LP matrix with entry ``(ℓ, g) = E_ℓ`` evaluated on generator ``g``."""
+        _, generator_matrix = self._generator_data()
         lattice = lattice_context(self.ground)
         canon_index = lattice.canon_index
         # Row ℓ: E_ℓ in canonical coordinates; entry (ℓ, g) of the LP matrix
@@ -145,7 +210,22 @@ class _GeneratedCone(Cone):
         for row, expression in enumerate(expressions):
             for subset, coefficient in expression.coefficients.items():
                 expression_rows[row, canon_index[subset] - 1] += coefficient
-        matrix = expression_rows @ generator_matrix.T
+        return expression_rows @ generator_matrix.T
+
+    def _point_from_solution(self, solution: np.ndarray) -> ConePoint:
+        generators, _ = self._generator_data()
+        coefficients = {
+            key: float(value)
+            for (key, _), value in zip(generators, solution)
+            if value > 1e-12
+        }
+        return ConePoint(function=self._combine(coefficients), coefficients=coefficients)
+
+    def find_point_below(
+        self, expressions: Sequence[LinearExpression], margin: float = 1.0
+    ) -> Optional[ConePoint]:
+        generators, _ = self._generator_data()
+        matrix = self._lp_matrix(expressions)
         feasible, solution = check_feasibility(
             num_variables=len(generators),
             A_ub=matrix,
@@ -153,12 +233,31 @@ class _GeneratedCone(Cone):
         )
         if not feasible or solution is None:
             return None
-        coefficients = {
-            key: float(value)
-            for (key, _), value in zip(generators, solution)
-            if value > 1e-12
-        }
-        return ConePoint(function=self._combine(coefficients), coefficients=coefficients)
+        return self._point_from_solution(solution)
+
+    def find_points_below_many(
+        self,
+        expression_lists: Sequence[Sequence[LinearExpression]],
+        margin: float = 1.0,
+    ) -> List[Optional[ConePoint]]:
+        if not expression_lists:
+            return []
+        generators, _ = self._generator_data()
+        blocks = [
+            FeasibilityBlock(
+                num_variables=len(generators),
+                A_soft=self._lp_matrix(expressions),
+                b_soft=-margin * np.ones(len(expressions)),
+            )
+            for expressions in expression_lists
+        ]
+        results = solve_feasibility_blocks(blocks, slack_threshold=margin / 2)
+        return [
+            self._point_from_solution(result.solution)
+            if result.feasible and result.solution is not None
+            else None
+            for result in results
+        ]
 
 
 class NormalCone(_GeneratedCone):

@@ -18,7 +18,7 @@ algorithm complete.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.infotheory.cones import cone_by_name
 from repro.infotheory.expressions import (
@@ -87,6 +87,54 @@ def decide_max_ii(
     if with_certificate and over == "gamma" and len(branches) == 1:
         certificate = shannon_prover(ground).certificate(branches[0])
     return MaxIIVerdict(valid=True, cone=over, certificate=certificate)
+
+
+def decide_max_ii_many(
+    inequalities: Sequence[MaxInformationInequality],
+    over: str = "gamma",
+    ground: Tuple[str, ...] = None,
+) -> List[MaxIIVerdict]:
+    """Decide many Max-IIs over one cone in a single (block) LP solve.
+
+    All inequalities are decided over the *same* ground set — pass ``ground``
+    explicitly, or leave it ``None`` when every inequality already has the
+    same ground tuple.  This is the batched cone-decision path used by the
+    :mod:`repro.service` batch engine: the per-inequality feasibility systems
+    share the cone description and are stacked into one block-diagonal LP
+    (:meth:`Cone.find_points_below_many`), so a batch of ``k`` decisions pays
+    one HiGHS invocation instead of ``k``.
+    """
+    if not inequalities:
+        return []
+    if ground is None:
+        grounds = {inequality.ground for inequality in inequalities}
+        if len(grounds) != 1:
+            raise ValueError(
+                "decide_max_ii_many needs an explicit common ground when the "
+                "inequalities have different ground tuples"
+            )
+        ground = next(iter(grounds))
+    ground = tuple(ground)
+    cone = cone_by_name(over, ground)
+    branch_lists = [
+        [branch.with_ground(ground) for branch in inequality.branches]
+        for inequality in inequalities
+    ]
+    points = cone.find_points_below_many(branch_lists)
+    verdicts: List[MaxIIVerdict] = []
+    for point in points:
+        if point is not None:
+            verdicts.append(
+                MaxIIVerdict(
+                    valid=False,
+                    cone=over,
+                    violating_function=point.function,
+                    violating_coefficients=point.coefficients,
+                )
+            )
+        else:
+            verdicts.append(MaxIIVerdict(valid=True, cone=over))
+    return verdicts
 
 
 def decide_ii(

@@ -2,16 +2,32 @@
 
 Thin, typed wrappers around :func:`scipy.optimize.linprog` used by the
 Shannon prover and the cone decision procedures, plus Farkas-style
-certificate extraction helpers.
+certificate extraction helpers and the batched entry points:
+:func:`solve_feasibility_blocks` (the block-diagonal primitive under the
+:mod:`repro.service` batch engine) and :func:`minimize_many` (shared
+constraint normalization across objectives).
 """
 
-from repro.lp.solver import LPResult, LPStatus, check_feasibility, minimize
+from repro.lp.solver import (
+    BlockFeasibilityResult,
+    FeasibilityBlock,
+    LPResult,
+    LPStatus,
+    check_feasibility,
+    minimize,
+    minimize_many,
+    solve_feasibility_blocks,
+)
 from repro.lp.certificates import nonnegative_combination
 
 __all__ = [
     "LPStatus",
     "LPResult",
     "minimize",
+    "minimize_many",
     "check_feasibility",
+    "FeasibilityBlock",
+    "BlockFeasibilityResult",
+    "solve_feasibility_blocks",
     "nonnegative_combination",
 ]

@@ -9,13 +9,31 @@ All decision procedures of the library reduce to two primitives:
 The wrappers normalize the inputs (lists, numpy arrays, ``None``), pick the
 HiGHS backend, and convert solver statuses into a small, explicit enum so
 that callers never have to inspect scipy's result object directly.
+
+Batched entry points
+--------------------
+High-volume callers issue many structurally related LPs at once.  Two
+batched primitives serve them:
+
+* :func:`solve_feasibility_blocks` — many *independent* feasibility systems
+  solved in a single HiGHS invocation.  The systems are stacked
+  block-diagonally and each block receives one slack variable that relaxes
+  only its "soft" rows; minimizing the sum of slacks decides every block at
+  once (slack 0 ⇔ the block is feasible) inside one shared
+  presolve/factorization, which is how the library realizes basis sharing
+  across related solves (scipy's ``linprog`` does not expose HiGHS basis
+  hand-off between calls).  This is the primitive under the
+  :mod:`repro.service` batch engine's grouped cone decisions.
+* :func:`minimize_many` — several objectives over one shared polyhedron with
+  the constraint data normalized once; a convenience API for external
+  callers (nothing in the library routes through it yet).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -101,6 +119,196 @@ def minimize(
     if result.status == 3:
         return LPResult(status=LPStatus.UNBOUNDED, objective=None, solution=None)
     raise LPError(f"linear program failed: {result.message}")
+
+
+def minimize_many(
+    objectives: Sequence[Sequence[float]],
+    A_ub=None,
+    b_ub=None,
+    A_eq=None,
+    b_eq=None,
+    bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+) -> List[LPResult]:
+    """Minimize several objectives over one shared polyhedron.
+
+    The constraint data is normalized once and reused for every objective.
+    scipy's ``linprog`` does not expose HiGHS basis hand-off between calls,
+    so the solves themselves are sequential; callers that only need
+    feasibility verdicts for *independent* systems should prefer
+    :func:`solve_feasibility_blocks`, which shares a single invocation (and
+    is what the batch containment engine uses).
+    """
+    if not objectives:
+        return []
+    first = np.asarray(objectives[0], dtype=float)
+    width = first.shape[0]
+    A_ub = _as_array(A_ub, width)
+    b_ub = None if b_ub is None else np.asarray(b_ub, dtype=float)
+    A_eq = _as_array(A_eq, width)
+    b_eq = None if b_eq is None else np.asarray(b_eq, dtype=float)
+    bounds = bounds if bounds is not None else (0, None)
+    results: List[LPResult] = []
+    for objective in objectives:
+        objective = np.asarray(objective, dtype=float)
+        if objective.shape[0] != width:
+            raise LPError("all objectives must have the same number of variables")
+        result = linprog(
+            c=objective,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if result.status == 0:
+            results.append(
+                LPResult(
+                    status=LPStatus.OPTIMAL,
+                    objective=float(result.fun),
+                    solution=result.x,
+                )
+            )
+        elif result.status == 2:
+            results.append(LPResult(status=LPStatus.INFEASIBLE, objective=None, solution=None))
+        elif result.status == 3:
+            results.append(LPResult(status=LPStatus.UNBOUNDED, objective=None, solution=None))
+        else:
+            raise LPError(f"linear program failed: {result.message}")
+    return results
+
+
+@dataclass(frozen=True)
+class FeasibilityBlock:
+    """One independent feasibility system of a :func:`solve_feasibility_blocks` call.
+
+    The system is ``A_hard x ≤ b_hard`` (enforced exactly) together with
+    ``A_soft x ≤ b_soft`` (relaxed by the block's slack variable), over
+    ``x ≥ 0``.  In the cone-decision application the hard rows are the cone
+    description and the soft rows are the branch rows ``E_ℓ(h) ≤ -margin``.
+    """
+
+    num_variables: int
+    A_soft: object
+    b_soft: Sequence[float]
+    A_hard: object = None
+    b_hard: Optional[Sequence[float]] = None
+
+
+@dataclass(frozen=True)
+class BlockFeasibilityResult:
+    """Per-block outcome of :func:`solve_feasibility_blocks`.
+
+    ``slack`` is the block's optimal slack value: 0 (up to solver tolerance)
+    exactly when the block's system is feasible, in which case ``solution``
+    is a feasible point of it.
+    """
+
+    feasible: bool
+    solution: Optional[np.ndarray]
+    slack: float
+
+
+def solve_feasibility_blocks(
+    blocks: Sequence[FeasibilityBlock],
+    slack_threshold: float = 0.5,
+) -> List[BlockFeasibilityResult]:
+    """Decide many independent feasibility systems in one HiGHS invocation.
+
+    The blocks are stacked block-diagonally; block ``i`` receives a slack
+    variable ``s_i ≥ 0`` relaxing its soft rows to ``A_soft x ≤ b_soft + s_i``
+    while the hard rows stay exact, and the single LP minimizes ``Σ_i s_i``.
+    The blocks share no variables, so each ``s_i`` is minimized independently
+    within the one solve: ``s_i = 0`` iff block ``i`` is feasible.
+
+    For the cone-decision shape (hard rows ``-M h ≤ 0`` describing a cone,
+    soft rows ``E_ℓ(h) ≤ -margin``) the optimal slack is exactly 0 or
+    ``margin`` — if some cone point makes every ``E_ℓ`` negative, scaling
+    drives the values to ``-margin`` with zero slack, and otherwise ``h = 0``
+    is optimal with slack ``margin`` — so a ``slack_threshold`` at the
+    midpoint (``margin / 2``; the default 0.5 fits the standard margin of 1)
+    separates the verdicts robustly.
+    """
+    if not blocks:
+        return []
+    column_offsets: List[int] = []
+    offset = 0
+    for block in blocks:
+        column_offsets.append(offset)
+        offset += block.num_variables
+    total_columns = offset + len(blocks)
+
+    data_parts: List[np.ndarray] = []
+    row_parts: List[np.ndarray] = []
+    column_parts: List[np.ndarray] = []
+    rhs_parts: List[np.ndarray] = []
+    row_offset = 0
+    for i, block in enumerate(blocks):
+        slack_column = offset + i
+        A_soft = _as_array(block.A_soft, block.num_variables)
+        if A_soft is None:
+            raise LPError("a feasibility block needs at least one soft row")
+        A_soft = sp.coo_matrix(A_soft)
+        b_soft = np.asarray(block.b_soft, dtype=float)
+        if A_soft.shape[0] != b_soft.shape[0]:
+            raise LPError("soft row/rhs shape mismatch in feasibility block")
+        A_hard = _as_array(block.A_hard, block.num_variables)
+        if A_hard is not None:
+            A_hard = sp.coo_matrix(A_hard)
+            b_hard = np.asarray(block.b_hard, dtype=float)
+            if A_hard.shape[0] != b_hard.shape[0]:
+                raise LPError("hard row/rhs shape mismatch in feasibility block")
+            data_parts.append(A_hard.data)
+            row_parts.append(A_hard.row + row_offset)
+            column_parts.append(A_hard.col + column_offsets[i])
+            rhs_parts.append(b_hard)
+            row_offset += A_hard.shape[0]
+        soft_rows = A_soft.shape[0]
+        data_parts.append(A_soft.data)
+        row_parts.append(A_soft.row + row_offset)
+        column_parts.append(A_soft.col + column_offsets[i])
+        # The slack column: one -1 entry per soft row of this block.
+        data_parts.append(-np.ones(soft_rows))
+        row_parts.append(np.arange(soft_rows) + row_offset)
+        column_parts.append(np.full(soft_rows, slack_column))
+        rhs_parts.append(b_soft)
+        row_offset += soft_rows
+
+    A = sp.csr_matrix(
+        (
+            np.concatenate(data_parts),
+            (np.concatenate(row_parts), np.concatenate(column_parts)),
+        ),
+        shape=(row_offset, total_columns),
+    )
+    b = np.concatenate(rhs_parts)
+    objective = np.zeros(total_columns)
+    objective[offset:] = 1.0
+
+    result = linprog(
+        c=objective,
+        A_ub=A,
+        b_ub=b,
+        bounds=(0, None),
+        method="highs",
+    )
+    if result.status != 0:
+        # The stacked LP is always feasible (x = 0 with large enough slacks
+        # whenever every b_hard ≥ 0) and bounded below by 0.
+        raise LPError(f"block feasibility program failed: {result.message}")
+
+    outcomes: List[BlockFeasibilityResult] = []
+    for i, block in enumerate(blocks):
+        slack = float(result.x[offset + i])
+        feasible = slack < slack_threshold
+        solution = None
+        if feasible:
+            start = column_offsets[i]
+            solution = np.asarray(result.x[start : start + block.num_variables])
+        outcomes.append(
+            BlockFeasibilityResult(feasible=feasible, solution=solution, slack=slack)
+        )
+    return outcomes
 
 
 def check_feasibility(

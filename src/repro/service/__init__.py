@@ -1,0 +1,56 @@
+"""Batch containment service: high-volume serving of containment checks.
+
+The :mod:`repro.core` layer decides one query pair at a time.  This package
+turns the library into a serving system that absorbs *workloads* of pairs:
+
+* :mod:`repro.service.canonical` — canonical labeling of conjunctive queries
+  and structural hash keys, so duplicate and isomorphic pairs are recognized;
+* :mod:`repro.service.cache` — the plan cache mapping structural keys to
+  previously computed :class:`~repro.core.containment.ContainmentResult`\\ s;
+* :mod:`repro.service.engine` — the batch engine: drives many per-pair
+  containment pipelines side by side, groups their Shannon-cone LP requests
+  by ground arity, and answers each group from chunked block-LP solves
+  (one HiGHS invocation per chunk instead of one per pair);
+* :mod:`repro.service.service` — the user-facing :class:`ContainmentService`
+  and the :func:`decide_containment_many` convenience entry point;
+* :mod:`repro.service.stats` — service-level statistics (cache hits, LP
+  solves avoided, per-group timings).
+
+Quickstart
+----------
+>>> from repro import parse_query
+>>> from repro.service import decide_containment_many
+>>> pairs = [
+...     (parse_query("R(x,y), R(y,z), R(z,x)"), parse_query("R(a,b), R(a,c)")),
+...     (parse_query("R(u,v), R(v,w), R(w,u)"), parse_query("R(s,t), R(s,r)")),
+... ]
+>>> [r.status.value for r in decide_containment_many(pairs)]
+['contained', 'contained']
+"""
+
+from repro.service.canonical import canonical_query, canonical_query_key, pair_key
+from repro.service.cache import PlanCache
+from repro.service.engine import BatchEngine
+from repro.service.service import (
+    BatchOptions,
+    BatchReport,
+    ContainmentService,
+    PairOutcome,
+    decide_containment_many,
+)
+from repro.service.stats import GroupTiming, ServiceStats
+
+__all__ = [
+    "BatchEngine",
+    "BatchOptions",
+    "BatchReport",
+    "ContainmentService",
+    "GroupTiming",
+    "PairOutcome",
+    "PlanCache",
+    "ServiceStats",
+    "canonical_query",
+    "canonical_query_key",
+    "decide_containment_many",
+    "pair_key",
+]

@@ -1,0 +1,54 @@
+"""The plan cache: structural pair key → previously computed result.
+
+A bounded LRU mapping from :data:`~repro.service.canonical.PairKey` to
+:class:`~repro.core.containment.ContainmentResult`.  Results are immutable,
+so a hit can be returned directly; the witness and inequality of a cached
+result are expressed over the variable names of the *first* pair that was
+solved for the key (statuses are renaming-invariant, the evidence is carried
+over from the representative).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.core.containment import ContainmentResult
+
+
+class PlanCache:
+    """Bounded LRU cache of containment results keyed by structural hash."""
+
+    def __init__(self, maxsize: Optional[int] = 4096):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("cache maxsize must be positive (or None for unbounded)")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, ContainmentResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[ContainmentResult]:
+        """Look up a result, counting the hit/miss and refreshing recency."""
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: Hashable, result: ContainmentResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,191 @@
+"""Canonical labeling of conjunctive queries for the plan cache.
+
+Bag containment is invariant under renaming the variables of either query,
+so a batch of pairs should pay for each *isomorphism class* once.  The plan
+cache therefore keys pairs by a canonical form computed here.
+
+The canonical form is obtained by a standard color-refinement / individualize
+search (a small-scale cousin of practical graph-canonicalization tools):
+
+1. variables receive initial colors from isomorphism-invariant data (their
+   head positions and the relation/position profile of their occurrences);
+2. colors are refined to a fixed point by repeatedly hashing each variable's
+   colored atom incidences (1-WL on the query's incidence structure);
+3. remaining ties are broken by individualizing each member of the first
+   non-singleton color class in turn, recursing, and keeping the
+   lexicographically smallest serialization.
+
+Soundness does not depend on the search being complete: two queries receive
+the same key *only if* a variable bijection maps one onto the other, because
+the key is the serialization of the query under a concrete relabeling.  The
+search budget (``budget`` leaves) only bounds how much symmetry is explored —
+exceeding it can at worst miss a cache hit, never corrupt one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+
+# Serialized canonical form: (sorted relabeled atoms, relabeled head).
+QueryKey = Tuple[Tuple[Tuple[str, Tuple[int, ...]], ...], Tuple[int, ...]]
+PairKey = Tuple[QueryKey, QueryKey]
+
+#: Leaves of the individualization search explored before falling back to a
+#: greedy (still sound, possibly non-canonical) completion.
+DEFAULT_SEARCH_BUDGET = 2048
+
+
+def _initial_colors(query: ConjunctiveQuery) -> Dict[str, int]:
+    """Invariant starting colors: head positions + occurrence profile."""
+    signatures = {}
+    for variable in query.variables:
+        head_positions = tuple(
+            i for i, head_var in enumerate(query.head) if head_var == variable
+        )
+        profile = sorted(
+            (atom.relation, position, atom.arity)
+            for atom in query.atoms
+            for position, arg in enumerate(atom.args)
+            if arg == variable
+        )
+        signatures[variable] = (head_positions, tuple(profile))
+    return _rank(signatures)
+
+
+def _rank(signatures: Dict[str, object]) -> Dict[str, int]:
+    """Replace arbitrary (orderable) signatures by dense integer ranks."""
+    order = {sig: rank for rank, sig in enumerate(sorted(set(signatures.values())))}
+    return {variable: order[sig] for variable, sig in signatures.items()}
+
+
+def _refine(query: ConjunctiveQuery, colors: Dict[str, int]) -> Dict[str, int]:
+    """Run 1-WL color refinement to a fixed point."""
+    while True:
+        signatures = {}
+        for variable in query.variables:
+            incidences = sorted(
+                (atom.relation, position, tuple(colors[arg] for arg in atom.args))
+                for atom in query.atoms
+                for position, arg in enumerate(atom.args)
+                if arg == variable
+            )
+            signatures[variable] = (colors[variable], tuple(incidences))
+        refined = _rank(signatures)
+        if len(set(refined.values())) == len(set(colors.values())):
+            return refined
+        colors = refined
+
+
+def _serialize(query: ConjunctiveQuery, labeling: Dict[str, int]) -> QueryKey:
+    atoms = tuple(
+        sorted(
+            (atom.relation, tuple(labeling[arg] for arg in atom.args))
+            for atom in query.atoms
+        )
+    )
+    head = tuple(labeling[variable] for variable in query.head)
+    return (atoms, head)
+
+
+def _labeling_from_colors(
+    variables: Sequence[str], colors: Dict[str, int]
+) -> Dict[str, int]:
+    """A concrete labeling from a discrete coloring (ties broken by occurrence)."""
+    ordered = sorted(variables, key=lambda v: (colors[v], variables.index(v)))
+    return {variable: index for index, variable in enumerate(ordered)}
+
+
+class _Search:
+    """Individualization-refinement search for the minimal serialization."""
+
+    def __init__(self, query: ConjunctiveQuery, budget: int):
+        self.query = query
+        self.variables = query.variables
+        self.budget = budget
+        self.best_key: Optional[QueryKey] = None
+        self.best_labeling: Optional[Dict[str, int]] = None
+
+    def run(self, colors: Dict[str, int]) -> Tuple[QueryKey, Dict[str, int]]:
+        self._explore(colors)
+        assert self.best_key is not None and self.best_labeling is not None
+        return self.best_key, self.best_labeling
+
+    def _explore(self, colors: Dict[str, int]) -> None:
+        classes: Dict[int, List[str]] = {}
+        for variable in self.variables:
+            classes.setdefault(colors[variable], []).append(variable)
+        target_class = None
+        for color in sorted(classes):
+            if len(classes[color]) > 1:
+                target_class = classes[color]
+                break
+        if target_class is None or self.budget <= 0:
+            # Discrete coloring (or budget exhausted): close out greedily.
+            self.budget -= 1
+            labeling = _labeling_from_colors(self.variables, colors)
+            key = _serialize(self.query, labeling)
+            if self.best_key is None or key < self.best_key:
+                self.best_key = key
+                self.best_labeling = labeling
+            return
+        for variable in target_class:
+            if self.budget <= 0 and self.best_key is not None:
+                return
+            individualized = {
+                other: (colors[other], 1 if other == variable else 0)
+                for other in self.variables
+            }
+            refined = _refine(self.query, _rank(individualized))
+            self._explore(refined)
+
+
+def canonical_labeling(
+    query: ConjunctiveQuery, budget: int = DEFAULT_SEARCH_BUDGET
+) -> Tuple[QueryKey, Dict[str, int]]:
+    """The canonical key of ``query`` and the variable labeling producing it."""
+    colors = _refine(query, _initial_colors(query))
+    return _Search(query, budget).run(colors)
+
+
+def canonical_query_key(
+    query: ConjunctiveQuery, budget: int = DEFAULT_SEARCH_BUDGET
+) -> QueryKey:
+    """A hashable structural key, identical across isomorphic queries.
+
+    Equal keys guarantee isomorphism (the key is the query serialized under a
+    concrete relabeling); distinct keys for isomorphic queries are possible
+    only when the search budget is exhausted on highly symmetric queries.
+    """
+    key, _ = canonical_labeling(query, budget)
+    return key
+
+
+def canonical_query(
+    query: ConjunctiveQuery, budget: int = DEFAULT_SEARCH_BUDGET
+) -> ConjunctiveQuery:
+    """The canonical form of ``query``: variables renamed to ``c0, c1, ...``,
+    atoms in sorted order, name fixed — identical for isomorphic queries
+    (up to the search budget)."""
+    key, _ = canonical_labeling(query, budget)
+    atoms = tuple(
+        Atom(relation, tuple(f"c{index}" for index in indices))
+        for relation, indices in key[0]
+    )
+    head = tuple(f"c{index}" for index in key[1])
+    return ConjunctiveQuery(atoms=atoms, head=head, name="canonical")
+
+
+def pair_key(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    budget: int = DEFAULT_SEARCH_BUDGET,
+) -> PairKey:
+    """The plan-cache key of a containment pair ``(Q1, Q2)``.
+
+    The queries are canonicalized independently — containment is invariant
+    under independent variable renamings of either side (heads are aligned
+    positionally, and the head positions are part of each query's key).
+    """
+    return (canonical_query_key(q1, budget), canonical_query_key(q2, budget))

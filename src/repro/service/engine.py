@@ -1,0 +1,288 @@
+"""The batch engine: many containment pipelines, few LP solves.
+
+The engine drives a set of per-pair containment pipelines
+(:func:`repro.core.containment.containment_pipeline`) in *rounds*.  In every
+round each still-active pipeline has exactly one pending
+:class:`~repro.core.containment.ConeDecisionRequest`; the engine answers all
+of them at once:
+
+* **Shannon-cone requests** (``over="gamma"`` — the hot path: every pair's
+  Theorem 3.1 / Theorem 4.2 check issues exactly one) are grouped by ground
+  arity.  Each group's inequalities are renamed onto a shared canonical
+  ground tuple — an order-preserving positional rename, so the LP matrices
+  are bit-for-bit the ones the sequential path would build — and decided in
+  chunks through :func:`repro.infotheory.maxiip.decide_max_ii_many`, which
+  stacks a chunk into one block-diagonal HiGHS solve.
+* **Refutation requests** (``over`` in ``{"normal", "modular"}`` — the rare
+  tail after a failed Γn check) are answered by individual
+  :func:`decide_max_ii` calls, exactly as the sequential driver would: the
+  violating generator coefficients feed the Theorem 3.4 witness
+  constructions, and answering them from a joint solve could select a
+  different vertex of the same polyhedron than the sequential path.
+
+Pipeline advancement and LP solving can be spread over a thread pool
+(``max_workers``); the query-side stages hold the GIL but the HiGHS solves
+release it, so chunks of different arity groups overlap.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.containment import (
+    ConeDecisionRequest,
+    ContainmentPipeline,
+    ContainmentResult,
+    ContainmentStatus,
+)
+from repro.exceptions import ReproError
+from repro.infotheory.expressions import MaxInformationInequality
+from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii, decide_max_ii_many
+from repro.infotheory.setfunction import SetFunction
+from repro.service.stats import GroupTiming, ServiceStats
+
+
+def _canonical_ground(size: int) -> Tuple[str, ...]:
+    """The shared ground tuple all size-``n`` grouped requests are renamed onto."""
+    return tuple(f"v{i}" for i in range(size))
+
+
+def _rename_max_ii(
+    max_ii: MaxInformationInequality,
+    mapping: Dict[str, str],
+    ground: Tuple[str, ...],
+) -> MaxInformationInequality:
+    return MaxInformationInequality(
+        branches=tuple(branch.substitute(mapping, ground) for branch in max_ii.branches)
+    )
+
+
+def _verdict_to_original(
+    verdict: MaxIIVerdict, original_ground: Tuple[str, ...]
+) -> MaxIIVerdict:
+    """Translate a verdict over the canonical ground back to the pair's names.
+
+    The rename is positional and order-preserving, so the dense value vector
+    of a violating function carries over unchanged.
+    """
+    if verdict.violating_function is None:
+        return MaxIIVerdict(valid=verdict.valid, cone=verdict.cone)
+    function = SetFunction.from_vector(
+        original_ground, verdict.violating_function.to_vector()
+    )
+    return MaxIIVerdict(
+        valid=verdict.valid,
+        cone=verdict.cone,
+        violating_function=function,
+        violating_coefficients=None,
+    )
+
+
+class _PairRun:
+    """Bookkeeping for one pipeline driven by the engine."""
+
+    __slots__ = ("pipeline", "request", "result", "error", "elapsed")
+
+    def __init__(self, pipeline: ContainmentPipeline):
+        self.pipeline = pipeline
+        self.request: Optional[ConeDecisionRequest] = None
+        self.result: Optional[ContainmentResult] = None
+        self.error: Optional[Exception] = None
+        self.elapsed = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.result is None and self.error is None
+
+
+class BatchEngine:
+    """Round-based driver for a batch of containment pipelines.
+
+    Parameters
+    ----------
+    chunk_size:
+        Maximum number of same-arity Shannon-cone requests folded into one
+        block-LP solve.
+    max_workers:
+        Thread-pool width for pipeline advancement and LP solving
+        (1 = fully inline).
+    pair_budget:
+        Optional per-pair wall-clock budget in seconds, measured over the
+        pair's pipeline stages.  A pair that exceeds it is closed out with an
+        UNKNOWN ``"budget-exhausted"`` result instead of blocking the batch.
+    on_error:
+        ``"raise"`` propagates a pair's exception (mirroring the sequential
+        loop); ``"capture"`` converts it into an UNKNOWN ``"error"`` result
+        so one malformed pair cannot fail a whole batch.
+    """
+
+    def __init__(
+        self,
+        chunk_size: int = 32,
+        max_workers: int = 1,
+        pair_budget: Optional[float] = None,
+        on_error: str = "raise",
+        stats: Optional[ServiceStats] = None,
+    ):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if on_error not in ("raise", "capture"):
+            raise ValueError("on_error must be 'raise' or 'capture'")
+        self.chunk_size = chunk_size
+        self.max_workers = max_workers
+        self.pair_budget = pair_budget
+        self.on_error = on_error
+        self.stats = stats if stats is not None else ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # Pipeline advancement
+    # ------------------------------------------------------------------ #
+    def _advance(self, run: _PairRun, verdict: Optional[MaxIIVerdict]) -> None:
+        """Step one pipeline to its next request (or completion)."""
+        started = time.perf_counter()
+        try:
+            if verdict is None:
+                run.request = next(run.pipeline)
+            else:
+                run.request = run.pipeline.send(verdict)
+        except StopIteration as stop:
+            run.request = None
+            run.result = stop.value
+        except ReproError as error:
+            run.request = None
+            run.error = error
+        run.elapsed += time.perf_counter() - started
+        if (
+            run.active
+            and self.pair_budget is not None
+            and run.elapsed > self.pair_budget
+        ):
+            run.pipeline.close()
+            run.request = None
+            run.result = ContainmentResult(
+                status=ContainmentStatus.UNKNOWN,
+                method="budget-exhausted",
+                details={
+                    "note": "per-pair budget exceeded inside the batch engine",
+                    "budget_seconds": self.pair_budget,
+                    "elapsed_seconds": run.elapsed,
+                },
+            )
+            self.stats.count_over_budget()
+
+    def _advance_all(
+        self,
+        steps: Sequence[Tuple[_PairRun, Optional[MaxIIVerdict]]],
+        pool: Optional[ThreadPoolExecutor],
+    ) -> None:
+        if pool is not None and len(steps) > 1:
+            list(pool.map(lambda step: self._advance(step[0], step[1]), steps))
+        else:
+            for run, verdict in steps:
+                self._advance(run, verdict)
+
+    # ------------------------------------------------------------------ #
+    # Request answering
+    # ------------------------------------------------------------------ #
+    def _solve_gamma_chunk(
+        self, chunk: List[_PairRun]
+    ) -> List[Tuple[_PairRun, MaxIIVerdict]]:
+        """Decide one chunk of same-arity Γn requests in a single block LP."""
+        size = len(chunk[0].request.ground)
+        canonical = _canonical_ground(size)
+        renamed: List[MaxInformationInequality] = []
+        for run in chunk:
+            mapping = dict(zip(run.request.ground, canonical))
+            renamed.append(_rename_max_ii(run.request.max_ii, mapping, canonical))
+        rows = sum(len(max_ii.branches) for max_ii in renamed)
+        started = time.perf_counter()
+        verdicts = decide_max_ii_many(renamed, over="gamma", ground=canonical)
+        self.stats.record_chunk(
+            GroupTiming(
+                cone="gamma",
+                ground_size=size,
+                requests=len(chunk),
+                rows=rows,
+                seconds=time.perf_counter() - started,
+            )
+        )
+        return [
+            (run, _verdict_to_original(verdict, run.request.ground))
+            for run, verdict in zip(chunk, verdicts)
+        ]
+
+    def _solve_scalar(self, run: _PairRun) -> Tuple[_PairRun, MaxIIVerdict]:
+        request = run.request
+        self.stats.count_scalar_solve()
+        return run, decide_max_ii(request.max_ii, over=request.over, ground=request.ground)
+
+    def _answer_round(
+        self, pending: List[_PairRun], pool: Optional[ThreadPoolExecutor]
+    ) -> List[Tuple[_PairRun, MaxIIVerdict]]:
+        self.stats.lp_requests += len(pending)
+        grouped: Dict[int, List[_PairRun]] = {}
+        scalar: List[_PairRun] = []
+        for run in pending:
+            if run.request.over == "gamma":
+                grouped.setdefault(len(run.request.ground), []).append(run)
+            else:
+                scalar.append(run)
+        chunks: List[List[_PairRun]] = []
+        for size in sorted(grouped):
+            group = grouped[size]
+            for start in range(0, len(group), self.chunk_size):
+                chunks.append(group[start : start + self.chunk_size])
+        tasks: List[Callable[[], object]] = [
+            (lambda chunk=chunk: self._solve_gamma_chunk(chunk)) for chunk in chunks
+        ] + [(lambda run=run: [self._solve_scalar(run)]) for run in scalar]
+        answers: List[Tuple[_PairRun, MaxIIVerdict]] = []
+        if pool is not None and len(tasks) > 1:
+            for result in pool.map(lambda task: task(), tasks):
+                answers.extend(result)
+        else:
+            for task in tasks:
+                answers.extend(task())
+        return answers
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(self, pipelines: Sequence[ContainmentPipeline]) -> List[ContainmentResult]:
+        """Drive every pipeline to completion; results in submission order."""
+        runs = [_PairRun(pipeline) for pipeline in pipelines]
+        self.stats.pipelines_run += len(runs)
+        pool: Optional[ThreadPoolExecutor] = None
+        try:
+            if self.max_workers > 1:
+                pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            self._advance_all([(run, None) for run in runs], pool)
+            while True:
+                pending = [run for run in runs if run.active and run.request is not None]
+                if not pending:
+                    break
+                answers = self._answer_round(pending, pool)
+                self._advance_all(answers, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+        results: List[ContainmentResult] = []
+        for run in runs:
+            if run.error is not None:
+                if self.on_error == "raise":
+                    raise run.error
+                self.stats.pair_errors += 1
+                results.append(
+                    ContainmentResult(
+                        status=ContainmentStatus.UNKNOWN,
+                        method="error",
+                        details={"error": str(run.error)},
+                    )
+                )
+            else:
+                results.append(run.result)
+        return results

@@ -1,0 +1,207 @@
+"""The user-facing batch containment service.
+
+:class:`ContainmentService` is the serving layer over the batch engine: it
+canonicalizes and deduplicates incoming pairs behind the structural-hash
+plan cache, routes the unique survivors through the grouped block-LP engine,
+and keeps service-level statistics across calls.  The module-level
+:func:`decide_containment_many` wraps a one-shot service for the common
+"decide this list of pairs" use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.containment import (
+    ContainmentResult,
+    containment_pipeline,
+)
+from repro.cq.query import ConjunctiveQuery
+from repro.exceptions import QueryError
+from repro.service.cache import PlanCache
+from repro.service.canonical import pair_key
+from repro.service.engine import BatchEngine
+from repro.service.stats import ServiceStats
+
+QueryPair = Tuple[ConjunctiveQuery, ConjunctiveQuery]
+
+#: Methods whose results are not worth caching (no verdict was established
+#: for reasons specific to this run, not to the pair).
+_UNCACHEABLE_METHODS = frozenset({"budget-exhausted", "error"})
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Execution knobs of a :class:`ContainmentService`.
+
+    ``method``, ``max_witness_rows`` and ``refutation_effort`` are forwarded
+    to every pair's pipeline (same meaning as in
+    :func:`repro.core.containment.decide_containment`).  ``chunk_size``,
+    ``max_workers``, ``pair_budget`` and ``on_error`` configure the engine
+    (see :class:`repro.service.engine.BatchEngine`).  ``cache_size`` bounds
+    the plan cache (``None`` = unbounded) and ``canonicalize`` switches the
+    isomorphism-aware dedup on or off (off, only the LP grouping remains).
+    """
+
+    method: str = "auto"
+    max_witness_rows: int = 1024
+    refutation_effort: int = 1
+    chunk_size: int = 32
+    max_workers: int = 1
+    pair_budget: Optional[float] = None
+    on_error: str = "raise"
+    cache_size: Optional[int] = 4096
+    canonicalize: bool = True
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Provenance of one submitted pair's result.
+
+    ``source`` is ``"solved"`` (the pair ran its own pipeline),
+    ``"batch-dedup"`` (folded into an equivalent pair of the same batch) or
+    ``"plan-cache"`` (answered from a previous call of the same service).
+    """
+
+    index: int
+    result: ContainmentResult
+    source: str
+    key: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything :meth:`ContainmentService.run` knows about one batch."""
+
+    results: Tuple[ContainmentResult, ...]
+    outcomes: Tuple[PairOutcome, ...]
+    stats: Dict[str, object] = field(default_factory=dict)
+
+
+class ContainmentService:
+    """A long-lived batch containment checker with a plan cache.
+
+    >>> from repro import parse_query
+    >>> from repro.service import ContainmentService
+    >>> service = ContainmentService()
+    >>> triangle = parse_query("R(x,y), R(y,z), R(z,x)")
+    >>> vee = parse_query("R(a,b), R(a,c)")
+    >>> report = service.run([(triangle, vee), (triangle, vee)])
+    >>> [r.status.value for r in report.results]
+    ['contained', 'contained']
+    >>> report.outcomes[1].source
+    'batch-dedup'
+    """
+
+    def __init__(self, options: Optional[BatchOptions] = None, **overrides):
+        if options is None:
+            options = BatchOptions(**overrides)
+        elif overrides:
+            options = replace(options, **overrides)
+        self.options = options
+        self.stats = ServiceStats()
+        self.cache = PlanCache(maxsize=options.cache_size)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def _pair_key(self, q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> Optional[Hashable]:
+        if not self.options.canonicalize:
+            return None
+        return pair_key(q1, q2)
+
+    def _pipeline(self, q1: ConjunctiveQuery, q2: ConjunctiveQuery):
+        return containment_pipeline(
+            q1,
+            q2,
+            method=self.options.method,
+            max_witness_rows=self.options.max_witness_rows,
+            refutation_effort=self.options.refutation_effort,
+        )
+
+    def run(self, pairs: Sequence[QueryPair]) -> BatchReport:
+        """Decide a batch of pairs; full provenance and a stats snapshot."""
+        started = time.perf_counter()
+        options = self.options
+        engine = BatchEngine(
+            chunk_size=options.chunk_size,
+            max_workers=options.max_workers,
+            pair_budget=options.pair_budget,
+            on_error=options.on_error,
+            stats=self.stats,
+        )
+        self.stats.pairs_submitted += len(pairs)
+
+        jobs: List[Tuple[QueryPair, Optional[Hashable]]] = []
+        # Per input pair: ("cache", result) | ("job", job_index, source)
+        placements: List[Tuple[str, object, str]] = []
+        first_seen: Dict[Hashable, int] = {}
+        for q1, q2 in pairs:
+            if not isinstance(q1, ConjunctiveQuery) or not isinstance(q2, ConjunctiveQuery):
+                raise QueryError("pairs must be (ConjunctiveQuery, ConjunctiveQuery) tuples")
+            key = self._pair_key(q1, q2)
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    placements.append(("cache", cached, "plan-cache"))
+                    continue
+                if key in first_seen:
+                    self.stats.batch_duplicates += 1
+                    placements.append(("job", first_seen[key], "batch-dedup"))
+                    continue
+                first_seen[key] = len(jobs)
+            placements.append(("job", len(jobs), "solved"))
+            jobs.append(((q1, q2), key))
+
+        solved = engine.run([self._pipeline(q1, q2) for (q1, q2), _ in jobs])
+        for ((_, _), key), result in zip(jobs, solved):
+            if key is not None and result.method not in _UNCACHEABLE_METHODS:
+                self.cache.put(key, result)
+
+        outcomes: List[PairOutcome] = []
+        for index, (kind, payload, source) in enumerate(placements):
+            if kind == "cache":
+                result = payload
+                key = None
+            else:
+                result = solved[payload]
+                key = jobs[payload][1]
+            outcomes.append(
+                PairOutcome(index=index, result=result, source=source, key=key)
+            )
+        self.stats.wall_seconds += time.perf_counter() - started
+        return BatchReport(
+            results=tuple(outcome.result for outcome in outcomes),
+            outcomes=tuple(outcomes),
+            stats=self.stats.as_dict(),
+        )
+
+    def decide_many(self, pairs: Sequence[QueryPair]) -> List[ContainmentResult]:
+        """Results only, in submission order (the batch counterpart of
+        :func:`repro.core.containment.decide_containment`)."""
+        return list(self.run(pairs).results)
+
+    def decide(self, q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> ContainmentResult:
+        """Single-pair convenience going through the same cache and engine."""
+        return self.decide_many([(q1, q2)])[0]
+
+    def clear_cache(self) -> None:
+        self.cache.clear()
+
+
+def decide_containment_many(
+    pairs: Sequence[QueryPair],
+    options: Optional[BatchOptions] = None,
+    **overrides,
+) -> List[ContainmentResult]:
+    """Decide many ``Q1 ⊑ Q2`` pairs with dedup, plan caching and grouped LPs.
+
+    Returns one :class:`ContainmentResult` per pair, in order, with statuses
+    identical to a per-pair :func:`~repro.core.containment.decide_containment`
+    loop.  Keyword overrides are :class:`BatchOptions` fields, e.g.
+    ``decide_containment_many(pairs, chunk_size=64, max_workers=4)``.
+    """
+    return ContainmentService(options, **overrides).decide_many(pairs)

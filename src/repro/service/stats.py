@@ -1,0 +1,104 @@
+"""Service-level statistics for the batch containment engine."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class GroupTiming:
+    """Timing of one block-LP chunk solve.
+
+    Attributes
+    ----------
+    cone:
+        Cone the chunk was decided over (``"gamma"`` for grouped solves).
+    ground_size:
+        Number of ground variables ``n`` shared by the chunk's requests.
+    requests:
+        How many per-pair LP decisions the chunk folded into one solve.
+    rows:
+        Stacked per-pair objective (branch) rows of the block program — the
+        shared cone-description rows each block also carries are not counted.
+    seconds:
+        Wall-clock time of the solve.
+    """
+
+    cone: str
+    ground_size: int
+    requests: int
+    rows: int
+    seconds: float
+
+
+@dataclass
+class ServiceStats:
+    """Counters accumulated by a :class:`~repro.service.service.ContainmentService`.
+
+    ``lp_solves_avoided`` counts HiGHS invocations saved by grouping: a chunk
+    that folds ``k`` cone decisions into one block solve avoids ``k - 1``
+    solves relative to the sequential path.  Cache hits and batch duplicates
+    additionally avoid their pairs' *entire* pipelines (homomorphism
+    enumeration, inequality construction and all LP work).
+    """
+
+    pairs_submitted: int = 0
+    pipelines_run: int = 0
+    cache_hits: int = 0
+    batch_duplicates: int = 0
+    pair_errors: int = 0
+    pairs_over_budget: int = 0
+    lp_requests: int = 0
+    block_solves: int = 0
+    scalar_solves: int = 0
+    lp_solves_avoided: int = 0
+    wall_seconds: float = 0.0
+    group_timings: List[GroupTiming] = field(default_factory=list)
+    # Chunk solves and scalar solves run on engine worker threads; the lock
+    # keeps their counter updates consistent under max_workers > 1.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_chunk(self, timing: GroupTiming) -> None:
+        with self._lock:
+            self.group_timings.append(timing)
+            self.block_solves += 1
+            self.lp_solves_avoided += max(0, timing.requests - 1)
+
+    def count_scalar_solve(self) -> None:
+        with self._lock:
+            self.scalar_solves += 1
+
+    def count_over_budget(self) -> None:
+        with self._lock:
+            self.pairs_over_budget += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot (group timings aggregated per arity)."""
+        per_group: Dict[str, Dict[str, float]] = {}
+        for timing in self.group_timings:
+            key = f"{timing.cone}:n={timing.ground_size}"
+            bucket = per_group.setdefault(
+                key, {"chunks": 0, "requests": 0, "rows": 0, "seconds": 0.0}
+            )
+            bucket["chunks"] += 1
+            bucket["requests"] += timing.requests
+            bucket["rows"] += timing.rows
+            bucket["seconds"] += timing.seconds
+        return {
+            "pairs_submitted": self.pairs_submitted,
+            "pipelines_run": self.pipelines_run,
+            "cache_hits": self.cache_hits,
+            "batch_duplicates": self.batch_duplicates,
+            "pair_errors": self.pair_errors,
+            "pairs_over_budget": self.pairs_over_budget,
+            "lp_requests": self.lp_requests,
+            "block_solves": self.block_solves,
+            "scalar_solves": self.scalar_solves,
+            "lp_solves_avoided": self.lp_solves_avoided,
+            "wall_seconds": self.wall_seconds,
+            "groups": per_group,
+        }

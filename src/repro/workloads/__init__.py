@@ -29,6 +29,7 @@ from repro.workloads.graph_families import (
 from repro.workloads.generators import (
     clique_query,
     cycle_query,
+    mixed_containment_pairs,
     path_query,
     random_chordal_simple_query,
     random_database,
@@ -54,6 +55,7 @@ __all__ = [
     "random_chordal_simple_query",
     "random_database",
     "random_max_ii",
+    "mixed_containment_pairs",
     "vee_example",
     "example_3_5",
     "example_3_8_inequality",

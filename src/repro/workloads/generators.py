@@ -131,6 +131,127 @@ def random_chordal_simple_query(
 
 
 # ---------------------------------------------------------------------- #
+# Batch containment workloads
+# ---------------------------------------------------------------------- #
+def _rename_pair(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, tag: int
+) -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """An isomorphic copy of a pair: every variable gets a fresh name.
+
+    The rename is order-preserving (each variable keeps its first-occurrence
+    position), so the copy exercises the structural-hash plan cache without
+    perturbing any positional tie-breaking downstream.
+    """
+    renamed1 = q1.rename({v: f"{v}__iso{tag}" for v in q1.variables})
+    renamed2 = q2.rename({v: f"{v}__iso{tag}" for v in q2.variables})
+    return renamed1, renamed2
+
+
+def _fresh_pair(
+    generator: random.Random, index: int
+) -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """One pair drawn from the mixed family catalogue."""
+    family = generator.randrange(8)
+    if family == 0:
+        # Cycle ⊑ path: the paper's flagship CONTAINED instances (Thm 3.1 route).
+        return (
+            cycle_query(generator.randint(3, 5)),
+            path_query(generator.randint(2, 3)),
+        )
+    if family == 1:
+        # Path ⊑ path: contained when the right side is no longer.
+        left = generator.randint(2, 4)
+        right = generator.randint(2, 4)
+        return path_query(left), path_query(right)
+    if family == 2:
+        # Clique ⊑ star / path: dense left sides through the complete procedure.
+        left = clique_query(3)
+        right = (
+            star_query(generator.randint(1, 3))
+            if generator.random() < 0.5
+            else path_query(2)
+        )
+        return left, right
+    if family == 3:
+        # Random left side against a chordal-simple right side (Thm 3.1 route).
+        q1 = random_query(
+            num_variables=generator.randint(2, 4),
+            num_atoms=generator.randint(2, 4),
+            relations=(("R", 2),),
+            seed=generator.randrange(1 << 30),
+        )
+        q2 = random_chordal_simple_query(
+            num_cliques=generator.randint(1, 2),
+            clique_size=2,
+            seed=generator.randrange(1 << 30),
+        )
+        return q1, q2
+    if family == 4:
+        # Non-chordal right side (a 4-cycle): the general, sufficient-check route.
+        q1 = random_query(
+            num_variables=generator.randint(3, 4),
+            num_atoms=generator.randint(3, 4),
+            relations=(("R", 2),),
+            seed=generator.randrange(1 << 30),
+        )
+        return q1, cycle_query(4)
+    if family == 5:
+        # Vocabulary mismatch: hom(Q2, Q1) = ∅, refuted without any LP.
+        q1 = path_query(generator.randint(2, 3), relation="R")
+        q2 = path_query(2, relation="S")
+        return q1, q2
+    if family == 6:
+        # Head variables: exercises the Lemma A.1 Boolean reduction.
+        length = generator.randint(2, 3)
+        q1 = ConjunctiveQuery(
+            atoms=path_query(length).atoms, head=("x0",), name=f"hpath{length}"
+        )
+        q2 = ConjunctiveQuery(atoms=path_query(2).atoms, head=("x0",), name="hpath2")
+        return q1, q2
+    # Star ⊑ star.
+    return (
+        star_query(generator.randint(1, 3)),
+        star_query(generator.randint(1, 3)),
+    )
+
+
+def mixed_containment_pairs(
+    count: int,
+    seed: int = 0,
+    duplicate_fraction: float = 0.2,
+    isomorphic_fraction: float = 0.2,
+) -> List[Tuple[ConjunctiveQuery, ConjunctiveQuery]]:
+    """A mixed batch-containment workload of ``count`` query pairs.
+
+    The workload mimics high-volume serving traffic: a stream of pairs drawn
+    from the paper's structured families (decidable Theorem 3.1 instances,
+    general-route instances with non-chordal right sides, trivial
+    no-homomorphism refutations, pairs with head variables), salted with
+    exact repeats (``duplicate_fraction``) and freshly renamed isomorphic
+    copies (``isomorphic_fraction``) of earlier pairs — the traffic shape the
+    :mod:`repro.service` plan cache is built for.  Deterministic given
+    ``seed``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    generator = random.Random(seed)
+    pairs: List[Tuple[ConjunctiveQuery, ConjunctiveQuery]] = []
+    originals: List[Tuple[ConjunctiveQuery, ConjunctiveQuery]] = []
+    while len(pairs) < count:
+        roll = generator.random()
+        if originals and roll < duplicate_fraction:
+            pairs.append(originals[generator.randrange(len(originals))])
+        elif originals and roll < duplicate_fraction + isomorphic_fraction:
+            base = originals[generator.randrange(len(originals))]
+            pairs.append(_rename_pair(*base, tag=len(pairs)))
+        else:
+            pair = _fresh_pair(generator, len(pairs))
+            originals.append(pair)
+            pairs.append(pair)
+    return pairs
+
+
+# ---------------------------------------------------------------------- #
 # Random databases
 # ---------------------------------------------------------------------- #
 def random_database(

@@ -1,6 +1,7 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -75,3 +76,60 @@ def test_cli_error_handling():
     code, output = run_cli("contain", "R(x,y)", "R(x)")
     assert code == 1
     assert "error:" in output
+
+
+def test_batch_command_jsonl_verdicts(tmp_path):
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text(
+        "# comment line\n"
+        "R(x,y), R(y,z), R(z,x) | R(a,b), R(a,c)\n"
+        '{"q1": "R(u,v), R(v,w), R(w,u)", "q2": "R(s,t), R(s,p)"}\n'
+        "\n"
+        "R(x,y), R(y,z) | S(a,b)\n"
+    )
+    code, output = run_cli("batch", str(pairs))
+    assert code == 0
+    records = [json.loads(line) for line in output.splitlines()]
+    assert [r["status"] for r in records] == [
+        "contained",
+        "contained",
+        "not_contained",
+    ]
+    # The JSON pair is isomorphic to the first and must fold into it.
+    assert records[1]["source"] == "batch-dedup"
+    assert records[2]["witness_rows"] >= 1
+
+
+def test_batch_command_with_knobs(tmp_path):
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text("R(x,y), R(y,z), R(z,x) | R(a,b), R(a,c)\n")
+    code, output = run_cli(
+        "batch", str(pairs), "--jobs", "2", "--chunk-size", "4", "--method", "auto"
+    )
+    assert code == 0
+    assert json.loads(output.splitlines()[0])["status"] == "contained"
+
+
+def test_batch_command_bad_line(tmp_path):
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text("R(x,y) without separator\n")
+    code, output = run_cli("batch", str(pairs))
+    assert code == 1
+    assert "error:" in output
+
+
+def test_batch_command_empty_file(tmp_path):
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text("# nothing here\n")
+    code, output = run_cli("batch", str(pairs))
+    assert code == 1
+    assert "error:" in output
+
+
+def test_batch_command_non_string_json_values(tmp_path):
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text('{"q1": 5, "q2": "R(x,y)"}\n')
+    code, output = run_cli("batch", str(pairs))
+    assert code == 1
+    assert "error:" in output
+    assert "query strings" in output

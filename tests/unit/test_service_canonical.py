@@ -1,0 +1,109 @@
+"""Tests for canonical query labeling and structural pair keys."""
+
+import random
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.parser import parse_query
+from repro.service.canonical import (
+    canonical_query,
+    canonical_query_key,
+    pair_key,
+)
+from repro.workloads.generators import (
+    clique_query,
+    cycle_query,
+    path_query,
+    random_query,
+    star_query,
+)
+
+
+def _shuffled_rename(query, seed):
+    """An isomorphic copy: random variable names AND shuffled atom order."""
+    rng = random.Random(seed)
+    variables = list(query.variables)
+    fresh = [f"z{seed}_{i}" for i in range(len(variables))]
+    rng.shuffle(fresh)
+    renamed = query.rename(dict(zip(variables, fresh)))
+    atoms = list(renamed.atoms)
+    rng.shuffle(atoms)
+    return ConjunctiveQuery(atoms=tuple(atoms), head=renamed.head, name="shuffled")
+
+
+class TestCanonicalQueryKey:
+    def test_key_invariant_under_renaming_and_atom_order(self):
+        queries = [
+            path_query(3),
+            cycle_query(4),
+            star_query(3),
+            clique_query(3),
+            parse_query("R(x,y), S(y,z), R(z,x)"),
+            random_query(4, 5, seed=11),
+        ]
+        for query in queries:
+            key = canonical_query_key(query)
+            for seed in range(5):
+                copy = _shuffled_rename(query, seed)
+                assert canonical_query_key(copy) == key, str(query)
+
+    def test_distinct_structures_get_distinct_keys(self):
+        keys = {
+            canonical_query_key(q)
+            for q in (
+                path_query(2),
+                path_query(3),
+                cycle_query(3),
+                cycle_query(4),
+                star_query(2),
+                clique_query(3),
+                parse_query("R(x,x)"),
+            )
+        }
+        assert len(keys) == 7
+
+    def test_head_positions_distinguish_queries(self):
+        body = (Atom("R", ("x", "y")),)
+        q_xy = ConjunctiveQuery(atoms=body, head=("x", "y"))
+        q_yx = ConjunctiveQuery(atoms=body, head=("y", "x"))
+        q_bool = ConjunctiveQuery(atoms=body, head=())
+        assert canonical_query_key(q_xy) != canonical_query_key(q_bool)
+        assert canonical_query_key(q_xy) != canonical_query_key(q_yx)
+
+    def test_repeated_variables_matter(self):
+        assert canonical_query_key(parse_query("R(x,x)")) != canonical_query_key(
+            parse_query("R(x,y)")
+        )
+
+    def test_relation_names_matter(self):
+        assert canonical_query_key(parse_query("R(x,y)")) != canonical_query_key(
+            parse_query("S(x,y)")
+        )
+
+
+class TestCanonicalQuery:
+    def test_canonical_query_is_isomorphic_relabeling(self):
+        query = parse_query("R(x,y), S(y,z), R(z,x)")
+        canonical = canonical_query(query)
+        assert len(canonical.atoms) == len(query.atoms)
+        assert len(canonical.variables) == len(query.variables)
+        assert canonical_query_key(canonical) == canonical_query_key(query)
+        assert all(v.startswith("c") for v in canonical.variables)
+
+    def test_canonical_form_identical_across_copies(self):
+        query = cycle_query(5)
+        forms = {
+            str(canonical_query(_shuffled_rename(query, seed))) for seed in range(4)
+        }
+        assert len(forms) == 1
+
+
+class TestPairKey:
+    def test_pair_key_invariant_under_independent_renamings(self):
+        q1, q2 = cycle_query(3), path_query(2)
+        assert pair_key(q1, q2) == pair_key(
+            _shuffled_rename(q1, 1), _shuffled_rename(q2, 2)
+        )
+
+    def test_pair_order_matters(self):
+        q1, q2 = cycle_query(3), path_query(2)
+        assert pair_key(q1, q2) != pair_key(q2, q1)

@@ -10,6 +10,7 @@ from repro.cq.decompositions import (
 from repro.workloads.generators import (
     clique_query,
     cycle_query,
+    mixed_containment_pairs,
     path_query,
     random_chordal_simple_query,
     random_database,
@@ -105,3 +106,27 @@ def test_paper_example_constructors():
     assert q1.head == ("x", "z") and q2.head == ("x", "z")
     parity = parity_example()
     assert parity.total() == 2.0
+
+
+def test_mixed_containment_pairs_deterministic_and_sized():
+    first = mixed_containment_pairs(25, seed=4)
+    second = mixed_containment_pairs(25, seed=4)
+    assert len(first) == 25
+    assert [(str(a), str(b)) for a, b in first] == [
+        (str(a), str(b)) for a, b in second
+    ]
+    assert mixed_containment_pairs(0) == []
+
+
+def test_mixed_containment_pairs_contain_duplicates_and_renames():
+    pairs = mixed_containment_pairs(
+        40, seed=8, duplicate_fraction=0.4, isomorphic_fraction=0.4
+    )
+    texts = [(str(a), str(b)) for a, b in pairs]
+    assert len(set(texts)) < len(texts)  # exact repeats present
+    assert any("__iso" in a for a, _ in texts)  # renamed copies present
+
+
+def test_mixed_containment_pairs_heads_always_aligned():
+    for q1, q2 in mixed_containment_pairs(40, seed=12):
+        assert len(q1.head) == len(q2.head)
