@@ -80,7 +80,7 @@ def _print_result(result, out) -> None:
 def _cmd_contain(args, out) -> int:
     q1 = parse_query(args.q1, name="Q1")
     q2 = parse_query(args.q2, name="Q2")
-    result = decide_containment(q1, q2, method=args.method)
+    result = decide_containment(q1, q2, method=args.method, lp_method=args.lp_method)
     _print_result(result, out)
     return 0 if result.status.value != "unknown" else 2
 
@@ -163,6 +163,7 @@ def _cmd_batch(args, out) -> int:
             max_workers=args.jobs,
             pair_budget=args.budget,
             on_error="capture",
+            lp_method=args.lp_method,
         )
     )
     report = service.run(pairs)
@@ -203,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=["auto", "theorem-3.1", "sufficient", "brute-force"],
     )
+    contain.add_argument(
+        "--lp-method",
+        default="auto",
+        choices=["auto", "dense", "rowgen"],
+        help="Γn LP path: full elemental matrix vs lazy row generation (default auto)",
+    )
     contain.set_defaults(handler=_cmd_contain)
 
     inspect = subparsers.add_parser("inspect", help="report a query's structural class")
@@ -226,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         default="auto",
         choices=["auto", "theorem-3.1", "sufficient", "brute-force"],
+    )
+    batch.add_argument(
+        "--lp-method",
+        default="auto",
+        choices=["auto", "dense", "rowgen"],
+        help="Γn LP path: full elemental matrix vs lazy row generation (default auto)",
     )
     batch.add_argument(
         "--chunk-size",

@@ -464,6 +464,7 @@ def decide_containment(
     method: str = "auto",
     max_witness_rows: int = 1024,
     refutation_effort: int = 1,
+    lp_method: str = "auto",
 ) -> ContainmentResult:
     """Decide (or semi-decide) ``Q1 ⊑ Q2`` under bag-set semantics.
 
@@ -478,12 +479,18 @@ def decide_containment(
     * ``"brute-force"`` — only run the explicit witness searches.
 
     ``refutation_effort`` scales the witness-search budgets in the general
-    (possibly undecidable) case.
+    (possibly undecidable) case.  ``lp_method`` selects the ``Γn`` LP path
+    for every cone decision the pipeline issues
+    (``"dense" | "rowgen" | "auto"``, see :mod:`repro.lp.rowgen`).
 
     This is the sequential driver over :func:`containment_pipeline`; the
     batch engine (:func:`repro.service.decide_containment_many`) runs the
     same pipeline with grouped LP solving and a plan cache.
     """
+
+    def decider(max_ii, over, ground):
+        return decide_max_ii(max_ii, over=over, ground=ground, lp_method=lp_method)
+
     return run_containment_pipeline(
         containment_pipeline(
             q1,
@@ -491,5 +498,6 @@ def decide_containment(
             method=method,
             max_witness_rows=max_witness_rows,
             refutation_effort=refutation_effort,
-        )
+        ),
+        decider=decider,
     )

@@ -32,9 +32,11 @@ from repro.infotheory.functions import modular_function, normal_function, step_f
 from repro.infotheory.imeasure import is_normal_function
 from repro.infotheory.polymatroid import elemental_inequalities, is_modular, is_polymatroid
 from repro.infotheory.setfunction import SetFunction
+from repro.lp.rowgen import resolve_method, shannon_row_oracle
 from repro.lp.solver import (
     FeasibilityBlock,
     check_feasibility,
+    record_solver_path,
     solve_feasibility_blocks,
 )
 from repro.utils.lattice import lattice_context
@@ -63,15 +65,24 @@ class Cone:
         raise NotImplementedError
 
     def find_point_below(
-        self, expressions: Sequence[LinearExpression], margin: float = 1.0
+        self,
+        expressions: Sequence[LinearExpression],
+        margin: float = 1.0,
+        method: str = "auto",
     ) -> Optional[ConePoint]:
-        """A cone point with ``E_ℓ(h) ≤ -margin`` for every expression, if any."""
+        """A cone point with ``E_ℓ(h) ≤ -margin`` for every expression, if any.
+
+        ``method`` selects the LP path for the cone description
+        (``"dense" | "rowgen" | "auto"``); only ``Γn`` has an implicit row
+        family, so the generated cones accept and ignore it.
+        """
         raise NotImplementedError
 
     def find_points_below_many(
         self,
         expression_lists: Sequence[Sequence[LinearExpression]],
         margin: float = 1.0,
+        method: str = "auto",
     ) -> List[Optional[ConePoint]]:
         """Batched :meth:`find_point_below`: one answer per expression list.
 
@@ -80,11 +91,22 @@ class Cone:
         block-diagonal LP (:func:`repro.lp.solver.solve_feasibility_blocks`)
         so a whole batch pays one HiGHS invocation.
         """
-        return [self.find_point_below(exprs, margin) for exprs in expression_lists]
+        return [
+            self.find_point_below(exprs, margin, method=method)
+            for exprs in expression_lists
+        ]
 
 
 class GammaCone(Cone):
-    """The Shannon (polymatroid) cone ``Γn``."""
+    """The Shannon (polymatroid) cone ``Γn``.
+
+    The elemental description is held implicitly through the shared
+    :class:`~repro.lp.rowgen.ShannonRowOracle`; the ``method`` knob of the
+    decision methods picks between materializing it in full (``"dense"``)
+    and lazy row generation (``"rowgen"``), with ``"auto"`` switching on the
+    row count — so large-arity cones never pay for the full matrix unless a
+    caller insists.
+    """
 
     name = "gamma"
 
@@ -94,9 +116,15 @@ class GammaCone(Cone):
         self._lattice = lattice
         self._subsets = lattice.nonempty_subsets
         self._index = {subset: i for i, subset in enumerate(self._subsets)}
-        # Shared, cached CSR matrix built from bitmask arithmetic.
-        self._elemental_matrix = lattice.elemental_matrix()
-        self._num_elementals = self._elemental_matrix.shape[0]
+        # Implicit elemental row family (shared, cached); the full CSR is
+        # materialized only on first dense use via the oracle.
+        self._oracle = shannon_row_oracle(self.ground)
+        self._num_elementals = self._oracle.row_count
+
+    def _resolve_method(self, method: str) -> str:
+        resolved = resolve_method(method, self._num_elementals)
+        record_solver_path(resolved)
+        return resolved
 
     def _expression_row(self, expression: LinearExpression) -> np.ndarray:
         row = np.zeros(len(self._subsets))
@@ -108,19 +136,20 @@ class GammaCone(Cone):
         return is_polymatroid(function, tolerance)
 
     def find_point_below(
-        self, expressions: Sequence[LinearExpression], margin: float = 1.0
+        self,
+        expressions: Sequence[LinearExpression],
+        margin: float = 1.0,
+        method: str = "auto",
     ) -> Optional[ConePoint]:
         branch_rows = sp.csr_matrix(
             np.array([self._expression_row(e) for e in expressions])
         )
-        A_ub = sp.vstack([-self._elemental_matrix, branch_rows], format="csr")
-        b_ub = np.concatenate(
-            [np.zeros(self._num_elementals), -margin * np.ones(len(expressions))]
-        )
         feasible, solution = check_feasibility(
             num_variables=len(self._subsets),
-            A_ub=A_ub,
-            b_ub=b_ub,
+            A_ub=branch_rows,
+            b_ub=-margin * np.ones(len(expressions)),
+            lazy_rows=self._oracle,
+            method=self._resolve_method(method),
         )
         if not feasible or solution is None:
             return None
@@ -131,11 +160,10 @@ class GammaCone(Cone):
         self,
         expression_lists: Sequence[Sequence[LinearExpression]],
         margin: float = 1.0,
+        method: str = "auto",
     ) -> List[Optional[ConePoint]]:
         if not expression_lists:
             return []
-        negated_elementals = -self._elemental_matrix
-        hard_rhs = np.zeros(self._num_elementals)
         blocks = []
         for expressions in expression_lists:
             branch_rows = sp.csr_matrix(
@@ -146,13 +174,18 @@ class GammaCone(Cone):
                     num_variables=len(self._subsets),
                     A_soft=branch_rows,
                     b_soft=-margin * np.ones(len(expressions)),
-                    A_hard=negated_elementals,
-                    b_hard=hard_rhs,
                 )
             )
         # The optimal slack of a cone-shaped block is exactly 0 or margin
-        # (see solve_feasibility_blocks); threshold at the midpoint.
-        results = solve_feasibility_blocks(blocks, slack_threshold=margin / 2)
+        # (see solve_feasibility_blocks); threshold at the midpoint.  The
+        # elemental rows enter each block through the lazy family: dense
+        # prepends the full matrix, rowgen grows per-block active sets.
+        results = solve_feasibility_blocks(
+            blocks,
+            slack_threshold=margin / 2,
+            lazy_rows=self._oracle,
+            method=self._resolve_method(method),
+        )
         points: List[Optional[ConePoint]] = []
         for result in results:
             if not result.feasible or result.solution is None:
@@ -222,8 +255,14 @@ class _GeneratedCone(Cone):
         return ConePoint(function=self._combine(coefficients), coefficients=coefficients)
 
     def find_point_below(
-        self, expressions: Sequence[LinearExpression], margin: float = 1.0
+        self,
+        expressions: Sequence[LinearExpression],
+        margin: float = 1.0,
+        method: str = "auto",
     ) -> Optional[ConePoint]:
+        # ``method`` is accepted for interface parity and ignored: the
+        # generated cones are described by explicit generators, not an
+        # implicit row family, so there is nothing to generate lazily.
         generators, _ = self._generator_data()
         matrix = self._lp_matrix(expressions)
         feasible, solution = check_feasibility(
@@ -239,6 +278,7 @@ class _GeneratedCone(Cone):
         self,
         expression_lists: Sequence[Sequence[LinearExpression]],
         margin: float = 1.0,
+        method: str = "auto",
     ) -> List[Optional[ConePoint]]:
         if not expression_lists:
             return []

@@ -65,17 +65,20 @@ def decide_max_ii(
     over: str = "gamma",
     ground: Tuple[str, ...] = None,
     with_certificate: bool = False,
+    lp_method: str = "auto",
 ) -> MaxIIVerdict:
     """Decide validity of a Max-II over the cone named by ``over``.
 
     ``ground`` may enlarge the variable set beyond the variables actually
     mentioned by the inequality (validity is not affected, but violating
-    functions are returned over the larger ground set).
+    functions are returned over the larger ground set).  ``lp_method``
+    selects the ``Γn`` LP path (``"dense" | "rowgen" | "auto"``; ignored by
+    the generated cones).
     """
     ground = tuple(ground) if ground is not None else inequality.ground
     cone = cone_by_name(over, ground)
     branches = [branch.with_ground(ground) for branch in inequality.branches]
-    point = cone.find_point_below(branches)
+    point = cone.find_point_below(branches, method=lp_method)
     if point is not None:
         return MaxIIVerdict(
             valid=False,
@@ -85,7 +88,7 @@ def decide_max_ii(
         )
     certificate = None
     if with_certificate and over == "gamma" and len(branches) == 1:
-        certificate = shannon_prover(ground).certificate(branches[0])
+        certificate = shannon_prover(ground).certificate(branches[0], method=lp_method)
     return MaxIIVerdict(valid=True, cone=over, certificate=certificate)
 
 
@@ -93,6 +96,7 @@ def decide_max_ii_many(
     inequalities: Sequence[MaxInformationInequality],
     over: str = "gamma",
     ground: Tuple[str, ...] = None,
+    lp_method: str = "auto",
 ) -> List[MaxIIVerdict]:
     """Decide many Max-IIs over one cone in a single (block) LP solve.
 
@@ -102,7 +106,10 @@ def decide_max_ii_many(
     :mod:`repro.service` batch engine: the per-inequality feasibility systems
     share the cone description and are stacked into one block-diagonal LP
     (:meth:`Cone.find_points_below_many`), so a batch of ``k`` decisions pays
-    one HiGHS invocation instead of ``k``.
+    one HiGHS invocation instead of ``k``.  With ``lp_method="rowgen"`` (or
+    ``"auto"`` past the row-count threshold) the blocks carry lazily
+    generated elemental rows instead of one full matrix copy each — the
+    memory multiplier that previously capped chunk sizes at large arity.
     """
     if not inequalities:
         return []
@@ -120,7 +127,7 @@ def decide_max_ii_many(
         [branch.with_ground(ground) for branch in inequality.branches]
         for inequality in inequalities
     ]
-    points = cone.find_points_below_many(branch_lists)
+    points = cone.find_points_below_many(branch_lists, method=lp_method)
     verdicts: List[MaxIIVerdict] = []
     for point in points:
         if point is not None:
@@ -142,6 +149,7 @@ def decide_ii(
     over: str = "gamma",
     ground: Tuple[str, ...] = None,
     with_certificate: bool = False,
+    lp_method: str = "auto",
 ) -> MaxIIVerdict:
     """Decide an ordinary II (the ``k = 1`` special case of Max-IIP)."""
     return decide_max_ii(
@@ -149,6 +157,7 @@ def decide_ii(
         over=over,
         ground=ground,
         with_certificate=with_certificate,
+        lp_method=lp_method,
     )
 
 

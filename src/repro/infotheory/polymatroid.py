@@ -61,40 +61,61 @@ class ElementalInequality:
         }
 
 
+def _materialize_elemental(lattice, row_masks, row_coeffs, kind: str) -> ElementalInequality:
+    """Build one :class:`ElementalInequality` from its mask/coefficient row."""
+    subsets_by_mask = lattice.subsets_by_mask
+    coefficients = tuple(
+        (subsets_by_mask[mask], float(coeff))
+        for mask, coeff in zip(row_masks, row_coeffs)
+        if coeff != 0.0
+    )
+    if kind == "monotonicity":
+        full = subsets_by_mask[row_masks[0]]
+        rest = subsets_by_mask[row_masks[1]]
+        description = (
+            f"h({','.join(sorted(full))}) - h({','.join(sorted(rest))}) >= 0"
+        )
+    else:
+        pair = subsets_by_mask[row_masks[2]] - subsets_by_mask[row_masks[3]]
+        context = subsets_by_mask[row_masks[3]]
+        left, right = sorted(
+            pair, key=lambda variable: lattice.positions[variable]
+        )
+        description = (
+            f"I({left};{right}|{','.join(sorted(context)) or '∅'}) >= 0"
+        )
+    return ElementalInequality(
+        kind=kind, coefficients=coefficients, description=description
+    )
+
+
+def materialize_elementals(
+    ground: Sequence[str], masks, coeffs, kinds
+) -> List[ElementalInequality]:
+    """Build :class:`ElementalInequality` objects from explicit row data.
+
+    ``masks``/``coeffs`` are ``(m, 4)`` arrays in the layout of
+    :meth:`SubsetLattice.elemental_structure` and
+    :meth:`repro.lp.rowgen.ShannonRowOracle.row_data`.  The row-generation
+    certificate path uses this to materialize only the handful of rows with
+    positive multipliers instead of every elemental inequality of ``Γn``.
+    """
+    lattice = lattice_context(tuple(ground))
+    return [
+        _materialize_elemental(lattice, row_masks, row_coeffs, kind)
+        for row_masks, row_coeffs, kind in zip(masks, coeffs, kinds)
+    ]
+
+
 @lru_cache(maxsize=128)
 def _elemental_inequalities(ground: Tuple[str, ...]) -> Tuple[ElementalInequality, ...]:
     """Materialize the :class:`ElementalInequality` objects, once per ground tuple."""
     lattice = lattice_context(ground)
     _, masks, coeffs, kinds = lattice.elemental_structure()
-    subsets_by_mask = lattice.subsets_by_mask
-    inequalities: List[ElementalInequality] = []
-    for row_masks, row_coeffs, kind in zip(masks, coeffs, kinds):
-        coefficients = tuple(
-            (subsets_by_mask[mask], float(coeff))
-            for mask, coeff in zip(row_masks, row_coeffs)
-            if coeff != 0.0
-        )
-        if kind == "monotonicity":
-            full = subsets_by_mask[row_masks[0]]
-            rest = subsets_by_mask[row_masks[1]]
-            description = (
-                f"h({','.join(sorted(full))}) - h({','.join(sorted(rest))}) >= 0"
-            )
-        else:
-            pair = subsets_by_mask[row_masks[2]] - subsets_by_mask[row_masks[3]]
-            context = subsets_by_mask[row_masks[3]]
-            left, right = sorted(
-                pair, key=lambda variable: lattice.positions[variable]
-            )
-            description = (
-                f"I({left};{right}|{','.join(sorted(context)) or '∅'}) >= 0"
-            )
-        inequalities.append(
-            ElementalInequality(
-                kind=kind, coefficients=coefficients, description=description
-            )
-        )
-    return tuple(inequalities)
+    return tuple(
+        _materialize_elemental(lattice, row_masks, row_coeffs, kind)
+        for row_masks, row_coeffs, kind in zip(masks, coeffs, kinds)
+    )
 
 
 def elemental_inequalities(ground: Sequence[str]) -> List[ElementalInequality]:

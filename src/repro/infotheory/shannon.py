@@ -15,15 +15,33 @@ decidable by linear programming; this module implements both directions:
 This is the decision engine behind Theorem 3.6 and the Theorem 3.1
 containment algorithm.
 
+Solver paths
+------------
+Every decision runs through one of two LP paths, selected by the ``method``
+knob (``"dense" | "rowgen" | "auto"``, constructor default ``"auto"``):
+
+* **dense** materializes the full elemental CSR matrix (comfortable to
+  ``n ≈ 8–10``);
+* **rowgen** never builds the full matrix: the cutting-plane loops of
+  :mod:`repro.lp.rowgen` grow a small active row set through a vectorized
+  separation oracle, which is what makes ``n = 12–16`` cone problems
+  decidable in practice.  Certificates stay exact — the multipliers are
+  recovered over the final active row set (enlarged by Farkas-driven
+  separation until the target is expressible), and only the rows with
+  positive multipliers are materialized as
+  :class:`~repro.infotheory.polymatroid.ElementalInequality` objects.
+
+``"auto"`` switches on the elemental row count
+(:data:`repro.lp.rowgen.AUTO_ROW_THRESHOLD`).
+
 Performance notes
 -----------------
 Coordinates follow the canonical subset order (by size, then
 lexicographically) shared with :meth:`SetFunction.to_vector`; internally the
 subsets are bitmasks (element ``ground[i]`` ↦ bit ``2**i``).  The elemental
-CSR matrix is built once per ground tuple from bitmask arithmetic by the
-shared :func:`repro.utils.lattice.lattice_context` and reused by every
-prover, so ``ShannonProver(ground)`` is cheap after the first construction
-for a given arity.  Use :func:`shannon_prover` to share whole prover
+CSR matrix and the :class:`ElementalInequality` list are built lazily, on
+first *dense* use — a prover whose decisions all run through row generation
+never materializes either.  Use :func:`shannon_prover` to share whole prover
 instances process-wide (repeated containment checks over the same arity then
 skip all constraint-matrix work).
 """
@@ -39,10 +57,22 @@ import scipy.sparse as sp
 
 from repro.exceptions import CertificateError
 from repro.infotheory.expressions import InformationInequality, LinearExpression
-from repro.infotheory.polymatroid import ElementalInequality, elemental_inequalities
+from repro.infotheory.polymatroid import (
+    ElementalInequality,
+    elemental_inequalities,
+    materialize_elementals,
+)
 from repro.infotheory.setfunction import SetFunction
-from repro.lp.certificates import nonnegative_combination
-from repro.lp.solver import LPStatus, minimize
+from repro.lp.certificates import (
+    nonnegative_combination,
+    nonnegative_combination_over_support,
+)
+from repro.lp.rowgen import (
+    RowGenOptions,
+    resolve_method,
+    shannon_row_oracle,
+)
+from repro.lp.solver import LPStatus, minimize, record_solver_path
 from repro.utils.lattice import lattice_context
 
 
@@ -76,12 +106,20 @@ class ShannonCertificate:
 
 
 class ShannonProver:
-    """Decide Shannon validity of linear information expressions over a ground set."""
+    """Decide Shannon validity of linear information expressions over a ground set.
 
-    def __init__(self, ground: Sequence[str]):
+    ``method`` sets the default LP path for every decision this prover makes
+    (``"auto"`` picks per problem size); each decision method also accepts a
+    per-call override.
+    """
+
+    def __init__(self, ground: Sequence[str], method: str = "auto"):
         self.ground: Tuple[str, ...] = tuple(ground)
         if not self.ground:
             raise ValueError("the ground set must be non-empty")
+        if method not in ("dense", "rowgen", "auto"):
+            raise ValueError(f"unknown LP method {method!r}")
+        self.method = method
         lattice = lattice_context(self.ground)
         self._lattice = lattice
         self._subsets = lattice.nonempty_subsets
@@ -89,10 +127,32 @@ class ShannonProver:
         self._subset_index = {
             subset: i for i, subset in enumerate(self._subsets)
         }
-        self.elementals: List[ElementalInequality] = elemental_inequalities(self.ground)
-        # Shared, cached CSR matrix built from bitmask arithmetic (one row per
-        # elemental inequality, one column per canonical non-empty subset).
-        self._elemental_matrix = lattice.elemental_matrix()
+        self._oracle = shannon_row_oracle(self.ground)
+        self._elementals_cache: Optional[List[ElementalInequality]] = None
+
+    @property
+    def num_elemental_rows(self) -> int:
+        """``n + C(n,2)·2^(n-2)`` — the size of the full elemental description."""
+        return self._oracle.row_count
+
+    @property
+    def elementals(self) -> List[ElementalInequality]:
+        """The full elemental inequality list (materialized on first use)."""
+        if self._elementals_cache is None:
+            self._elementals_cache = elemental_inequalities(self.ground)
+        return self._elementals_cache
+
+    @property
+    def _elemental_matrix(self) -> sp.csr_matrix:
+        """The full elemental CSR matrix (built lazily, dense path only)."""
+        return self._lattice.elemental_matrix()
+
+    def _resolve_method(self, method: Optional[str]) -> str:
+        resolved = resolve_method(
+            method if method is not None else self.method, self._oracle.row_count
+        )
+        record_solver_path(resolved)
+        return resolved
 
     # ------------------------------------------------------------------ #
     # Vector encoding
@@ -120,7 +180,9 @@ class ShannonProver:
     # ------------------------------------------------------------------ #
     # Decision procedures
     # ------------------------------------------------------------------ #
-    def minimum_over_gamma(self, expression: LinearExpression) -> Tuple[float, SetFunction]:
+    def minimum_over_gamma(
+        self, expression: LinearExpression, method: Optional[str] = None
+    ) -> Tuple[float, SetFunction]:
         """Minimize ``E(h)`` over the slice ``{h ∈ Γn : h(V) ≤ 1}``.
 
         Because ``Γn`` is a cone and every non-zero polymatroid has
@@ -128,47 +190,95 @@ class ShannonProver:
         ``0 ≤ E(h)`` fails somewhere on ``Γn``.
         """
         objective = self.expression_vector(expression)
-        # Elemental inequalities A h >= 0  →  -A h <= 0, plus normalization h(V) <= 1.
         total_row = sp.csr_matrix(
             ([1.0], ([0], [self._subset_index[frozenset(self.ground)]])),
             shape=(1, len(self._subsets)),
         )
-        A_ub = sp.vstack([-self._elemental_matrix, total_row], format="csr")
-        b_ub = np.concatenate([np.zeros(len(self.elementals)), np.array([1.0])])
-        result = minimize(objective, A_ub=A_ub, b_ub=b_ub)
+        resolved = self._resolve_method(method)
+        if resolved == "rowgen":
+            # The box 0 ≤ h(X) ≤ 1 is implied by monotonicity plus the
+            # normalization over the full cone, so adding it cuts nothing
+            # from the true feasible set while keeping every cutting-plane
+            # relaxation bounded.  The early stop exploits that h = 0 is
+            # always feasible with E(0) = 0: the true minimum is ≤ 0, so a
+            # relaxation bound ≥ -ε pins it to [-ε, 0] and the zero
+            # polymatroid is a minimizer up to ε — no need to grow the
+            # active set until the relaxed point itself reaches Γn.
+            result = minimize(
+                objective,
+                A_ub=total_row,
+                b_ub=np.array([1.0]),
+                bounds=(0, 1),
+                lazy_rows=self._oracle,
+                method="rowgen",
+                rowgen_options=RowGenOptions(early_stop_objective=-1e-9),
+            )
+            if result.status == LPStatus.OPTIMAL and result.rowgen.early_stopped:
+                return result.objective, SetFunction.zero(self.ground)
+        else:
+            # Elemental inequalities A h >= 0  →  -A h <= 0, plus h(V) <= 1.
+            result = minimize(
+                objective,
+                A_ub=total_row,
+                b_ub=np.array([1.0]),
+                lazy_rows=self._oracle,
+                method="dense",
+            )
         if result.status != LPStatus.OPTIMAL:
             raise CertificateError(f"unexpected LP status {result.status} in Shannon prover")
         return result.objective, self.function_from_vector(result.solution)
 
-    def is_valid(self, expression: LinearExpression, tolerance: float = 1e-7) -> bool:
+    def is_valid(
+        self,
+        expression: LinearExpression,
+        tolerance: float = 1e-7,
+        method: Optional[str] = None,
+    ) -> bool:
         """True when ``0 ≤ E(h)`` holds for every polymatroid ``h ∈ Γn``."""
-        value, _ = self.minimum_over_gamma(expression)
+        value, _ = self.minimum_over_gamma(expression, method=method)
         return value >= -tolerance
 
     def is_valid_inequality(
-        self, inequality: InformationInequality, tolerance: float = 1e-7
+        self,
+        inequality: InformationInequality,
+        tolerance: float = 1e-7,
+        method: Optional[str] = None,
     ) -> bool:
         """Convenience wrapper taking an :class:`InformationInequality`."""
-        return self.is_valid(inequality.expression, tolerance)
+        return self.is_valid(inequality.expression, tolerance, method=method)
 
     def find_violating_polymatroid(
-        self, expression: LinearExpression, tolerance: float = 1e-7
+        self,
+        expression: LinearExpression,
+        tolerance: float = 1e-7,
+        method: Optional[str] = None,
     ) -> Optional[SetFunction]:
         """A polymatroid with ``E(h) < 0``, or ``None`` when the inequality is valid."""
-        value, function = self.minimum_over_gamma(expression)
+        value, function = self.minimum_over_gamma(expression, method=method)
         if value >= -tolerance:
             return None
         return function
 
+    # ------------------------------------------------------------------ #
+    # Certificates
+    # ------------------------------------------------------------------ #
     def certificate(
-        self, expression: LinearExpression, tolerance: float = 1e-6
+        self,
+        expression: LinearExpression,
+        tolerance: float = 1e-6,
+        method: Optional[str] = None,
     ) -> Optional[ShannonCertificate]:
         """A Shannon proof of ``0 ≤ E(h)``, or ``None`` when no proof exists.
 
         By LP duality / Farkas' lemma, the proof exists exactly when the
-        inequality is valid over ``Γn``.
+        inequality is valid over ``Γn``.  The row-generation path recovers
+        the multipliers over its final active row set — see
+        :meth:`_certificate_rowgen`.
         """
         target = self.expression_vector(expression)
+        resolved = self._resolve_method(method)
+        if resolved == "rowgen":
+            return self._certificate_rowgen(target, tolerance)
         multipliers = nonnegative_combination(self._elemental_matrix, target, tolerance)
         if multipliers is None:
             return None
@@ -179,6 +289,77 @@ class ShannonProver:
         )
         return ShannonCertificate(ground=self.ground, multipliers=pairs)
 
+    def _certificate_rowgen(
+        self, target: np.ndarray, tolerance: float
+    ) -> Optional[ShannonCertificate]:
+        """Multiplier recovery by Farkas-driven row generation.
+
+        Alternates two primal LPs over the growing active row set ``A``:
+
+        1. the *probe* ``min c·x`` over ``{A x ≥ 0, -1 ≤ x ≤ 1}`` — by
+           Farkas' lemma its optimum is 0 exactly when ``c`` is a
+           non-negative combination of the active rows;
+        2. when the probe goes negative, its minimizer ``y`` satisfies every
+           active row but ``c·y < 0``; the separation oracle either finds
+           elemental rows ``y`` violates (which join the active set) or
+           proves ``y ∈ Γn`` — a genuine violation, so no certificate
+           exists.
+
+        The box keeps the probe bounded and is harmless: cone membership and
+        the sign of ``c·y`` are scale-invariant.
+        """
+        oracle = self._oracle
+        options = RowGenOptions()
+        active_ids = [int(i) for i in oracle.seed_ids()]
+        known = set(active_ids)
+        farkas_tolerance = 1e-9 * max(1.0, float(np.abs(target).sum()))
+        for _ in range(options.max_rounds):
+            A_active = oracle.rows_matrix(active_ids)
+            probe = minimize(
+                target, A_ub=-A_active, b_ub=np.zeros(A_active.shape[0]), bounds=(-1, 1)
+            )
+            if probe.status != LPStatus.OPTIMAL:
+                raise CertificateError(
+                    f"unexpected LP status {probe.status} in certificate probe"
+                )
+            if probe.objective >= -farkas_tolerance:
+                try:
+                    multipliers = nonnegative_combination_over_support(
+                        A_active, target, tolerance
+                    )
+                except CertificateError:
+                    multipliers = None
+                if multipliers is None:
+                    # Numerically marginal; retry over the full width before
+                    # giving up on this round's active set.
+                    multipliers = nonnegative_combination(A_active, target, tolerance)
+                if multipliers is None:
+                    return None
+                support = [
+                    (active_ids[k], float(multiplier))
+                    for k, multiplier in enumerate(multipliers)
+                    if multiplier > tolerance
+                ]
+                row_ids = [row_id for row_id, _ in support]
+                masks, coeffs, kinds = oracle.row_data(row_ids)
+                inequalities = materialize_elementals(self.ground, masks, coeffs, kinds)
+                return ShannonCertificate(
+                    ground=self.ground,
+                    multipliers=tuple(
+                        (inequality, multiplier)
+                        for inequality, (_, multiplier) in zip(inequalities, support)
+                    ),
+                )
+            dense = oracle.dense_from_canonical(probe.solution)
+            cut_ids, _ = oracle.separate(dense, options.tolerance)
+            new_ids = [int(i) for i in cut_ids if int(i) not in known]
+            if not new_ids:
+                # The probe point lies in Γn and makes the target negative.
+                return None
+            known.update(new_ids)
+            active_ids.extend(new_ids)
+        raise CertificateError("certificate row generation did not converge")
+
 
 @lru_cache(maxsize=128)
 def shannon_prover(ground: Tuple[str, ...]) -> ShannonProver:
@@ -186,7 +367,9 @@ def shannon_prover(ground: Tuple[str, ...]) -> ShannonProver:
 
     Provers are stateless after construction, so sharing them is safe; the
     cache lets repeated containment checks over the same arity skip the LP
-    constraint-matrix construction entirely.  Bounded so processes that see
-    many distinct variable-name tuples don't grow without limit.
+    constraint-matrix work entirely.  Bounded so processes that see many
+    distinct variable-name tuples don't grow without limit.  The shared
+    instances keep the ``"auto"`` method default; pass ``method=`` per call
+    to force a path.
     """
     return ShannonProver(tuple(ground))

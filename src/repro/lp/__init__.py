@@ -6,6 +6,11 @@ certificate extraction helpers and the batched entry points:
 :func:`solve_feasibility_blocks` (the block-diagonal primitive under the
 :mod:`repro.service` batch engine) and :func:`minimize_many` (shared
 constraint normalization across objectives).
+
+The :mod:`repro.lp.rowgen` submodule provides lazy row generation for the
+Shannon cone: a vectorized separation oracle over the implicit elemental
+rows plus cutting-plane loops, selected through the ``method`` knob
+(``"dense" | "rowgen" | "auto"``) every solver entry point grew for it.
 """
 
 from repro.lp.solver import (
@@ -16,9 +21,23 @@ from repro.lp.solver import (
     check_feasibility,
     minimize,
     minimize_many,
+    record_solver_path,
+    reset_solver_path_counts,
     solve_feasibility_blocks,
+    solver_path_counts,
 )
-from repro.lp.certificates import nonnegative_combination
+from repro.lp.certificates import (
+    nonnegative_combination,
+    nonnegative_combination_over_support,
+)
+from repro.lp.rowgen import (
+    AUTO_ROW_THRESHOLD,
+    RowGenOptions,
+    RowGenReport,
+    ShannonRowOracle,
+    resolve_method,
+    shannon_row_oracle,
+)
 
 __all__ = [
     "LPStatus",
@@ -30,4 +49,14 @@ __all__ = [
     "BlockFeasibilityResult",
     "solve_feasibility_blocks",
     "nonnegative_combination",
+    "nonnegative_combination_over_support",
+    "AUTO_ROW_THRESHOLD",
+    "RowGenOptions",
+    "RowGenReport",
+    "ShannonRowOracle",
+    "shannon_row_oracle",
+    "resolve_method",
+    "record_solver_path",
+    "solver_path_counts",
+    "reset_solver_path_counts",
 ]

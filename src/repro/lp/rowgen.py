@@ -1,0 +1,631 @@
+"""Lazy row generation (cutting planes) for the Shannon cone ``Γn`` LP.
+
+The explicit elemental description of ``Γn`` has ``n + C(n,2)·2^(n-2)``
+rows, which the dense LP path materializes as a CSR matrix and hands to
+HiGHS in full.  That is comfortable up to ``n ≈ 8–10`` but becomes the
+bottleneck of every cone decision beyond it (``n = 12`` is already ~67.6k
+rows, and the batch engine stacks one copy *per pair* in a block chunk).
+
+This module makes the elemental rows *implicit*:
+
+* :class:`ShannonRowOracle` — a vectorized separation oracle over the cached
+  :class:`~repro.utils.lattice.SubsetLattice`.  Row values are computed with
+  bitmask fancy-indexing on the dense ``2^n`` value vector, so finding the
+  most-violated elemental inequalities of a candidate point costs one numpy
+  sweep per variable pair and never materializes the ``2^n``-wide CSR.
+* The cutting-plane loops :func:`minimize_lazy`,
+  :func:`check_feasibility_lazy` and :func:`solve_feasibility_blocks_lazy` —
+  each starts from a small *seed* row set (the ``n`` monotonicity rows plus
+  the ``C(n,2)`` rank-1, empty-context submodularity rows ``I(i;j) ≥ 0``),
+  solves the relaxation, asks the oracle for the most-violated rows at the
+  relaxed optimum, and iterates until no elemental inequality is violated
+  beyond tolerance.
+
+Soundness of the loop shapes used by the library:
+
+* *Feasibility* (``find_point_below``): every relaxation is a superset of
+  the true feasible region, so an infeasible relaxation proves the full
+  system infeasible; a relaxed point with no violated elemental row lies in
+  ``Γn`` and is a genuine feasible point.
+* *Minimization over the slice* ``{h ∈ Γn : h(V) ≤ 1}``: the loop adds the
+  valid box bound ``h(X) ≤ 1`` (implied by monotonicity and the
+  normalization over the full cone) to keep every relaxation bounded; at
+  termination the relaxed optimum lies in ``Γn``, and since the relaxed
+  feasible set contains the true one, it is optimal for the true problem.
+
+Termination is guaranteed because the elemental row set is finite and every
+round either finishes or adds at least one *new* row (cuts are violated by
+the current relaxed point, which satisfies all active rows).
+
+Row ids follow the canonical elemental enumeration shared with
+:meth:`SubsetLattice.elemental_structure` and
+:func:`repro.infotheory.polymatroid.elemental_inequalities`: ids
+``0 .. n-1`` are the monotonicity rows, then each ground-ordered pair
+``(a, b)`` owns a block of ``2^(n-2)`` conditional mutual informations
+``I(a ; b | K)`` with contexts ``K`` in canonical (size-then-lex) subset
+order — so active-set rows map straight back to
+:class:`~repro.infotheory.polymatroid.ElementalInequality` objects for
+certificate extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import LPError
+from repro.lp.solver import (
+    BlockFeasibilityResult,
+    FeasibilityBlock,
+    LPResult,
+    LPStatus,
+    _block_with_hard_rows,
+    _prepend_homogeneous_rows,
+    minimize,
+    record_solver_path,
+    solve_feasibility_blocks,
+)
+from repro.utils.lattice import SubsetLattice, lattice_context
+
+#: ``method="auto"`` switches from the dense elemental matrix to row
+#: generation when the full row count exceeds this threshold.  The default
+#: keeps ``n ≤ 8`` (1 800 rows) on the dense path and routes ``n ≥ 9``
+#: (4 617+ rows) through row generation — the measured crossover of
+#: ``benchmarks/bench_rowgen.py`` (see BENCH_3.json and the README
+#: decision-procedure map).
+AUTO_ROW_THRESHOLD = 4096
+
+
+def resolve_method(method: str, row_count: int, threshold: int = AUTO_ROW_THRESHOLD) -> str:
+    """Resolve a ``"dense" | "rowgen" | "auto"`` knob against a row count."""
+    if method in ("dense", "rowgen"):
+        return method
+    if method == "auto":
+        return "rowgen" if row_count > threshold else "dense"
+    raise LPError(f"unknown LP method {method!r}; expected 'dense', 'rowgen' or 'auto'")
+
+
+@lru_cache(maxsize=64)
+def _canon_masks_for_bits(k: int) -> np.ndarray:
+    """Bitmasks over ``k`` bits in canonical (size-then-lex) order."""
+    masks: List[int] = []
+    for size in range(k + 1):
+        for combo in combinations(range(k), size):
+            mask = 0
+            for i in combo:
+                mask |= 1 << i
+            masks.append(mask)
+    array = np.array(masks, dtype=np.int64)
+    array.setflags(write=False)
+    return array
+
+
+@dataclass(frozen=True)
+class RowGenOptions:
+    """Tuning knobs of the cutting-plane loops.
+
+    Attributes
+    ----------
+    tolerance:
+        A row counts as violated when its value is below ``-tolerance``.
+    max_cuts_per_round:
+        Most-violated rows added per round (``None`` = the oracle heuristic
+        ``max(64, 4·n²)``).
+    max_rounds:
+        Hard iteration cap; exceeded only by a bug, since every round adds a
+        new row out of a finite set.
+    early_stop_objective:
+        Stop as soon as the *relaxation's* optimum reaches this value.  The
+        relaxed feasible set contains the true one, so its minimum is a
+        lower bound on the true minimum: once it clears the threshold the
+        verdict "the true minimum is ≥ this value" is already proved, and
+        driving the relaxed point all the way into ``Γn`` would only burn
+        rounds.  The returned solution may then violate elemental rows
+        (``report.early_stopped`` is set) — callers that need a genuine cone
+        point must leave this ``None``.
+    """
+
+    tolerance: float = 1e-8
+    max_cuts_per_round: Optional[int] = None
+    max_rounds: int = 10_000
+    early_stop_objective: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RowGenReport:
+    """What a cutting-plane loop did, for stats and benchmarks.
+
+    ``rows_used`` is the peak active row count (the seed plus every cut
+    added), ``total_rows`` the size of the full elemental description the
+    dense path would have materialized.  ``early_stopped`` marks a
+    lower-bound early exit (see
+    :attr:`RowGenOptions.early_stop_objective`): the objective value is a
+    proven bound but the solution is a relaxation point, not a cone point.
+    """
+
+    rounds: int
+    rows_used: int
+    total_rows: int
+    cuts_added: int
+    early_stopped: bool = False
+
+
+class ShannonRowOracle:
+    """Separation oracle over the implicit elemental rows of ``Γn``.
+
+    Obtain shared instances through :func:`shannon_row_oracle`.  All methods
+    operate on *dense* value vectors of length ``2^n`` indexed by subset
+    bitmask (the layout of :meth:`SetFunction.dense_values`), with
+    coordinate 0 equal to 0; :meth:`dense_from_canonical` converts from the
+    LP layer's canonical non-empty-subset coordinates.
+    """
+
+    __slots__ = ("lattice", "n", "row_count", "_context_block", "_pairs")
+
+    def __init__(self, lattice: SubsetLattice):
+        self.lattice = lattice
+        n = lattice.n
+        self.n = n
+        # Contexts per pair block (1 when n == 2; no pairs at all when n < 2).
+        self._context_block = 1 << max(n - 2, 0)
+        sub_masks = _canon_masks_for_bits(max(n - 2, 0))
+        pairs: List[Tuple[int, int, np.ndarray]] = []
+        for a in range(n):
+            for b in range(a + 1, n):
+                others = [p for p in range(n) if p not in (a, b)]
+                contexts = np.zeros(sub_masks.shape[0], dtype=np.int64)
+                for i, p in enumerate(others):
+                    contexts |= ((sub_masks >> i) & 1) << p
+                contexts.setflags(write=False)
+                pairs.append((1 << a, 1 << b, contexts))
+        self._pairs = pairs
+        self.row_count = n + len(pairs) * self._context_block
+
+    # ------------------------------------------------------------------ #
+    # Coordinate conversion and seeds
+    # ------------------------------------------------------------------ #
+    def dense_from_canonical(self, x: np.ndarray) -> np.ndarray:
+        """Expand canonical non-empty-subset coordinates to the dense layout."""
+        dense = np.zeros(self.lattice.size)
+        dense[self.lattice.canon_masks[1:]] = x
+        return dense
+
+    def seed_ids(self) -> np.ndarray:
+        """The seed row ids: monotonicity plus empty-context ``I(i;j) ≥ 0``.
+
+        The empty context is first in canonical subset order, so it sits at
+        the start of each pair's block.
+        """
+        ids = list(range(self.n))
+        for pair_index in range(len(self._pairs)):
+            ids.append(self.n + pair_index * self._context_block)
+        return np.array(ids, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Separation
+    # ------------------------------------------------------------------ #
+    def _monotonicity_values(self, dense: np.ndarray) -> np.ndarray:
+        full = self.lattice.full_mask
+        bits = np.left_shift(1, np.arange(self.n, dtype=np.int64))
+        return dense[full] - dense[full ^ bits]
+
+    def separate(
+        self,
+        dense: np.ndarray,
+        tolerance: float = 1e-8,
+        max_cuts: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The most-violated elemental rows at a point.
+
+        Returns ``(row_ids, values)`` sorted most-violated first, restricted
+        to rows with value below ``-tolerance`` (both arrays empty when the
+        point satisfies every elemental inequality — i.e. lies in ``Γn``).
+        At most ``max_cuts`` rows are returned (``None`` = ``max(64, 4·n²)``).
+        """
+        if max_cuts is None:
+            max_cuts = max(64, 4 * self.n * self.n)
+        ids: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        mono = self._monotonicity_values(dense)
+        violated = np.nonzero(mono < -tolerance)[0]
+        if violated.size:
+            ids.append(violated)
+            values.append(mono[violated])
+        offset = self.n
+        for bit_a, bit_b, contexts in self._pairs:
+            row_values = (
+                dense[contexts | bit_a]
+                + dense[contexts | bit_b]
+                - dense[contexts | bit_a | bit_b]
+                - dense[contexts]
+            )
+            violated = np.nonzero(row_values < -tolerance)[0]
+            if violated.size:
+                ids.append(violated + offset)
+                values.append(row_values[violated])
+            offset += self._context_block
+        if not ids:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0)
+        all_ids = np.concatenate(ids)
+        all_values = np.concatenate(values)
+        if all_ids.shape[0] > max_cuts:
+            keep = np.argpartition(all_values, max_cuts - 1)[:max_cuts]
+            all_ids, all_values = all_ids[keep], all_values[keep]
+        order = np.argsort(all_values)
+        return all_ids[order], all_values[order]
+
+    def row_values(self, dense: np.ndarray) -> np.ndarray:
+        """Every elemental row's value at a point, ordered by row id.
+
+        Materializes the full ``row_count`` vector — meant for tests and
+        diagnostics at small ``n``, not for the solving hot path.
+        """
+        parts = [self._monotonicity_values(dense)]
+        for bit_a, bit_b, contexts in self._pairs:
+            parts.append(
+                dense[contexts | bit_a]
+                + dense[contexts | bit_b]
+                - dense[contexts | bit_a | bit_b]
+                - dense[contexts]
+            )
+        return np.concatenate(parts)
+
+    def most_violated(self, dense: np.ndarray) -> Tuple[int, float]:
+        """The row id with the minimum value at a point, and that value.
+
+        The value may be non-negative — then no elemental inequality is
+        violated and the point lies in ``Γn``.
+        """
+        best_id, best_value = 0, np.inf
+        mono = self._monotonicity_values(dense)
+        row = int(np.argmin(mono))
+        if mono[row] < best_value:
+            best_id, best_value = row, float(mono[row])
+        offset = self.n
+        for bit_a, bit_b, contexts in self._pairs:
+            row_values = (
+                dense[contexts | bit_a]
+                + dense[contexts | bit_b]
+                - dense[contexts | bit_a | bit_b]
+                - dense[contexts]
+            )
+            row = int(np.argmin(row_values))
+            if row_values[row] < best_value:
+                best_id, best_value = offset + row, float(row_values[row])
+            offset += self._context_block
+        return best_id, best_value
+
+    # ------------------------------------------------------------------ #
+    # Materializing rows of the active set
+    # ------------------------------------------------------------------ #
+    def row_data(
+        self, row_ids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, Tuple[str, ...]]:
+        """``(masks, coeffs, kinds)`` for the given rows.
+
+        Same layout as :meth:`SubsetLattice.elemental_structure`: ``(m, 4)``
+        arrays of participating subset masks and coefficients (unused slots
+        carry coefficient 0) plus a kind name per row.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        masks = np.zeros((row_ids.shape[0], 4), dtype=np.int64)
+        coeffs = np.zeros((row_ids.shape[0], 4))
+        kinds: List[str] = []
+        full = self.lattice.full_mask
+        for r, row_id in enumerate(row_ids):
+            row_id = int(row_id)
+            if not 0 <= row_id < self.row_count:
+                raise LPError(f"elemental row id {row_id} out of range")
+            if row_id < self.n:
+                rest = full ^ (1 << row_id)
+                masks[r, :2] = (full, rest)
+                coeffs[r, :2] = (1.0, -1.0 if rest else 0.0)
+                kinds.append("monotonicity")
+            else:
+                pair_index, context_pos = divmod(row_id - self.n, self._context_block)
+                bit_a, bit_b, contexts = self._pairs[pair_index]
+                context = int(contexts[context_pos])
+                masks[r] = (
+                    context | bit_a,
+                    context | bit_b,
+                    context | bit_a | bit_b,
+                    context,
+                )
+                coeffs[r] = (1.0, 1.0, -1.0, -1.0 if context else 0.0)
+                kinds.append("submodularity")
+        return masks, coeffs, tuple(kinds)
+
+    def rows_matrix(self, row_ids: Sequence[int]) -> sp.csr_matrix:
+        """A CSR matrix of the given rows over canonical non-empty columns.
+
+        Row ``k`` of the result is elemental row ``row_ids[k]``; the column
+        order matches :meth:`SetFunction.to_vector` and the LP layer.
+        """
+        masks, coeffs, _ = self.row_data(row_ids)
+        nonzero = coeffs != 0.0
+        rows = np.repeat(np.arange(masks.shape[0]), 4)[nonzero.ravel()]
+        columns = self.lattice.canon_pos[masks[nonzero]] - 1
+        return sp.csr_matrix(
+            (coeffs[nonzero], (rows, columns)),
+            shape=(masks.shape[0], self.lattice.size - 1),
+        )
+
+    def full_matrix(self) -> sp.csr_matrix:
+        """The fully materialized elemental CSR (the dense path's matrix)."""
+        return self.lattice.elemental_matrix()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShannonRowOracle(n={self.n}, rows={self.row_count})"
+
+
+@lru_cache(maxsize=128)
+def shannon_row_oracle(ground: Tuple[str, ...]) -> ShannonRowOracle:
+    """The process-wide shared :class:`ShannonRowOracle` for a ground tuple."""
+    return ShannonRowOracle(lattice_context(tuple(ground)))
+
+
+class _ActiveRows:
+    """The growing active row set of one cutting-plane loop."""
+
+    __slots__ = ("oracle", "_ids", "_known", "cuts_added")
+
+    def __init__(self, oracle: ShannonRowOracle, seed_ids: Optional[Sequence[int]] = None):
+        self.oracle = oracle
+        ids = oracle.seed_ids() if seed_ids is None else np.asarray(seed_ids, dtype=np.int64)
+        self._ids: List[int] = [int(i) for i in ids]
+        self._known = set(self._ids)
+        self.cuts_added = 0
+
+    def add(self, row_ids: np.ndarray) -> int:
+        """Append the genuinely new rows; return how many were new."""
+        added = 0
+        for row_id in row_ids:
+            row_id = int(row_id)
+            if row_id not in self._known:
+                self._known.add(row_id)
+                self._ids.append(row_id)
+                added += 1
+        self.cuts_added += added
+        return added
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def ids(self) -> List[int]:
+        return self._ids
+
+    def matrix(self) -> sp.csr_matrix:
+        return self.oracle.rows_matrix(self._ids)
+
+
+def _with_active_rows(active: _ActiveRows, A_ub, b_ub):
+    """Stack ``-A_active x ≤ 0`` above the caller's inequality rows."""
+    cone_rows = -active.matrix()
+    return _prepend_homogeneous_rows(cone_rows, A_ub, b_ub, cone_rows.shape[1])
+
+
+def minimize_lazy(
+    objective: Sequence[float],
+    oracle: ShannonRowOracle,
+    A_ub=None,
+    b_ub=None,
+    bounds=None,
+    options: Optional[RowGenOptions] = None,
+) -> LPResult:
+    """Minimize over ``Γn`` (implicit) intersected with ``A_ub x ≤ b_ub``.
+
+    ``bounds`` must keep every *relaxation* bounded whenever the objective
+    could otherwise recede — for the Shannon prover's slice
+    ``{h : h(V) ≤ 1}`` the valid box ``0 ≤ x ≤ 1`` does it.  An unbounded
+    relaxation raises :class:`LPError` (it proves nothing about the full
+    problem).  The returned :class:`LPResult` carries a
+    :class:`RowGenReport` in ``result.rowgen``.
+    """
+    options = options if options is not None else RowGenOptions()
+    active = _ActiveRows(oracle)
+    for round_number in range(1, options.max_rounds + 1):
+        A, b = _with_active_rows(active, A_ub, b_ub)
+        result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds)
+        if result.status == LPStatus.UNBOUNDED:
+            raise LPError(
+                "row-generation relaxation is unbounded; pass bounds that are "
+                "valid over the full cone (e.g. 0 <= x <= 1 on the h(V) <= 1 slice)"
+            )
+        report = RowGenReport(
+            rounds=round_number,
+            rows_used=len(active),
+            total_rows=oracle.row_count,
+            cuts_added=active.cuts_added,
+        )
+        if result.status == LPStatus.INFEASIBLE:
+            # The relaxation's feasible set contains the true one.
+            return LPResult(
+                status=result.status,
+                objective=None,
+                solution=None,
+                rowgen=report,
+            )
+        if (
+            options.early_stop_objective is not None
+            and result.objective >= options.early_stop_objective
+        ):
+            return LPResult(
+                status=result.status,
+                objective=result.objective,
+                solution=result.solution,
+                rowgen=RowGenReport(
+                    rounds=report.rounds,
+                    rows_used=report.rows_used,
+                    total_rows=report.total_rows,
+                    cuts_added=report.cuts_added,
+                    early_stopped=True,
+                ),
+            )
+        dense = oracle.dense_from_canonical(result.solution)
+        cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+        if cut_ids.size == 0 or active.add(cut_ids) == 0:
+            return LPResult(
+                status=result.status,
+                objective=result.objective,
+                solution=result.solution,
+                rowgen=report,
+            )
+    raise LPError("row generation did not converge within max_rounds")
+
+
+def check_feasibility_lazy(
+    num_variables: int,
+    oracle: ShannonRowOracle,
+    A_ub=None,
+    b_ub=None,
+    bounds=None,
+    options: Optional[RowGenOptions] = None,
+) -> Tuple[bool, Optional[np.ndarray], RowGenReport]:
+    """Decide non-emptiness of ``Γn ∩ {A_ub x ≤ b_ub}`` by row generation."""
+    options = options if options is not None else RowGenOptions()
+    result = minimize_lazy(
+        np.zeros(num_variables),
+        oracle,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        bounds=bounds,
+        options=options,
+    )
+    if result.status == LPStatus.OPTIMAL:
+        return True, result.solution, result.rowgen
+    if result.status == LPStatus.INFEASIBLE:
+        return False, None, result.rowgen
+    raise LPError("feasibility problem reported an unbounded objective")
+
+
+def minimize_many_lazy(
+    objectives: Sequence[Sequence[float]],
+    oracle: ShannonRowOracle,
+    A_ub=None,
+    b_ub=None,
+    bounds=None,
+    options: Optional[RowGenOptions] = None,
+) -> List[LPResult]:
+    """Minimize several objectives over one shared implicit polyhedron.
+
+    The active row set persists across objectives — cuts found for one
+    objective warm-start the next, which is the structural analogue of basis
+    reuse across the related solves.
+    """
+    options = options if options is not None else RowGenOptions()
+    active = _ActiveRows(oracle)
+    results: List[LPResult] = []
+    for objective in objectives:
+        for round_number in range(1, options.max_rounds + 1):
+            A, b = _with_active_rows(active, A_ub, b_ub)
+            result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds)
+            if result.status == LPStatus.UNBOUNDED:
+                raise LPError(
+                    "row-generation relaxation is unbounded; pass bounds valid "
+                    "over the full cone"
+                )
+            report = RowGenReport(
+                rounds=round_number,
+                rows_used=len(active),
+                total_rows=oracle.row_count,
+                cuts_added=active.cuts_added,
+            )
+            if result.status == LPStatus.INFEASIBLE:
+                results.append(
+                    LPResult(status=result.status, objective=None, solution=None, rowgen=report)
+                )
+                break
+            dense = oracle.dense_from_canonical(result.solution)
+            cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+            if cut_ids.size == 0 or active.add(cut_ids) == 0:
+                results.append(
+                    LPResult(
+                        status=result.status,
+                        objective=result.objective,
+                        solution=result.solution,
+                        rowgen=report,
+                    )
+                )
+                break
+        else:
+            raise LPError("row generation did not converge within max_rounds")
+    return results
+
+
+def solve_feasibility_blocks_lazy(
+    blocks: Sequence[FeasibilityBlock],
+    oracle: ShannonRowOracle,
+    slack_threshold: float = 0.5,
+    options: Optional[RowGenOptions] = None,
+) -> List[BlockFeasibilityResult]:
+    """Block-diagonal feasibility with per-block implicit elemental rows.
+
+    Each block's hard rows are its own ``A_hard`` (if any) *plus* the block's
+    active elemental rows, which start at the seed and grow by separation on
+    that block's relaxed solution.  Blocks whose relaxation is infeasible, or
+    whose relaxed point already lies in ``Γn``, drop out of the round loop;
+    only blocks that received cuts are re-solved, so a batch converges in a
+    handful of shared HiGHS invocations.
+    """
+    if not blocks:
+        return []
+    options = options if options is not None else RowGenOptions()
+    active = [_ActiveRows(oracle) for _ in blocks]
+    final: List[Optional[BlockFeasibilityResult]] = [None] * len(blocks)
+    unresolved = list(range(len(blocks)))
+    for _ in range(options.max_rounds):
+        if not unresolved:
+            break
+        sub_blocks = [
+            _block_with_hard_rows(blocks[i], -active[i].matrix()) for i in unresolved
+        ]
+        round_results = solve_feasibility_blocks(sub_blocks, slack_threshold)
+        still_unresolved: List[int] = []
+        for i, result in zip(unresolved, round_results):
+            if not result.feasible or result.solution is None:
+                final[i] = BlockFeasibilityResult(
+                    feasible=False,
+                    solution=None,
+                    slack=result.slack,
+                    rows_used=len(active[i]),
+                )
+                continue
+            dense = oracle.dense_from_canonical(result.solution)
+            cut_ids, _ = oracle.separate(
+                dense, options.tolerance, options.max_cuts_per_round
+            )
+            if cut_ids.size == 0 or active[i].add(cut_ids) == 0:
+                final[i] = BlockFeasibilityResult(
+                    feasible=True,
+                    solution=result.solution,
+                    slack=result.slack,
+                    rows_used=len(active[i]),
+                )
+            else:
+                still_unresolved.append(i)
+        unresolved = still_unresolved
+    if unresolved:
+        raise LPError("block row generation did not converge within max_rounds")
+    return [result for result in final if result is not None]
+
+
+__all__ = [
+    "AUTO_ROW_THRESHOLD",
+    "RowGenOptions",
+    "RowGenReport",
+    "ShannonRowOracle",
+    "shannon_row_oracle",
+    "resolve_method",
+    "minimize_lazy",
+    "minimize_many_lazy",
+    "check_feasibility_lazy",
+    "solve_feasibility_blocks_lazy",
+    "record_solver_path",
+]

@@ -27,13 +27,33 @@ batched primitives serve them:
 * :func:`minimize_many` — several objectives over one shared polyhedron with
   the constraint data normalized once; a convenience API for external
   callers (nothing in the library routes through it yet).
+
+Lazy (implicit) constraint rows
+-------------------------------
+Every public entry point accepts an optional ``lazy_rows`` object — an
+implicit family of homogeneous rows ``A x ≥ 0`` (in practice the
+:class:`repro.lp.rowgen.ShannonRowOracle` describing the elemental rows of
+``Γn``) — together with a ``method`` knob:
+
+* ``"dense"`` materializes the full row family and appends it to the
+  explicit constraints (bit-for-bit the historical behaviour);
+* ``"rowgen"`` runs the cutting-plane loops of :mod:`repro.lp.rowgen`,
+  starting from a small seed row set and adding only the rows a separation
+  oracle finds violated;
+* ``"auto"`` picks between them on the family's total row count
+  (:data:`repro.lp.rowgen.AUTO_ROW_THRESHOLD`).
+
+Which path actually ran is tallied in a process-wide counter
+(:func:`solver_path_counts`) so test runs can prove both paths were
+exercised.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -50,6 +70,36 @@ class LPStatus(Enum):
     UNBOUNDED = "unbounded"
 
 
+# --------------------------------------------------------------------- #
+# Solver-path accounting (dense vs rowgen coverage)
+# --------------------------------------------------------------------- #
+_PATH_LOCK = threading.Lock()
+_SOLVER_PATH_COUNTS: Dict[str, int] = {"dense": 0, "rowgen": 0}
+
+
+def record_solver_path(method: str) -> None:
+    """Tally one ``Γn`` LP decision taken through ``method`` (dense/rowgen).
+
+    Validity checks, feasibility searches and certificate extractions each
+    count separately — a ``decide_max_ii(..., with_certificate=True)`` call
+    therefore records twice, once per LP-layer decision it makes.
+    """
+    with _PATH_LOCK:
+        _SOLVER_PATH_COUNTS[method] = _SOLVER_PATH_COUNTS.get(method, 0) + 1
+
+
+def solver_path_counts() -> Dict[str, int]:
+    """A snapshot of how many ``Γn`` LP decisions each solver path served."""
+    with _PATH_LOCK:
+        return dict(_SOLVER_PATH_COUNTS)
+
+
+def reset_solver_path_counts() -> None:
+    with _PATH_LOCK:
+        for key in _SOLVER_PATH_COUNTS:
+            _SOLVER_PATH_COUNTS[key] = 0
+
+
 @dataclass(frozen=True)
 class LPResult:
     """Result of :func:`minimize`.
@@ -63,11 +113,15 @@ class LPResult:
         The optimal objective value (``None`` unless status is OPTIMAL).
     solution:
         The optimal point as a numpy array (``None`` unless OPTIMAL).
+    rowgen:
+        A :class:`repro.lp.rowgen.RowGenReport` when the result came from a
+        cutting-plane loop (``None`` on the dense path).
     """
 
     status: LPStatus
     objective: Optional[float]
     solution: Optional[np.ndarray]
+    rowgen: Optional[object] = None
 
 
 def _as_array(matrix, width: Optional[int] = None):
@@ -84,6 +138,51 @@ def _as_array(matrix, width: Optional[int] = None):
     return array
 
 
+def _resolve_lazy(lazy_rows, method: str) -> Optional[str]:
+    """Resolve the ``method`` knob against a lazy row family (or ``None``)."""
+    if lazy_rows is None:
+        return None
+    from repro.lp.rowgen import resolve_method
+
+    return resolve_method(method, lazy_rows.row_count)
+
+
+def _prepend_homogeneous_rows(cone_rows, A, b, width: int):
+    """Stack homogeneous rows ``cone_rows·x ≤ 0`` above explicit ``A x ≤ b``.
+
+    The single place the "cone description first, caller rows after" layout
+    is built — shared by the dense lazy-row expansion here and the
+    cutting-plane loops of :mod:`repro.lp.rowgen`.
+    """
+    cone_rhs = np.zeros(cone_rows.shape[0])
+    extra = _as_array(A, width)
+    if extra is None:
+        return cone_rows, cone_rhs
+    return (
+        sp.vstack([cone_rows, sp.csr_matrix(extra)], format="csr"),
+        np.concatenate([cone_rhs, np.asarray(b, dtype=float)]),
+    )
+
+
+def _append_lazy_dense(lazy_rows, A_ub, b_ub, width: int):
+    """Materialize a lazy row family and stack ``-A x ≤ 0`` above ``A_ub``."""
+    return _prepend_homogeneous_rows(-lazy_rows.full_matrix(), A_ub, b_ub, width)
+
+
+def _block_with_hard_rows(block: "FeasibilityBlock", cone_rows) -> "FeasibilityBlock":
+    """A copy of ``block`` with ``cone_rows·x ≤ 0`` prepended to its hard rows."""
+    A_hard, b_hard = _prepend_homogeneous_rows(
+        cone_rows, block.A_hard, block.b_hard, block.num_variables
+    )
+    return FeasibilityBlock(
+        num_variables=block.num_variables,
+        A_soft=block.A_soft,
+        b_soft=block.b_soft,
+        A_hard=A_hard,
+        b_hard=b_hard,
+    )
+
+
 def minimize(
     objective: Sequence[float],
     A_ub=None,
@@ -91,13 +190,37 @@ def minimize(
     A_eq=None,
     b_eq=None,
     bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+    lazy_rows=None,
+    method: str = "dense",
+    rowgen_options=None,
 ) -> LPResult:
     """Minimize ``objective · x`` subject to ``A_ub x ≤ b_ub`` and ``A_eq x = b_eq``.
 
     ``bounds`` follows the scipy convention; the default is ``x ≥ 0`` for all
     variables (pass explicit ``(None, None)`` pairs for free variables).
+
+    When ``lazy_rows`` is given, its implicit homogeneous rows ``A x ≥ 0``
+    join the constraints through the path selected by ``method`` (see the
+    module docstring); ``"rowgen"`` requires ``A_eq`` to be empty and relies
+    on ``bounds`` to keep every relaxation bounded.
     """
+    resolved = _resolve_lazy(lazy_rows, method)
+    if resolved == "rowgen":
+        if A_eq is not None or b_eq is not None:
+            raise LPError("row generation does not support equality constraints")
+        from repro.lp.rowgen import minimize_lazy
+
+        return minimize_lazy(
+            objective,
+            lazy_rows,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            bounds=bounds,
+            options=rowgen_options,
+        )
     objective = np.asarray(objective, dtype=float)
+    if resolved == "dense":
+        A_ub, b_ub = _append_lazy_dense(lazy_rows, A_ub, b_ub, objective.shape[0])
     width = objective.shape[0]
     # A single (min, max) pair applies to every variable — scipy broadcasts
     # it, which avoids materializing a 2^n-entry bounds list per solve.
@@ -128,6 +251,9 @@ def minimize_many(
     A_eq=None,
     b_eq=None,
     bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+    lazy_rows=None,
+    method: str = "dense",
+    rowgen_options=None,
 ) -> List[LPResult]:
     """Minimize several objectives over one shared polyhedron.
 
@@ -137,11 +263,31 @@ def minimize_many(
     feasibility verdicts for *independent* systems should prefer
     :func:`solve_feasibility_blocks`, which shares a single invocation (and
     is what the batch containment engine uses).
+
+    With ``lazy_rows`` and a resolved ``"rowgen"`` method the objectives
+    share one growing active row set — cuts found for an early objective
+    warm-start the later ones.
     """
     if not objectives:
         return []
+    resolved = _resolve_lazy(lazy_rows, method)
+    if resolved == "rowgen":
+        if A_eq is not None or b_eq is not None:
+            raise LPError("row generation does not support equality constraints")
+        from repro.lp.rowgen import minimize_many_lazy
+
+        return minimize_many_lazy(
+            objectives,
+            lazy_rows,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            bounds=bounds,
+            options=rowgen_options,
+        )
     first = np.asarray(objectives[0], dtype=float)
     width = first.shape[0]
+    if resolved == "dense":
+        A_ub, b_ub = _append_lazy_dense(lazy_rows, A_ub, b_ub, width)
     A_ub = _as_array(A_ub, width)
     b_ub = None if b_ub is None else np.asarray(b_ub, dtype=float)
     A_eq = _as_array(A_eq, width)
@@ -201,19 +347,32 @@ class BlockFeasibilityResult:
 
     ``slack`` is the block's optimal slack value: 0 (up to solver tolerance)
     exactly when the block's system is feasible, in which case ``solution``
-    is a feasible point of it.
+    is a feasible point of it.  ``rows_used`` is the block's final active
+    row count when the block was decided by row generation (``None`` on the
+    dense path).
     """
 
     feasible: bool
     solution: Optional[np.ndarray]
     slack: float
+    rows_used: Optional[int] = None
 
 
 def solve_feasibility_blocks(
     blocks: Sequence[FeasibilityBlock],
     slack_threshold: float = 0.5,
+    lazy_rows=None,
+    method: str = "dense",
+    rowgen_options=None,
 ) -> List[BlockFeasibilityResult]:
     """Decide many independent feasibility systems in one HiGHS invocation.
+
+    When ``lazy_rows`` is given, every block additionally carries the
+    family's implicit homogeneous rows as hard constraints: the ``"dense"``
+    path materializes the full family once and prepends it to each block's
+    ``A_hard``, while ``"rowgen"`` grows a per-block active row set through
+    :func:`repro.lp.rowgen.solve_feasibility_blocks_lazy` (still a handful
+    of shared HiGHS invocations for the whole batch).
 
     The blocks are stacked block-diagonally; block ``i`` receives a slack
     variable ``s_i ≥ 0`` relaxing its soft rows to ``A_soft x ≤ b_soft + s_i``
@@ -231,6 +390,18 @@ def solve_feasibility_blocks(
     """
     if not blocks:
         return []
+    resolved = _resolve_lazy(lazy_rows, method)
+    if resolved == "rowgen":
+        from repro.lp.rowgen import solve_feasibility_blocks_lazy
+
+        return solve_feasibility_blocks_lazy(
+            blocks, lazy_rows, slack_threshold, options=rowgen_options
+        )
+    if resolved == "dense":
+        cone_rows = -lazy_rows.full_matrix()
+        blocks = [
+            _block_with_hard_rows(block, cone_rows) for block in blocks
+        ]
     column_offsets: List[int] = []
     offset = 0
     for block in blocks:
@@ -318,10 +489,14 @@ def check_feasibility(
     A_eq=None,
     b_eq=None,
     bounds=None,
+    lazy_rows=None,
+    method: str = "dense",
+    rowgen_options=None,
 ) -> Tuple[bool, Optional[np.ndarray]]:
     """Decide non-emptiness of a polyhedron; return a feasible point if any.
 
     The objective is identically zero, so any feasible point is optimal.
+    ``lazy_rows``/``method`` behave as in :func:`minimize`.
     """
     result = minimize(
         objective=np.zeros(num_variables),
@@ -330,6 +505,9 @@ def check_feasibility(
         A_eq=A_eq,
         b_eq=b_eq,
         bounds=bounds,
+        lazy_rows=lazy_rows,
+        method=method,
+        rowgen_options=rowgen_options,
     )
     if result.status == LPStatus.OPTIMAL:
         return True, result.solution

@@ -12,7 +12,13 @@ of them at once:
   ground tuple — an order-preserving positional rename, so the LP matrices
   are bit-for-bit the ones the sequential path would build — and decided in
   chunks through :func:`repro.infotheory.maxiip.decide_max_ii_many`, which
-  stacks a chunk into one block-diagonal HiGHS solve.
+  stacks a chunk into one block-diagonal HiGHS solve.  The ``lp_method``
+  knob (``"dense" | "rowgen" | "auto"``) picks how each block carries the
+  ``Γn`` description: dense stacks one full elemental-matrix copy per pair,
+  row generation (the default past the auto threshold) gives every block a
+  small lazily-grown active row set instead — so chunks of large-arity
+  pairs no longer multiply the ~``C(n,2)·2^(n-2)``-row matrix by the chunk
+  size.
 * **Refutation requests** (``over`` in ``{"normal", "modular"}`` — the rare
   tail after a failed Γn check) are answered by individual
   :func:`decide_max_ii` calls, exactly as the sequential driver would: the
@@ -116,6 +122,9 @@ class BatchEngine:
         ``"raise"`` propagates a pair's exception (mirroring the sequential
         loop); ``"capture"`` converts it into an UNKNOWN ``"error"`` result
         so one malformed pair cannot fail a whole batch.
+    lp_method:
+        ``Γn`` LP path for every cone decision (``"dense" | "rowgen" |
+        "auto"``; see :mod:`repro.lp.rowgen`).
     """
 
     def __init__(
@@ -125,6 +134,7 @@ class BatchEngine:
         pair_budget: Optional[float] = None,
         on_error: str = "raise",
         stats: Optional[ServiceStats] = None,
+        lp_method: str = "auto",
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
@@ -132,11 +142,14 @@ class BatchEngine:
             raise ValueError("max_workers must be at least 1")
         if on_error not in ("raise", "capture"):
             raise ValueError("on_error must be 'raise' or 'capture'")
+        if lp_method not in ("dense", "rowgen", "auto"):
+            raise ValueError("lp_method must be 'dense', 'rowgen' or 'auto'")
         self.chunk_size = chunk_size
         self.max_workers = max_workers
         self.pair_budget = pair_budget
         self.on_error = on_error
         self.stats = stats if stats is not None else ServiceStats()
+        self.lp_method = lp_method
 
     # ------------------------------------------------------------------ #
     # Pipeline advancement
@@ -200,7 +213,9 @@ class BatchEngine:
             renamed.append(_rename_max_ii(run.request.max_ii, mapping, canonical))
         rows = sum(len(max_ii.branches) for max_ii in renamed)
         started = time.perf_counter()
-        verdicts = decide_max_ii_many(renamed, over="gamma", ground=canonical)
+        verdicts = decide_max_ii_many(
+            renamed, over="gamma", ground=canonical, lp_method=self.lp_method
+        )
         self.stats.record_chunk(
             GroupTiming(
                 cone="gamma",
@@ -218,7 +233,12 @@ class BatchEngine:
     def _solve_scalar(self, run: _PairRun) -> Tuple[_PairRun, MaxIIVerdict]:
         request = run.request
         self.stats.count_scalar_solve()
-        return run, decide_max_ii(request.max_ii, over=request.over, ground=request.ground)
+        return run, decide_max_ii(
+            request.max_ii,
+            over=request.over,
+            ground=request.ground,
+            lp_method=self.lp_method,
+        )
 
     def _answer_round(
         self, pending: List[_PairRun], pool: Optional[ThreadPoolExecutor]

@@ -39,10 +39,12 @@ class BatchOptions:
     ``method``, ``max_witness_rows`` and ``refutation_effort`` are forwarded
     to every pair's pipeline (same meaning as in
     :func:`repro.core.containment.decide_containment`).  ``chunk_size``,
-    ``max_workers``, ``pair_budget`` and ``on_error`` configure the engine
-    (see :class:`repro.service.engine.BatchEngine`).  ``cache_size`` bounds
-    the plan cache (``None`` = unbounded) and ``canonicalize`` switches the
-    isomorphism-aware dedup on or off (off, only the LP grouping remains).
+    ``max_workers``, ``pair_budget``, ``on_error`` and ``lp_method``
+    configure the engine (see :class:`repro.service.engine.BatchEngine`;
+    ``lp_method`` picks the ``Γn`` LP path — dense elemental matrix vs.
+    lazy row generation).  ``cache_size`` bounds the plan cache (``None`` =
+    unbounded) and ``canonicalize`` switches the isomorphism-aware dedup on
+    or off (off, only the LP grouping remains).
     """
 
     method: str = "auto"
@@ -54,6 +56,7 @@ class BatchOptions:
     on_error: str = "raise"
     cache_size: Optional[int] = 4096
     canonicalize: bool = True
+    lp_method: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -131,6 +134,7 @@ class ContainmentService:
             pair_budget=options.pair_budget,
             on_error=options.on_error,
             stats=self.stats,
+            lp_method=options.lp_method,
         )
         self.stats.pairs_submitted += len(pairs)
 

@@ -1,8 +1,29 @@
-"""Shared fixtures: the paper's running examples and small helper queries."""
+"""Shared fixtures: the paper's running examples and small helper queries.
+
+The terminal-summary hook reports solver-path coverage: how many ``Γn``
+cone decisions ran through the dense elemental matrix vs. lazy row
+generation during the session.  The tier-1 CI job greps this line to prove
+that both LP paths were exercised.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+from repro.lp.solver import solver_path_counts
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    counts = solver_path_counts()
+    if not any(counts.values()):
+        return
+    missing = [name for name in ("dense", "rowgen") if not counts.get(name)]
+    terminalreporter.write_sep("-", "solver-path coverage")
+    terminalreporter.write_line(
+        "solver-path coverage: "
+        + ", ".join(f"{name}={counts.get(name, 0)}" for name in ("dense", "rowgen"))
+        + ("" if not missing else f"  (WARNING: {', '.join(missing)} never exercised)")
+    )
 
 from repro.cq.parser import parse_query
 from repro.cq.structures import Relation, Structure

@@ -1,0 +1,68 @@
+"""Certificate extraction must reject targets outside the active row span.
+
+The row-generation certificate path solves the multiplier system over the
+*active* row set only.  A natural-but-wrong implementation restricts the
+equality system to the columns the active rows touch and silently drops the
+target's other coordinates — producing a "certificate" for a different
+expression.  These tests pin the required behaviour: a target with support
+outside the active rows' column support is *rejected* (raised, for the
+support-restricted fast path; ``None``, for the full-width solve), never
+truncated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import CertificateError
+from repro.lp.certificates import (
+    nonnegative_combination,
+    nonnegative_combination_over_support,
+)
+
+# Active rows touching only columns 0 and 1 (of a width-3 coordinate space).
+ACTIVE_ROWS = np.array(
+    [
+        [1.0, 0.0, 0.0],
+        [1.0, 1.0, 0.0],
+    ]
+)
+
+
+def test_supported_target_matches_full_solve():
+    target = np.array([3.0, 2.0, 0.0])  # = 1·row0 + 2·row1
+    restricted = nonnegative_combination_over_support(ACTIVE_ROWS, target)
+    full = nonnegative_combination(ACTIVE_ROWS, target)
+    assert restricted is not None and full is not None
+    np.testing.assert_allclose(restricted @ ACTIVE_ROWS, target, atol=1e-7)
+    np.testing.assert_allclose(full @ ACTIVE_ROWS, target, atol=1e-7)
+
+
+def test_unsupported_target_raises_instead_of_truncating():
+    # Restricted to the touched columns {0, 1} the system *would* have the
+    # solution λ = (1, 2) — but the target also needs coordinate 2, which no
+    # active row can produce.  Truncation would silently return that λ.
+    target = np.array([3.0, 2.0, 5.0])
+    with pytest.raises(CertificateError):
+        nonnegative_combination_over_support(ACTIVE_ROWS, target)
+
+
+def test_unsupported_target_raises_for_sparse_generators():
+    target = np.array([3.0, 2.0, 5.0])
+    with pytest.raises(CertificateError):
+        nonnegative_combination_over_support(sp.csr_matrix(ACTIVE_ROWS), target)
+
+
+def test_full_width_solve_still_returns_none_not_a_truncated_lambda():
+    target = np.array([3.0, 2.0, 5.0])
+    assert nonnegative_combination(ACTIVE_ROWS, target) is None
+
+
+def test_infeasible_but_supported_target_returns_none():
+    # Support is fine (columns 0-1) but the combination needs a negative
+    # multiplier; must come back None from both entry points, not raise.
+    target = np.array([-1.0, 0.0, 0.0])
+    assert nonnegative_combination_over_support(ACTIVE_ROWS, target) is None
+    assert nonnegative_combination(ACTIVE_ROWS, target) is None
