@@ -80,7 +80,13 @@ def _print_result(result, out) -> None:
 def _cmd_contain(args, out) -> int:
     q1 = parse_query(args.q1, name="Q1")
     q2 = parse_query(args.q2, name="Q2")
-    result = decide_containment(q1, q2, method=args.method, lp_method=args.lp_method)
+    result = decide_containment(
+        q1,
+        q2,
+        method=args.method,
+        lp_method=args.lp_method,
+        lp_backend=args.lp_backend,
+    )
     _print_result(result, out)
     return 0 if result.status.value != "unknown" else 2
 
@@ -164,6 +170,7 @@ def _cmd_batch(args, out) -> int:
             pair_budget=args.budget,
             on_error="capture",
             lp_method=args.lp_method,
+            lp_backend=args.lp_backend,
         )
     )
     report = service.run(pairs)
@@ -210,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "dense", "rowgen"],
         help="Γn LP path: full elemental matrix vs lazy row generation (default auto)",
     )
+    contain.add_argument(
+        "--lp-backend",
+        default="auto",
+        choices=["auto", "scipy", "highs", "scipy-incremental"],
+        help=(
+            "LP solver backend: scipy's one-shot HiGHS vs the native incremental "
+            "highspy driver (default auto = highs when installed, else scipy)"
+        ),
+    )
     contain.set_defaults(handler=_cmd_contain)
 
     inspect = subparsers.add_parser("inspect", help="report a query's structural class")
@@ -239,6 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=["auto", "dense", "rowgen"],
         help="Γn LP path: full elemental matrix vs lazy row generation (default auto)",
+    )
+    batch.add_argument(
+        "--lp-backend",
+        default="auto",
+        choices=["auto", "scipy", "highs", "scipy-incremental"],
+        help=(
+            "LP solver backend: scipy's one-shot HiGHS vs the native incremental "
+            "highspy driver (default auto = highs when installed, else scipy)"
+        ),
     )
     batch.add_argument(
         "--chunk-size",

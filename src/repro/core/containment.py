@@ -143,6 +143,11 @@ class ConeDecisionRequest:
     max_ii: MaxInformationInequality
     over: str
     ground: Tuple[str, ...]
+    #: Row-generation seed hint for the ``Γn`` LP: the Eq. (8) requests of
+    #: the Theorem 3.1 / Theorem 4.2 paths are built from simple (``|K| ≤ 1``)
+    #: terms, so the pipelines mark them ``"containment"`` and the LP layer
+    #: front-loads exactly those elemental rows.
+    seed: str = "generic"
 
 
 ContainmentPipeline = Generator[ConeDecisionRequest, MaxIIVerdict, ContainmentResult]
@@ -155,15 +160,20 @@ def run_containment_pipeline(
 ) -> ContainmentResult:
     """Drive a containment pipeline, answering each request with ``decider``.
 
-    ``decider`` must accept ``(max_ii, over=..., ground=...)`` and return a
-    :class:`MaxIIVerdict` — the signature of :func:`decide_max_ii`, the
-    default.  The batch engine substitutes a decider that resolves requests
-    from grouped block-LP solves.
+    ``decider`` must accept ``(max_ii, over=..., ground=..., seed=...)`` and
+    return a :class:`MaxIIVerdict` — the signature of
+    :func:`decide_max_ii`, the default.  The batch engine substitutes a
+    decider that resolves requests from grouped block-LP solves.
     """
     try:
         request = next(pipeline)
         while True:
-            verdict = decider(request.max_ii, over=request.over, ground=request.ground)
+            verdict = decider(
+                request.max_ii,
+                over=request.over,
+                ground=request.ground,
+                seed=request.seed,
+            )
             request = pipeline.send(verdict)
     except StopIteration as stop:
         return stop.value
@@ -241,7 +251,7 @@ def _sufficient_pipeline(
             details={"note": "hom(Q2,Q1) is empty but the canonical witness failed"},
         )
     verdict = yield ConeDecisionRequest(
-        inequality.as_max_ii(), "gamma", inequality.ground
+        inequality.as_max_ii(), "gamma", inequality.ground, seed="containment"
     )
     if verdict.valid:
         return ContainmentResult(
@@ -299,7 +309,7 @@ def _theorem_3_1_pipeline(
             details={"reason": "hom(Q2, Q1) is empty"},
         )
     verdict = yield ConeDecisionRequest(
-        inequality.as_max_ii(), "gamma", inequality.ground
+        inequality.as_max_ii(), "gamma", inequality.ground, seed="containment"
     )
     if verdict.valid:
         return ContainmentResult(
@@ -465,6 +475,7 @@ def decide_containment(
     max_witness_rows: int = 1024,
     refutation_effort: int = 1,
     lp_method: str = "auto",
+    lp_backend: str = "auto",
 ) -> ContainmentResult:
     """Decide (or semi-decide) ``Q1 ⊑ Q2`` under bag-set semantics.
 
@@ -481,15 +492,25 @@ def decide_containment(
     ``refutation_effort`` scales the witness-search budgets in the general
     (possibly undecidable) case.  ``lp_method`` selects the ``Γn`` LP path
     for every cone decision the pipeline issues
-    (``"dense" | "rowgen" | "auto"``, see :mod:`repro.lp.rowgen`).
+    (``"dense" | "rowgen" | "auto"``, see :mod:`repro.lp.rowgen`) and
+    ``lp_backend`` the solver backend (``"auto" | "scipy" | "highs" |
+    "scipy-incremental"``, see :mod:`repro.lp.backends`; ``"auto"`` drives
+    ``highspy`` directly when it is installed and falls back to scipy).
 
     This is the sequential driver over :func:`containment_pipeline`; the
     batch engine (:func:`repro.service.decide_containment_many`) runs the
     same pipeline with grouped LP solving and a plan cache.
     """
 
-    def decider(max_ii, over, ground):
-        return decide_max_ii(max_ii, over=over, ground=ground, lp_method=lp_method)
+    def decider(max_ii, over, ground, seed="generic"):
+        return decide_max_ii(
+            max_ii,
+            over=over,
+            ground=ground,
+            lp_method=lp_method,
+            lp_backend=lp_backend,
+            seed=seed,
+        )
 
     return run_containment_pipeline(
         containment_pipeline(

@@ -32,10 +32,12 @@ from repro.infotheory.functions import modular_function, normal_function, step_f
 from repro.infotheory.imeasure import is_normal_function
 from repro.infotheory.polymatroid import elemental_inequalities, is_modular, is_polymatroid
 from repro.infotheory.setfunction import SetFunction
-from repro.lp.rowgen import resolve_method, shannon_row_oracle
+from repro.lp.backends import resolve_backend
+from repro.lp.rowgen import RowGenOptions, resolve_method, shannon_row_oracle
 from repro.lp.solver import (
     FeasibilityBlock,
     check_feasibility,
+    record_backend_path,
     record_solver_path,
     solve_feasibility_blocks,
 )
@@ -69,12 +71,17 @@ class Cone:
         expressions: Sequence[LinearExpression],
         margin: float = 1.0,
         method: str = "auto",
+        backend: str = "auto",
+        seed: str = "generic",
     ) -> Optional[ConePoint]:
         """A cone point with ``E_ℓ(h) ≤ -margin`` for every expression, if any.
 
         ``method`` selects the LP path for the cone description
-        (``"dense" | "rowgen" | "auto"``); only ``Γn`` has an implicit row
-        family, so the generated cones accept and ignore it.
+        (``"dense" | "rowgen" | "auto"``) and ``seed`` the row-generation
+        seed set (``"containment"`` front-loads the ``|K| ≤ 1`` rows the
+        Eq. (8) inequalities are made of); only ``Γn`` has an implicit row
+        family, so the generated cones accept and ignore both.  ``backend``
+        picks the solver backend for the underlying LP on every cone.
         """
         raise NotImplementedError
 
@@ -83,6 +90,8 @@ class Cone:
         expression_lists: Sequence[Sequence[LinearExpression]],
         margin: float = 1.0,
         method: str = "auto",
+        backend: str = "auto",
+        seed: str = "generic",
     ) -> List[Optional[ConePoint]]:
         """Batched :meth:`find_point_below`: one answer per expression list.
 
@@ -92,7 +101,7 @@ class Cone:
         so a whole batch pays one HiGHS invocation.
         """
         return [
-            self.find_point_below(exprs, margin, method=method)
+            self.find_point_below(exprs, margin, method=method, backend=backend, seed=seed)
             for exprs in expression_lists
         ]
 
@@ -126,6 +135,12 @@ class GammaCone(Cone):
         record_solver_path(resolved)
         return resolved
 
+    @staticmethod
+    def _resolve_backend(backend):
+        resolved = resolve_backend(backend)
+        record_backend_path(resolved.name)
+        return resolved
+
     def _expression_row(self, expression: LinearExpression) -> np.ndarray:
         row = np.zeros(len(self._subsets))
         for subset, coefficient in expression.coefficients.items():
@@ -140,6 +155,8 @@ class GammaCone(Cone):
         expressions: Sequence[LinearExpression],
         margin: float = 1.0,
         method: str = "auto",
+        backend: str = "auto",
+        seed: str = "generic",
     ) -> Optional[ConePoint]:
         branch_rows = sp.csr_matrix(
             np.array([self._expression_row(e) for e in expressions])
@@ -150,6 +167,8 @@ class GammaCone(Cone):
             b_ub=-margin * np.ones(len(expressions)),
             lazy_rows=self._oracle,
             method=self._resolve_method(method),
+            rowgen_options=RowGenOptions(seed=seed),
+            backend=self._resolve_backend(backend),
         )
         if not feasible or solution is None:
             return None
@@ -161,6 +180,8 @@ class GammaCone(Cone):
         expression_lists: Sequence[Sequence[LinearExpression]],
         margin: float = 1.0,
         method: str = "auto",
+        backend: str = "auto",
+        seed: str = "generic",
     ) -> List[Optional[ConePoint]]:
         if not expression_lists:
             return []
@@ -185,6 +206,8 @@ class GammaCone(Cone):
             slack_threshold=margin / 2,
             lazy_rows=self._oracle,
             method=self._resolve_method(method),
+            rowgen_options=RowGenOptions(seed=seed),
+            backend=self._resolve_backend(backend),
         )
         points: List[Optional[ConePoint]] = []
         for result in results:
@@ -259,16 +282,20 @@ class _GeneratedCone(Cone):
         expressions: Sequence[LinearExpression],
         margin: float = 1.0,
         method: str = "auto",
+        backend: str = "auto",
+        seed: str = "generic",
     ) -> Optional[ConePoint]:
-        # ``method`` is accepted for interface parity and ignored: the
-        # generated cones are described by explicit generators, not an
+        # ``method``/``seed`` are accepted for interface parity and ignored:
+        # the generated cones are described by explicit generators, not an
         # implicit row family, so there is nothing to generate lazily.
+        # ``backend`` still applies — the generator LP is a plain LP.
         generators, _ = self._generator_data()
         matrix = self._lp_matrix(expressions)
         feasible, solution = check_feasibility(
             num_variables=len(generators),
             A_ub=matrix,
             b_ub=-margin * np.ones(len(expressions)),
+            backend=backend,
         )
         if not feasible or solution is None:
             return None
@@ -279,6 +306,8 @@ class _GeneratedCone(Cone):
         expression_lists: Sequence[Sequence[LinearExpression]],
         margin: float = 1.0,
         method: str = "auto",
+        backend: str = "auto",
+        seed: str = "generic",
     ) -> List[Optional[ConePoint]]:
         if not expression_lists:
             return []
@@ -291,7 +320,9 @@ class _GeneratedCone(Cone):
             )
             for expressions in expression_lists
         ]
-        results = solve_feasibility_blocks(blocks, slack_threshold=margin / 2)
+        results = solve_feasibility_blocks(
+            blocks, slack_threshold=margin / 2, backend=backend
+        )
         return [
             self._point_from_solution(result.solution)
             if result.feasible and result.solution is not None

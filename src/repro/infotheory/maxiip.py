@@ -66,19 +66,25 @@ def decide_max_ii(
     ground: Tuple[str, ...] = None,
     with_certificate: bool = False,
     lp_method: str = "auto",
+    lp_backend: str = "auto",
+    seed: str = "generic",
 ) -> MaxIIVerdict:
     """Decide validity of a Max-II over the cone named by ``over``.
 
     ``ground`` may enlarge the variable set beyond the variables actually
     mentioned by the inequality (validity is not affected, but violating
     functions are returned over the larger ground set).  ``lp_method``
-    selects the ``Γn`` LP path (``"dense" | "rowgen" | "auto"``; ignored by
-    the generated cones).
+    selects the ``Γn`` LP path (``"dense" | "rowgen" | "auto"``) and
+    ``seed`` the row-generation seed set (both ignored by the generated
+    cones); ``lp_backend`` picks the solver backend
+    (``"auto" | "scipy" | "highs" | "scipy-incremental"``).
     """
     ground = tuple(ground) if ground is not None else inequality.ground
     cone = cone_by_name(over, ground)
     branches = [branch.with_ground(ground) for branch in inequality.branches]
-    point = cone.find_point_below(branches, method=lp_method)
+    point = cone.find_point_below(
+        branches, method=lp_method, backend=lp_backend, seed=seed
+    )
     if point is not None:
         return MaxIIVerdict(
             valid=False,
@@ -88,7 +94,9 @@ def decide_max_ii(
         )
     certificate = None
     if with_certificate and over == "gamma" and len(branches) == 1:
-        certificate = shannon_prover(ground).certificate(branches[0], method=lp_method)
+        certificate = shannon_prover(ground).certificate(
+            branches[0], method=lp_method, backend=lp_backend
+        )
     return MaxIIVerdict(valid=True, cone=over, certificate=certificate)
 
 
@@ -97,6 +105,8 @@ def decide_max_ii_many(
     over: str = "gamma",
     ground: Tuple[str, ...] = None,
     lp_method: str = "auto",
+    lp_backend: str = "auto",
+    seed: str = "generic",
 ) -> List[MaxIIVerdict]:
     """Decide many Max-IIs over one cone in a single (block) LP solve.
 
@@ -127,7 +137,9 @@ def decide_max_ii_many(
         [branch.with_ground(ground) for branch in inequality.branches]
         for inequality in inequalities
     ]
-    points = cone.find_points_below_many(branch_lists, method=lp_method)
+    points = cone.find_points_below_many(
+        branch_lists, method=lp_method, backend=lp_backend, seed=seed
+    )
     verdicts: List[MaxIIVerdict] = []
     for point in points:
         if point is not None:
@@ -150,6 +162,7 @@ def decide_ii(
     ground: Tuple[str, ...] = None,
     with_certificate: bool = False,
     lp_method: str = "auto",
+    lp_backend: str = "auto",
 ) -> MaxIIVerdict:
     """Decide an ordinary II (the ``k = 1`` special case of Max-IIP)."""
     return decide_max_ii(
@@ -158,6 +171,7 @@ def decide_ii(
         ground=ground,
         with_certificate=with_certificate,
         lp_method=lp_method,
+        lp_backend=lp_backend,
     )
 
 

@@ -67,12 +67,18 @@ from repro.lp.certificates import (
     nonnegative_combination,
     nonnegative_combination_over_support,
 )
+from repro.lp.backends import resolve_backend, validate_backend_name
 from repro.lp.rowgen import (
     RowGenOptions,
     resolve_method,
     shannon_row_oracle,
 )
-from repro.lp.solver import LPStatus, minimize, record_solver_path
+from repro.lp.solver import (
+    LPStatus,
+    minimize,
+    record_backend_path,
+    record_solver_path,
+)
 from repro.utils.lattice import lattice_context
 
 
@@ -109,17 +115,20 @@ class ShannonProver:
     """Decide Shannon validity of linear information expressions over a ground set.
 
     ``method`` sets the default LP path for every decision this prover makes
-    (``"auto"`` picks per problem size); each decision method also accepts a
-    per-call override.
+    (``"auto"`` picks per problem size) and ``backend`` the default solver
+    backend (``"auto"`` = native ``highspy`` when installed, scipy
+    otherwise); each decision method also accepts per-call overrides.
     """
 
-    def __init__(self, ground: Sequence[str], method: str = "auto"):
+    def __init__(self, ground: Sequence[str], method: str = "auto", backend: str = "auto"):
         self.ground: Tuple[str, ...] = tuple(ground)
         if not self.ground:
             raise ValueError("the ground set must be non-empty")
         if method not in ("dense", "rowgen", "auto"):
             raise ValueError(f"unknown LP method {method!r}")
+        validate_backend_name(backend)
         self.method = method
+        self.backend = backend
         lattice = lattice_context(self.ground)
         self._lattice = lattice
         self._subsets = lattice.nonempty_subsets
@@ -154,6 +163,12 @@ class ShannonProver:
         record_solver_path(resolved)
         return resolved
 
+    def _resolve_backend(self, backend):
+        """Resolve a per-call backend override and tally the decision."""
+        resolved = resolve_backend(backend if backend is not None else self.backend)
+        record_backend_path(resolved.name)
+        return resolved
+
     # ------------------------------------------------------------------ #
     # Vector encoding
     # ------------------------------------------------------------------ #
@@ -181,7 +196,10 @@ class ShannonProver:
     # Decision procedures
     # ------------------------------------------------------------------ #
     def minimum_over_gamma(
-        self, expression: LinearExpression, method: Optional[str] = None
+        self,
+        expression: LinearExpression,
+        method: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> Tuple[float, SetFunction]:
         """Minimize ``E(h)`` over the slice ``{h ∈ Γn : h(V) ≤ 1}``.
 
@@ -195,6 +213,7 @@ class ShannonProver:
             shape=(1, len(self._subsets)),
         )
         resolved = self._resolve_method(method)
+        backend = self._resolve_backend(backend)
         if resolved == "rowgen":
             # The box 0 ≤ h(X) ≤ 1 is implied by monotonicity plus the
             # normalization over the full cone, so adding it cuts nothing
@@ -212,6 +231,7 @@ class ShannonProver:
                 lazy_rows=self._oracle,
                 method="rowgen",
                 rowgen_options=RowGenOptions(early_stop_objective=-1e-9),
+                backend=backend,
             )
             if result.status == LPStatus.OPTIMAL and result.rowgen.early_stopped:
                 return result.objective, SetFunction.zero(self.ground)
@@ -223,6 +243,7 @@ class ShannonProver:
                 b_ub=np.array([1.0]),
                 lazy_rows=self._oracle,
                 method="dense",
+                backend=backend,
             )
         if result.status != LPStatus.OPTIMAL:
             raise CertificateError(f"unexpected LP status {result.status} in Shannon prover")
@@ -233,9 +254,10 @@ class ShannonProver:
         expression: LinearExpression,
         tolerance: float = 1e-7,
         method: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> bool:
         """True when ``0 ≤ E(h)`` holds for every polymatroid ``h ∈ Γn``."""
-        value, _ = self.minimum_over_gamma(expression, method=method)
+        value, _ = self.minimum_over_gamma(expression, method=method, backend=backend)
         return value >= -tolerance
 
     def is_valid_inequality(
@@ -243,18 +265,20 @@ class ShannonProver:
         inequality: InformationInequality,
         tolerance: float = 1e-7,
         method: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> bool:
         """Convenience wrapper taking an :class:`InformationInequality`."""
-        return self.is_valid(inequality.expression, tolerance, method=method)
+        return self.is_valid(inequality.expression, tolerance, method=method, backend=backend)
 
     def find_violating_polymatroid(
         self,
         expression: LinearExpression,
         tolerance: float = 1e-7,
         method: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> Optional[SetFunction]:
         """A polymatroid with ``E(h) < 0``, or ``None`` when the inequality is valid."""
-        value, function = self.minimum_over_gamma(expression, method=method)
+        value, function = self.minimum_over_gamma(expression, method=method, backend=backend)
         if value >= -tolerance:
             return None
         return function
@@ -267,6 +291,7 @@ class ShannonProver:
         expression: LinearExpression,
         tolerance: float = 1e-6,
         method: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> Optional[ShannonCertificate]:
         """A Shannon proof of ``0 ≤ E(h)``, or ``None`` when no proof exists.
 
@@ -277,9 +302,12 @@ class ShannonProver:
         """
         target = self.expression_vector(expression)
         resolved = self._resolve_method(method)
+        backend = self._resolve_backend(backend)
         if resolved == "rowgen":
-            return self._certificate_rowgen(target, tolerance)
-        multipliers = nonnegative_combination(self._elemental_matrix, target, tolerance)
+            return self._certificate_rowgen(target, tolerance, backend)
+        multipliers = nonnegative_combination(
+            self._elemental_matrix, target, tolerance, backend=backend
+        )
         if multipliers is None:
             return None
         pairs = tuple(
@@ -290,7 +318,7 @@ class ShannonProver:
         return ShannonCertificate(ground=self.ground, multipliers=pairs)
 
     def _certificate_rowgen(
-        self, target: np.ndarray, tolerance: float
+        self, target: np.ndarray, tolerance: float, backend=None
     ) -> Optional[ShannonCertificate]:
         """Multiplier recovery by Farkas-driven row generation.
 
@@ -316,7 +344,11 @@ class ShannonProver:
         for _ in range(options.max_rounds):
             A_active = oracle.rows_matrix(active_ids)
             probe = minimize(
-                target, A_ub=-A_active, b_ub=np.zeros(A_active.shape[0]), bounds=(-1, 1)
+                target,
+                A_ub=-A_active,
+                b_ub=np.zeros(A_active.shape[0]),
+                bounds=(-1, 1),
+                backend=backend,
             )
             if probe.status != LPStatus.OPTIMAL:
                 raise CertificateError(
@@ -325,14 +357,16 @@ class ShannonProver:
             if probe.objective >= -farkas_tolerance:
                 try:
                     multipliers = nonnegative_combination_over_support(
-                        A_active, target, tolerance
+                        A_active, target, tolerance, backend=backend
                     )
                 except CertificateError:
                     multipliers = None
                 if multipliers is None:
                     # Numerically marginal; retry over the full width before
                     # giving up on this round's active set.
-                    multipliers = nonnegative_combination(A_active, target, tolerance)
+                    multipliers = nonnegative_combination(
+                        A_active, target, tolerance, backend=backend
+                    )
                 if multipliers is None:
                     return None
                 support = [

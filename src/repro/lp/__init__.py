@@ -1,23 +1,36 @@
 """Linear-programming layer.
 
-Thin, typed wrappers around :func:`scipy.optimize.linprog` used by the
-Shannon prover and the cone decision procedures, plus Farkas-style
-certificate extraction helpers and the batched entry points:
-:func:`solve_feasibility_blocks` (the block-diagonal primitive under the
-:mod:`repro.service` batch engine) and :func:`minimize_many` (shared
-constraint normalization across objectives).
+Thin, typed wrappers around the LP solvers used by the Shannon prover and
+the cone decision procedures, plus Farkas-style certificate extraction
+helpers and the batched entry points: :func:`solve_feasibility_blocks` (the
+block-diagonal primitive under the :mod:`repro.service` batch engine) and
+:func:`minimize_many` (shared constraint normalization across objectives).
 
 The :mod:`repro.lp.rowgen` submodule provides lazy row generation for the
 Shannon cone: a vectorized separation oracle over the implicit elemental
 rows plus cutting-plane loops, selected through the ``method`` knob
 (``"dense" | "rowgen" | "auto"``) every solver entry point grew for it.
+
+The :mod:`repro.lp.backends` submodule provides the solver backends behind
+the ``backend`` knob: scipy's one-shot HiGHS (always available, the
+fallback) and the native incremental ``highspy`` driver (optional, warm
+starts the cutting-plane loops between rounds).
 """
 
+from repro.lp.backends import (
+    BACKEND_NAMES,
+    HighsBackend,
+    LPBackend,
+    ScipyBackend,
+    highs_available,
+    resolve_backend,
+)
 from repro.lp.solver import (
     BlockFeasibilityResult,
     FeasibilityBlock,
     LPResult,
     LPStatus,
+    backend_path_counts,
     check_feasibility,
     minimize,
     minimize_many,
@@ -58,5 +71,12 @@ __all__ = [
     "resolve_method",
     "record_solver_path",
     "solver_path_counts",
+    "backend_path_counts",
     "reset_solver_path_counts",
+    "BACKEND_NAMES",
+    "LPBackend",
+    "ScipyBackend",
+    "HighsBackend",
+    "highs_available",
+    "resolve_backend",
 ]

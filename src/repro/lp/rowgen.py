@@ -59,6 +59,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import LPError
+from repro.lp.backends import AntiCyclingLedger, resolve_backend
 from repro.lp.solver import (
     BlockFeasibilityResult,
     FeasibilityBlock,
@@ -79,6 +80,10 @@ from repro.utils.lattice import SubsetLattice, lattice_context
 #: ``benchmarks/bench_rowgen.py`` (see BENCH_3.json and the README
 #: decision-procedure map).
 AUTO_ROW_THRESHOLD = 4096
+
+#: Names accepted by the :attr:`RowGenOptions.seed` knob (and the
+#: ``seed`` parameter of the decision layers above the LP).
+SEED_NAMES = ("generic", "containment")
 
 
 def resolve_method(method: str, row_count: int, threshold: int = AUTO_ROW_THRESHOLD) -> str:
@@ -128,12 +133,34 @@ class RowGenOptions:
         rounds.  The returned solution may then violate elemental rows
         (``report.early_stopped`` is set) — callers that need a genuine cone
         point must leave this ``None``.
+    seed:
+        Which seed row set the loop starts from: ``"generic"`` (the ``n``
+        monotonicity rows plus the ``C(n,2)`` empty-context ``I(i;j) ≥ 0``
+        rows) or ``"containment"`` (monotonicity plus *every* ``|K| ≤ 1``
+        submodularity row — the Eq. (8) inequalities of Theorem 3.1 are
+        built from exactly these simple rows, so seeding them up front cuts
+        separation rounds on containment traffic).
+    drop_slack_rows:
+        Whether incremental-model loops delete rows that are strictly slack
+        at the relaxed optimum between rounds (ignored by the per-round
+        stacked loops, which rebuild from the active set anyway).  ``None``
+        defers to the backend (drop on every incremental backend).
+    drop_tolerance:
+        A row counts as slack (deletable) when its value at the relaxed
+        optimum exceeds this.
+    drop_min_rows:
+        Don't bother deleting until the active set reaches this size — tiny
+        models re-solve instantly and the deletions would only churn keys.
     """
 
     tolerance: float = 1e-8
     max_cuts_per_round: Optional[int] = None
     max_rounds: int = 10_000
     early_stop_objective: Optional[float] = None
+    seed: str = "generic"
+    drop_slack_rows: Optional[bool] = None
+    drop_tolerance: float = 1e-6
+    drop_min_rows: int = 512
 
 
 @dataclass(frozen=True)
@@ -146,6 +173,9 @@ class RowGenReport:
     lower-bound early exit (see
     :attr:`RowGenOptions.early_stop_objective`): the objective value is a
     proven bound but the solution is a relaxation point, not a cone point.
+    ``backend`` names the solver backend that ran the loop;
+    ``rows_dropped``/``re_entries`` count slack-row deletions and
+    anti-cycling re-admissions (non-zero only on incremental backends).
     """
 
     rounds: int
@@ -153,6 +183,9 @@ class RowGenReport:
     total_rows: int
     cuts_added: int
     early_stopped: bool = False
+    backend: str = "scipy"
+    rows_dropped: int = 0
+    re_entries: int = 0
 
 
 class ShannonRowOracle:
@@ -196,7 +229,7 @@ class ShannonRowOracle:
         return dense
 
     def seed_ids(self) -> np.ndarray:
-        """The seed row ids: monotonicity plus empty-context ``I(i;j) ≥ 0``.
+        """The generic seed row ids: monotonicity plus empty-context ``I(i;j) ≥ 0``.
 
         The empty context is first in canonical subset order, so it sits at
         the start of each pair's block.
@@ -205,6 +238,33 @@ class ShannonRowOracle:
         for pair_index in range(len(self._pairs)):
             ids.append(self.n + pair_index * self._context_block)
         return np.array(ids, dtype=np.int64)
+
+    def containment_seed_ids(self) -> np.ndarray:
+        """Monotonicity plus every ``|K| ≤ 1`` submodularity row ``I(i;j|K) ≥ 0``.
+
+        The Eq. (8) inequalities of the Theorem 3.1 containment procedure are
+        *simple* — every conditional entropy they mention has a context of
+        size at most 1 — so these ``n + C(n,2)·(n-1)`` rows are the natural
+        workload-aware seed.  Contexts are enumerated in canonical
+        (size-then-lex) order within each pair's block, so the ``|K| ≤ 1``
+        contexts are exactly the first ``min(n-1, 2^(n-2))`` positions.
+        """
+        ids = list(range(self.n))
+        small_contexts = min(self.n - 1, self._context_block) if self.n >= 2 else 0
+        for pair_index in range(len(self._pairs)):
+            base = self.n + pair_index * self._context_block
+            ids.extend(range(base, base + small_contexts))
+        return np.array(ids, dtype=np.int64)
+
+    def seed_ids_for(self, seed: str) -> np.ndarray:
+        """Resolve a :attr:`RowGenOptions.seed` name to seed row ids."""
+        if seed == "generic":
+            return self.seed_ids()
+        if seed == "containment":
+            return self.containment_seed_ids()
+        raise LPError(
+            f"unknown rowgen seed {seed!r}; expected 'generic' or 'containment'"
+        )
 
     # ------------------------------------------------------------------ #
     # Separation
@@ -411,6 +471,116 @@ def _with_active_rows(active: _ActiveRows, A_ub, b_ub):
     return _prepend_homogeneous_rows(cone_rows, A_ub, b_ub, cone_rows.shape[1])
 
 
+def _should_drop(options: RowGenOptions, backend) -> bool:
+    """Resolve the slack-row deletion knob against the backend default."""
+    if options.drop_slack_rows is not None:
+        return options.drop_slack_rows
+    return bool(backend.incremental)
+
+
+def _drop_slack_rows(model, ledger, oracle, solution, options, key=None) -> None:
+    """Delete the active cone rows that are strictly slack at ``solution``.
+
+    Permanent rows (the seed, plus every row the anti-cycling guard pinned)
+    survive; the just-violated cuts of this round are admitted *after* the
+    drop, so they can never be deleted in the round that found them.
+    ``key`` maps an oracle row id to its model row key (identity by default;
+    the stacked block loop namespaces ids per block).
+    """
+    if len(ledger) < options.drop_min_rows:
+        return
+    active = np.array(ledger.active, dtype=np.int64)
+    values = oracle.rows_matrix(active) @ solution
+    slack_ids = active[values > options.drop_tolerance]
+    removed = ledger.retire(slack_ids)
+    model.delete_rows([key(i) for i in removed] if key else removed)
+
+
+def _minimize_lazy_incremental(
+    objective,
+    oracle: ShannonRowOracle,
+    A_ub,
+    b_ub,
+    bounds,
+    options: RowGenOptions,
+    backend,
+) -> LPResult:
+    """Cutting-plane minimization over one persistent incremental model."""
+    objective = np.asarray(objective, dtype=float)
+    model = backend.incremental_model(
+        objective.shape[0], objective, bounds=bounds, A_fixed=A_ub, b_fixed=b_ub
+    )
+    seed = oracle.seed_ids_for(options.seed)
+    ledger = AntiCyclingLedger(seed)
+    model.add_rows([int(i) for i in seed], -oracle.rows_matrix(seed))
+    drop = _should_drop(options, backend)
+    for round_number in range(1, options.max_rounds + 1):
+        result = model.solve()
+        if result.status == LPStatus.UNBOUNDED:
+            raise LPError(
+                "row-generation relaxation is unbounded; pass bounds that are "
+                "valid over the full cone (e.g. 0 <= x <= 1 on the h(V) <= 1 slice)"
+            )
+        report = _ledger_report(round_number, ledger, oracle, backend)
+        if result.status == LPStatus.INFEASIBLE:
+            # The relaxation's feasible set contains the true one.
+            return LPResult(
+                status=result.status, objective=None, solution=None, rowgen=report
+            )
+        if (
+            options.early_stop_objective is not None
+            and result.objective >= options.early_stop_objective
+        ):
+            return LPResult(
+                status=result.status,
+                objective=result.objective,
+                solution=result.solution,
+                rowgen=_ledger_report(
+                    round_number, ledger, oracle, backend, early_stopped=True
+                ),
+            )
+        dense = oracle.dense_from_canonical(result.solution)
+        cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+        if cut_ids.size == 0:
+            return LPResult(
+                status=result.status,
+                objective=result.objective,
+                solution=result.solution,
+                rowgen=report,
+            )
+        if drop:
+            _drop_slack_rows(model, ledger, oracle, result.solution, options)
+        entered = ledger.admit(cut_ids)
+        if not entered:
+            return LPResult(
+                status=result.status,
+                objective=result.objective,
+                solution=result.solution,
+                rowgen=report,
+            )
+        model.add_rows(entered, -oracle.rows_matrix(entered))
+    raise LPError("row generation did not converge within max_rounds")
+
+
+def _ledger_report(
+    rounds: int,
+    ledger: AntiCyclingLedger,
+    oracle: ShannonRowOracle,
+    backend,
+    early_stopped: bool = False,
+) -> RowGenReport:
+    return RowGenReport(
+        rounds=rounds,
+        rows_used=ledger.peak_rows,
+        total_rows=oracle.row_count,
+        cuts_added=ledger.cuts_added,
+        early_stopped=early_stopped,
+        backend=backend.name,
+        rows_dropped=ledger.rows_dropped,
+        re_entries=ledger.re_entries,
+    )
+
+
 def minimize_lazy(
     objective: Sequence[float],
     oracle: ShannonRowOracle,
@@ -418,6 +588,7 @@ def minimize_lazy(
     b_ub=None,
     bounds=None,
     options: Optional[RowGenOptions] = None,
+    backend=None,
 ) -> LPResult:
     """Minimize over ``Γn`` (implicit) intersected with ``A_ub x ≤ b_ub``.
 
@@ -427,12 +598,24 @@ def minimize_lazy(
     relaxation raises :class:`LPError` (it proves nothing about the full
     problem).  The returned :class:`LPResult` carries a
     :class:`RowGenReport` in ``result.rowgen``.
+
+    ``backend`` selects the solver backend: on an *incremental* backend
+    (``highspy``, or ``scipy-incremental`` for testing) one model persists
+    across rounds — cuts enter through row additions, slack rows are
+    deleted under the anti-cycling guard, and warm starts carry the basis
+    between rounds; otherwise each round rebuilds a stacked LP exactly as
+    before.
     """
     options = options if options is not None else RowGenOptions()
-    active = _ActiveRows(oracle)
+    backend = resolve_backend(backend)
+    if backend.incremental:
+        return _minimize_lazy_incremental(
+            objective, oracle, A_ub, b_ub, bounds, options, backend
+        )
+    active = _ActiveRows(oracle, seed_ids=oracle.seed_ids_for(options.seed))
     for round_number in range(1, options.max_rounds + 1):
         A, b = _with_active_rows(active, A_ub, b_ub)
-        result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds)
+        result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds, backend=backend)
         if result.status == LPStatus.UNBOUNDED:
             raise LPError(
                 "row-generation relaxation is unbounded; pass bounds that are "
@@ -443,6 +626,7 @@ def minimize_lazy(
             rows_used=len(active),
             total_rows=oracle.row_count,
             cuts_added=active.cuts_added,
+            backend=backend.name,
         )
         if result.status == LPStatus.INFEASIBLE:
             # The relaxation's feasible set contains the true one.
@@ -466,6 +650,7 @@ def minimize_lazy(
                     total_rows=report.total_rows,
                     cuts_added=report.cuts_added,
                     early_stopped=True,
+                    backend=backend.name,
                 ),
             )
         dense = oracle.dense_from_canonical(result.solution)
@@ -487,6 +672,7 @@ def check_feasibility_lazy(
     b_ub=None,
     bounds=None,
     options: Optional[RowGenOptions] = None,
+    backend=None,
 ) -> Tuple[bool, Optional[np.ndarray], RowGenReport]:
     """Decide non-emptiness of ``Γn ∩ {A_ub x ≤ b_ub}`` by row generation."""
     options = options if options is not None else RowGenOptions()
@@ -497,12 +683,83 @@ def check_feasibility_lazy(
         b_ub=b_ub,
         bounds=bounds,
         options=options,
+        backend=backend,
     )
     if result.status == LPStatus.OPTIMAL:
         return True, result.solution, result.rowgen
     if result.status == LPStatus.INFEASIBLE:
         return False, None, result.rowgen
     raise LPError("feasibility problem reported an unbounded objective")
+
+
+def _minimize_many_lazy_incremental(
+    objectives,
+    oracle: ShannonRowOracle,
+    A_ub,
+    b_ub,
+    bounds,
+    options: RowGenOptions,
+    backend,
+) -> List[LPResult]:
+    """Shared-model variant: one incremental model, objectives swapped in place.
+
+    Both the active row set *and* the solver basis persist across
+    objectives, so related solves warm-start each other twice over.
+    """
+    first = np.asarray(objectives[0], dtype=float)
+    model = backend.incremental_model(
+        first.shape[0], first, bounds=bounds, A_fixed=A_ub, b_fixed=b_ub
+    )
+    seed = oracle.seed_ids_for(options.seed)
+    ledger = AntiCyclingLedger(seed)
+    model.add_rows([int(i) for i in seed], -oracle.rows_matrix(seed))
+    drop = _should_drop(options, backend)
+    results: List[LPResult] = []
+    for k, objective in enumerate(objectives):
+        if k:
+            model.set_objective(np.asarray(objective, dtype=float))
+        for round_number in range(1, options.max_rounds + 1):
+            result = model.solve()
+            if result.status == LPStatus.UNBOUNDED:
+                raise LPError(
+                    "row-generation relaxation is unbounded; pass bounds valid "
+                    "over the full cone"
+                )
+            report = _ledger_report(round_number, ledger, oracle, backend)
+            if result.status == LPStatus.INFEASIBLE:
+                results.append(
+                    LPResult(status=result.status, objective=None, solution=None, rowgen=report)
+                )
+                break
+            dense = oracle.dense_from_canonical(result.solution)
+            cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+            if cut_ids.size == 0:
+                results.append(
+                    LPResult(
+                        status=result.status,
+                        objective=result.objective,
+                        solution=result.solution,
+                        rowgen=report,
+                    )
+                )
+                break
+            if drop:
+                _drop_slack_rows(model, ledger, oracle, result.solution, options)
+            entered = ledger.admit(cut_ids)
+            if not entered:
+                results.append(
+                    LPResult(
+                        status=result.status,
+                        objective=result.objective,
+                        solution=result.solution,
+                        rowgen=report,
+                    )
+                )
+                break
+            model.add_rows(entered, -oracle.rows_matrix(entered))
+        else:
+            raise LPError("row generation did not converge within max_rounds")
+    return results
 
 
 def minimize_many_lazy(
@@ -512,20 +769,29 @@ def minimize_many_lazy(
     b_ub=None,
     bounds=None,
     options: Optional[RowGenOptions] = None,
+    backend=None,
 ) -> List[LPResult]:
     """Minimize several objectives over one shared implicit polyhedron.
 
     The active row set persists across objectives — cuts found for one
     objective warm-start the next, which is the structural analogue of basis
-    reuse across the related solves.
+    reuse across the related solves.  On an incremental backend the model
+    itself persists too and only the objective changes between solves.
     """
     options = options if options is not None else RowGenOptions()
-    active = _ActiveRows(oracle)
+    backend = resolve_backend(backend)
+    if not objectives:
+        return []
+    if backend.incremental:
+        return _minimize_many_lazy_incremental(
+            objectives, oracle, A_ub, b_ub, bounds, options, backend
+        )
+    active = _ActiveRows(oracle, seed_ids=oracle.seed_ids_for(options.seed))
     results: List[LPResult] = []
     for objective in objectives:
         for round_number in range(1, options.max_rounds + 1):
             A, b = _with_active_rows(active, A_ub, b_ub)
-            result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds)
+            result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds, backend=backend)
             if result.status == LPStatus.UNBOUNDED:
                 raise LPError(
                     "row-generation relaxation is unbounded; pass bounds valid "
@@ -536,6 +802,7 @@ def minimize_many_lazy(
                 rows_used=len(active),
                 total_rows=oracle.row_count,
                 cuts_added=active.cuts_added,
+                backend=backend.name,
             )
             if result.status == LPStatus.INFEASIBLE:
                 results.append(
@@ -559,11 +826,141 @@ def minimize_many_lazy(
     return results
 
 
+def _shift_columns(matrix: sp.csr_matrix, offset: int, total: int) -> sp.csr_matrix:
+    """Embed a block-local matrix into the stacked LP's full column space."""
+    coo = matrix.tocoo()
+    return sp.csr_matrix(
+        (coo.data, (coo.row, coo.col + offset)), shape=(matrix.shape[0], total)
+    )
+
+
+def _solve_feasibility_blocks_incremental(
+    blocks: Sequence[FeasibilityBlock],
+    oracle: ShannonRowOracle,
+    slack_threshold: float,
+    options: RowGenOptions,
+    backend,
+) -> List[BlockFeasibilityResult]:
+    """One persistent stacked model for the whole batch of blocks.
+
+    The block-diagonal slack LP of
+    :func:`repro.lp.solver.solve_feasibility_blocks` is assembled once; each
+    block's elemental rows then grow (and shrink, under the anti-cycling
+    guard) *in place*, keyed by ``(block index, row id)``, and every re-solve
+    warm-starts from the incumbent basis.  A block leaves the separation
+    loop the round its relaxation becomes infeasible (slack at margin) or
+    its relaxed point enters ``Γn``; its verdict and solution are frozen at
+    that round — later cuts only touch other blocks' rows, which share no
+    columns, so the frozen point stays feasible for its block.
+    """
+    column_offsets: List[int] = []
+    offset = 0
+    for block in blocks:
+        column_offsets.append(offset)
+        offset += block.num_variables
+    total_columns = offset + len(blocks)
+    objective = np.zeros(total_columns)
+    objective[offset:] = 1.0
+
+    fixed_parts: List[sp.csr_matrix] = []
+    rhs_parts: List[np.ndarray] = []
+    for i, block in enumerate(blocks):
+        A_soft = sp.csr_matrix(block.A_soft)
+        b_soft = np.asarray(block.b_soft, dtype=float)
+        if block.A_hard is not None:
+            A_hard = sp.csr_matrix(block.A_hard)
+            fixed_parts.append(_shift_columns(A_hard, column_offsets[i], total_columns))
+            rhs_parts.append(np.asarray(block.b_hard, dtype=float))
+        soft = _shift_columns(A_soft, column_offsets[i], total_columns)
+        # The slack column: one -1 entry per soft row of this block.
+        slack = sp.csr_matrix(
+            (
+                -np.ones(A_soft.shape[0]),
+                (np.arange(A_soft.shape[0]), np.full(A_soft.shape[0], offset + i)),
+            ),
+            shape=(A_soft.shape[0], total_columns),
+        )
+        fixed_parts.append(soft + slack)
+        rhs_parts.append(b_soft)
+    model = backend.incremental_model(
+        total_columns,
+        objective,
+        bounds=(0, None),
+        A_fixed=sp.vstack(fixed_parts, format="csr"),
+        b_fixed=np.concatenate(rhs_parts),
+    )
+
+    seed = oracle.seed_ids_for(options.seed)
+    seed_matrix = -oracle.rows_matrix(seed)
+    ledgers = [AntiCyclingLedger(seed) for _ in blocks]
+    for i in range(len(blocks)):
+        model.add_rows(
+            [(i, int(row_id)) for row_id in seed],
+            _shift_columns(seed_matrix, column_offsets[i], total_columns),
+        )
+    drop = _should_drop(options, backend)
+
+    final: List[Optional[BlockFeasibilityResult]] = [None] * len(blocks)
+    unresolved = list(range(len(blocks)))
+    for _ in range(options.max_rounds):
+        if not unresolved:
+            break
+        result = model.solve()
+        if result.status != LPStatus.OPTIMAL:
+            # The stacked LP is always feasible and bounded below by 0.
+            raise LPError(f"block feasibility program failed: {result.status}")
+        still_unresolved: List[int] = []
+        for i in unresolved:
+            ledger = ledgers[i]
+            slack = float(result.solution[offset + i])
+            start = column_offsets[i]
+            solution = np.asarray(
+                result.solution[start : start + blocks[i].num_variables]
+            )
+            if slack >= slack_threshold:
+                final[i] = BlockFeasibilityResult(
+                    feasible=False, solution=None, slack=slack, rows_used=ledger.peak_rows
+                )
+                continue
+            dense = oracle.dense_from_canonical(solution)
+            cut_ids, _ = oracle.separate(
+                dense, options.tolerance, options.max_cuts_per_round
+            )
+            if cut_ids.size == 0:
+                final[i] = BlockFeasibilityResult(
+                    feasible=True, solution=solution, slack=slack, rows_used=ledger.peak_rows
+                )
+                continue
+            if drop:
+                _drop_slack_rows(
+                    model, ledger, oracle, solution, options,
+                    key=lambda row_id, i=i: (i, row_id),
+                )
+            entered = ledger.admit(cut_ids)
+            if not entered:
+                final[i] = BlockFeasibilityResult(
+                    feasible=True, solution=solution, slack=slack, rows_used=ledger.peak_rows
+                )
+                continue
+            model.add_rows(
+                [(i, row_id) for row_id in entered],
+                _shift_columns(
+                    -oracle.rows_matrix(entered), column_offsets[i], total_columns
+                ),
+            )
+            still_unresolved.append(i)
+        unresolved = still_unresolved
+    if unresolved:
+        raise LPError("block row generation did not converge within max_rounds")
+    return [result for result in final if result is not None]
+
+
 def solve_feasibility_blocks_lazy(
     blocks: Sequence[FeasibilityBlock],
     oracle: ShannonRowOracle,
     slack_threshold: float = 0.5,
     options: Optional[RowGenOptions] = None,
+    backend=None,
 ) -> List[BlockFeasibilityResult]:
     """Block-diagonal feasibility with per-block implicit elemental rows.
 
@@ -572,12 +969,21 @@ def solve_feasibility_blocks_lazy(
     that block's relaxed solution.  Blocks whose relaxation is infeasible, or
     whose relaxed point already lies in ``Γn``, drop out of the round loop;
     only blocks that received cuts are re-solved, so a batch converges in a
-    handful of shared HiGHS invocations.
+    handful of shared HiGHS invocations.  On an incremental backend the
+    stacked model persists across rounds and only the changed rows move.
     """
     if not blocks:
         return []
     options = options if options is not None else RowGenOptions()
-    active = [_ActiveRows(oracle) for _ in blocks]
+    backend = resolve_backend(backend)
+    if backend.incremental:
+        return _solve_feasibility_blocks_incremental(
+            blocks, oracle, slack_threshold, options, backend
+        )
+    active = [
+        _ActiveRows(oracle, seed_ids=oracle.seed_ids_for(options.seed))
+        for _ in blocks
+    ]
     final: List[Optional[BlockFeasibilityResult]] = [None] * len(blocks)
     unresolved = list(range(len(blocks)))
     for _ in range(options.max_rounds):
@@ -586,7 +992,9 @@ def solve_feasibility_blocks_lazy(
         sub_blocks = [
             _block_with_hard_rows(blocks[i], -active[i].matrix()) for i in unresolved
         ]
-        round_results = solve_feasibility_blocks(sub_blocks, slack_threshold)
+        round_results = solve_feasibility_blocks(
+            sub_blocks, slack_threshold, backend=backend
+        )
         still_unresolved: List[int] = []
         for i, result in zip(unresolved, round_results):
             if not result.feasible or result.solution is None:
@@ -628,4 +1036,5 @@ __all__ = [
     "check_feasibility_lazy",
     "solve_feasibility_blocks_lazy",
     "record_solver_path",
+    "SEED_NAMES",
 ]

@@ -1,4 +1,4 @@
-"""Wrappers around :func:`scipy.optimize.linprog`.
+"""The LP entry points shared by every decision procedure.
 
 All decision procedures of the library reduce to two primitives:
 
@@ -6,9 +6,12 @@ All decision procedures of the library reduce to two primitives:
 * :func:`check_feasibility` — decide whether a polyhedron is non-empty and,
   if so, return a point of it.
 
-The wrappers normalize the inputs (lists, numpy arrays, ``None``), pick the
-HiGHS backend, and convert solver statuses into a small, explicit enum so
-that callers never have to inspect scipy's result object directly.
+The wrappers normalize the inputs (lists, numpy arrays, ``None``), route the
+solve through a :mod:`repro.lp.backends` backend (scipy's one-shot HiGHS by
+default, the native incremental ``highspy`` driver when it is installed and
+the ``backend`` knob resolves to it), and convert solver statuses into a
+small, explicit enum so that callers never have to inspect a solver's raw
+result object directly.
 
 Batched entry points
 --------------------
@@ -57,7 +60,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.optimize import linprog
 
 from repro.exceptions import LPError
 
@@ -71,10 +73,11 @@ class LPStatus(Enum):
 
 
 # --------------------------------------------------------------------- #
-# Solver-path accounting (dense vs rowgen coverage)
+# Solver-path accounting (dense vs rowgen, scipy vs highs coverage)
 # --------------------------------------------------------------------- #
 _PATH_LOCK = threading.Lock()
 _SOLVER_PATH_COUNTS: Dict[str, int] = {"dense": 0, "rowgen": 0}
+_BACKEND_PATH_COUNTS: Dict[str, int] = {"scipy": 0, "highs": 0}
 
 
 def record_solver_path(method: str) -> None:
@@ -94,10 +97,24 @@ def solver_path_counts() -> Dict[str, int]:
         return dict(_SOLVER_PATH_COUNTS)
 
 
+def record_backend_path(name: str) -> None:
+    """Tally one ``Γn`` LP decision served by the named solver backend."""
+    with _PATH_LOCK:
+        _BACKEND_PATH_COUNTS[name] = _BACKEND_PATH_COUNTS.get(name, 0) + 1
+
+
+def backend_path_counts() -> Dict[str, int]:
+    """A snapshot of how many ``Γn`` LP decisions each backend served."""
+    with _PATH_LOCK:
+        return dict(_BACKEND_PATH_COUNTS)
+
+
 def reset_solver_path_counts() -> None:
     with _PATH_LOCK:
         for key in _SOLVER_PATH_COUNTS:
             _SOLVER_PATH_COUNTS[key] = 0
+        for key in _BACKEND_PATH_COUNTS:
+            _BACKEND_PATH_COUNTS[key] = 0
 
 
 @dataclass(frozen=True)
@@ -147,6 +164,13 @@ def _resolve_lazy(lazy_rows, method: str) -> Optional[str]:
     return resolve_method(method, lazy_rows.row_count)
 
 
+def _resolve_backend(backend):
+    """Resolve a ``backend`` knob to an :class:`~repro.lp.backends.LPBackend`."""
+    from repro.lp.backends import resolve_backend
+
+    return resolve_backend(backend)
+
+
 def _prepend_homogeneous_rows(cone_rows, A, b, width: int):
     """Stack homogeneous rows ``cone_rows·x ≤ 0`` above explicit ``A x ≤ b``.
 
@@ -193,6 +217,7 @@ def minimize(
     lazy_rows=None,
     method: str = "dense",
     rowgen_options=None,
+    backend="auto",
 ) -> LPResult:
     """Minimize ``objective · x`` subject to ``A_ub x ≤ b_ub`` and ``A_eq x = b_eq``.
 
@@ -202,8 +227,11 @@ def minimize(
     When ``lazy_rows`` is given, its implicit homogeneous rows ``A x ≥ 0``
     join the constraints through the path selected by ``method`` (see the
     module docstring); ``"rowgen"`` requires ``A_eq`` to be empty and relies
-    on ``bounds`` to keep every relaxation bounded.
+    on ``bounds`` to keep every relaxation bounded.  ``backend`` picks the
+    solver backend (see :mod:`repro.lp.backends`); the default ``"auto"``
+    uses ``highspy`` directly when it is installed and scipy otherwise.
     """
+    backend = _resolve_backend(backend)
     resolved = _resolve_lazy(lazy_rows, method)
     if resolved == "rowgen":
         if A_eq is not None or b_eq is not None:
@@ -217,31 +245,23 @@ def minimize(
             b_ub=b_ub,
             bounds=bounds,
             options=rowgen_options,
+            backend=backend,
         )
     objective = np.asarray(objective, dtype=float)
     if resolved == "dense":
         A_ub, b_ub = _append_lazy_dense(lazy_rows, A_ub, b_ub, objective.shape[0])
     width = objective.shape[0]
-    # A single (min, max) pair applies to every variable — scipy broadcasts
-    # it, which avoids materializing a 2^n-entry bounds list per solve.
-    result = linprog(
-        c=objective,
+    # A single (min, max) pair applies to every variable — the backends
+    # broadcast it, which avoids materializing a 2^n-entry bounds list per
+    # solve.
+    return backend.solve(
+        objective,
         A_ub=_as_array(A_ub, width),
         b_ub=None if b_ub is None else np.asarray(b_ub, dtype=float),
         A_eq=_as_array(A_eq, width),
         b_eq=None if b_eq is None else np.asarray(b_eq, dtype=float),
         bounds=bounds if bounds is not None else (0, None),
-        method="highs",
     )
-    if result.status == 0:
-        return LPResult(
-            status=LPStatus.OPTIMAL, objective=float(result.fun), solution=result.x
-        )
-    if result.status == 2:
-        return LPResult(status=LPStatus.INFEASIBLE, objective=None, solution=None)
-    if result.status == 3:
-        return LPResult(status=LPStatus.UNBOUNDED, objective=None, solution=None)
-    raise LPError(f"linear program failed: {result.message}")
 
 
 def minimize_many(
@@ -254,15 +274,18 @@ def minimize_many(
     lazy_rows=None,
     method: str = "dense",
     rowgen_options=None,
+    backend="auto",
 ) -> List[LPResult]:
     """Minimize several objectives over one shared polyhedron.
 
     The constraint data is normalized once and reused for every objective.
-    scipy's ``linprog`` does not expose HiGHS basis hand-off between calls,
-    so the solves themselves are sequential; callers that only need
-    feasibility verdicts for *independent* systems should prefer
-    :func:`solve_feasibility_blocks`, which shares a single invocation (and
-    is what the batch containment engine uses).
+    On the scipy backend the solves themselves are sequential and cold
+    (``linprog`` does not expose HiGHS basis hand-off between calls); the
+    ``highs`` backend keeps one incremental model alive and only swaps the
+    objective, so each solve warm-starts from the previous basis.  Callers
+    that only need feasibility verdicts for *independent* systems should
+    prefer :func:`solve_feasibility_blocks`, which shares a single
+    invocation (and is what the batch containment engine uses).
 
     With ``lazy_rows`` and a resolved ``"rowgen"`` method the objectives
     share one growing active row set — cuts found for an early objective
@@ -270,6 +293,7 @@ def minimize_many(
     """
     if not objectives:
         return []
+    backend = _resolve_backend(backend)
     resolved = _resolve_lazy(lazy_rows, method)
     if resolved == "rowgen":
         if A_eq is not None or b_eq is not None:
@@ -283,6 +307,7 @@ def minimize_many(
             b_ub=b_ub,
             bounds=bounds,
             options=rowgen_options,
+            backend=backend,
         )
     first = np.asarray(objectives[0], dtype=float)
     width = first.shape[0]
@@ -293,35 +318,30 @@ def minimize_many(
     A_eq = _as_array(A_eq, width)
     b_eq = None if b_eq is None else np.asarray(b_eq, dtype=float)
     bounds = bounds if bounds is not None else (0, None)
-    results: List[LPResult] = []
+    normalized: List[np.ndarray] = []
     for objective in objectives:
         objective = np.asarray(objective, dtype=float)
         if objective.shape[0] != width:
             raise LPError("all objectives must have the same number of variables")
-        result = linprog(
-            c=objective,
-            A_ub=A_ub,
-            b_ub=b_ub,
-            A_eq=A_eq,
-            b_eq=b_eq,
-            bounds=bounds,
-            method="highs",
+        normalized.append(objective)
+    if backend.incremental and A_eq is None:
+        # One persistent model; only the objective changes between solves,
+        # so every solve after the first warm-starts from the previous basis.
+        model = backend.incremental_model(
+            width, normalized[0], bounds=bounds, A_fixed=A_ub, b_fixed=b_ub
         )
-        if result.status == 0:
-            results.append(
-                LPResult(
-                    status=LPStatus.OPTIMAL,
-                    objective=float(result.fun),
-                    solution=result.x,
-                )
-            )
-        elif result.status == 2:
-            results.append(LPResult(status=LPStatus.INFEASIBLE, objective=None, solution=None))
-        elif result.status == 3:
-            results.append(LPResult(status=LPStatus.UNBOUNDED, objective=None, solution=None))
-        else:
-            raise LPError(f"linear program failed: {result.message}")
-    return results
+        results: List[LPResult] = []
+        for k, objective in enumerate(normalized):
+            if k:
+                model.set_objective(objective)
+            results.append(model.solve())
+        return results
+    return [
+        backend.solve(
+            objective, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds
+        )
+        for objective in normalized
+    ]
 
 
 @dataclass(frozen=True)
@@ -364,6 +384,7 @@ def solve_feasibility_blocks(
     lazy_rows=None,
     method: str = "dense",
     rowgen_options=None,
+    backend="auto",
 ) -> List[BlockFeasibilityResult]:
     """Decide many independent feasibility systems in one HiGHS invocation.
 
@@ -390,12 +411,17 @@ def solve_feasibility_blocks(
     """
     if not blocks:
         return []
+    backend = _resolve_backend(backend)
     resolved = _resolve_lazy(lazy_rows, method)
     if resolved == "rowgen":
         from repro.lp.rowgen import solve_feasibility_blocks_lazy
 
         return solve_feasibility_blocks_lazy(
-            blocks, lazy_rows, slack_threshold, options=rowgen_options
+            blocks,
+            lazy_rows,
+            slack_threshold,
+            options=rowgen_options,
+            backend=backend,
         )
     if resolved == "dense":
         cone_rows = -lazy_rows.full_matrix()
@@ -456,26 +482,22 @@ def solve_feasibility_blocks(
     objective = np.zeros(total_columns)
     objective[offset:] = 1.0
 
-    result = linprog(
-        c=objective,
-        A_ub=A,
-        b_ub=b,
-        bounds=(0, None),
-        method="highs",
-    )
-    if result.status != 0:
+    result = backend.solve(objective, A_ub=A, b_ub=b, bounds=(0, None))
+    if result.status != LPStatus.OPTIMAL:
         # The stacked LP is always feasible (x = 0 with large enough slacks
         # whenever every b_hard ≥ 0) and bounded below by 0.
-        raise LPError(f"block feasibility program failed: {result.message}")
+        raise LPError(f"block feasibility program failed: {result.status}")
 
     outcomes: List[BlockFeasibilityResult] = []
     for i, block in enumerate(blocks):
-        slack = float(result.x[offset + i])
+        slack = float(result.solution[offset + i])
         feasible = slack < slack_threshold
         solution = None
         if feasible:
             start = column_offsets[i]
-            solution = np.asarray(result.x[start : start + block.num_variables])
+            solution = np.asarray(
+                result.solution[start : start + block.num_variables]
+            )
         outcomes.append(
             BlockFeasibilityResult(feasible=feasible, solution=solution, slack=slack)
         )
@@ -492,11 +514,12 @@ def check_feasibility(
     lazy_rows=None,
     method: str = "dense",
     rowgen_options=None,
+    backend="auto",
 ) -> Tuple[bool, Optional[np.ndarray]]:
     """Decide non-emptiness of a polyhedron; return a feasible point if any.
 
     The objective is identically zero, so any feasible point is optimal.
-    ``lazy_rows``/``method`` behave as in :func:`minimize`.
+    ``lazy_rows``/``method``/``backend`` behave as in :func:`minimize`.
     """
     result = minimize(
         objective=np.zeros(num_variables),
@@ -508,6 +531,7 @@ def check_feasibility(
         lazy_rows=lazy_rows,
         method=method,
         rowgen_options=rowgen_options,
+        backend=backend,
     )
     if result.status == LPStatus.OPTIMAL:
         return True, result.solution

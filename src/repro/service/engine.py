@@ -8,7 +8,7 @@ of them at once:
 
 * **Shannon-cone requests** (``over="gamma"`` — the hot path: every pair's
   Theorem 3.1 / Theorem 4.2 check issues exactly one) are grouped by ground
-  arity.  Each group's inequalities are renamed onto a shared canonical
+  arity (and seed hint).  Each group's inequalities are renamed onto a shared canonical
   ground tuple — an order-preserving positional rename, so the LP matrices
   are bit-for-bit the ones the sequential path would build — and decided in
   chunks through :func:`repro.infotheory.maxiip.decide_max_ii_many`, which
@@ -47,6 +47,7 @@ from repro.exceptions import ReproError
 from repro.infotheory.expressions import MaxInformationInequality
 from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii, decide_max_ii_many
 from repro.infotheory.setfunction import SetFunction
+from repro.lp.backends import BACKEND_NAMES
 from repro.service.stats import GroupTiming, ServiceStats
 
 
@@ -125,6 +126,10 @@ class BatchEngine:
     lp_method:
         ``Γn`` LP path for every cone decision (``"dense" | "rowgen" |
         "auto"``; see :mod:`repro.lp.rowgen`).
+    lp_backend:
+        Solver backend for every LP solve (``"auto" | "scipy" | "highs" |
+        "scipy-incremental"``; see :mod:`repro.lp.backends`).  ``"auto"``
+        drives ``highspy`` directly when installed and falls back to scipy.
     """
 
     def __init__(
@@ -135,6 +140,7 @@ class BatchEngine:
         on_error: str = "raise",
         stats: Optional[ServiceStats] = None,
         lp_method: str = "auto",
+        lp_backend: str = "auto",
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
@@ -144,12 +150,15 @@ class BatchEngine:
             raise ValueError("on_error must be 'raise' or 'capture'")
         if lp_method not in ("dense", "rowgen", "auto"):
             raise ValueError("lp_method must be 'dense', 'rowgen' or 'auto'")
+        if lp_backend not in BACKEND_NAMES:
+            raise ValueError(f"lp_backend must be one of {BACKEND_NAMES}")
         self.chunk_size = chunk_size
         self.max_workers = max_workers
         self.pair_budget = pair_budget
         self.on_error = on_error
         self.stats = stats if stats is not None else ServiceStats()
         self.lp_method = lp_method
+        self.lp_backend = lp_backend
 
     # ------------------------------------------------------------------ #
     # Pipeline advancement
@@ -214,7 +223,12 @@ class BatchEngine:
         rows = sum(len(max_ii.branches) for max_ii in renamed)
         started = time.perf_counter()
         verdicts = decide_max_ii_many(
-            renamed, over="gamma", ground=canonical, lp_method=self.lp_method
+            renamed,
+            over="gamma",
+            ground=canonical,
+            lp_method=self.lp_method,
+            lp_backend=self.lp_backend,
+            seed=chunk[0].request.seed,
         )
         self.stats.record_chunk(
             GroupTiming(
@@ -238,22 +252,28 @@ class BatchEngine:
             over=request.over,
             ground=request.ground,
             lp_method=self.lp_method,
+            lp_backend=self.lp_backend,
+            seed=request.seed,
         )
 
     def _answer_round(
         self, pending: List[_PairRun], pool: Optional[ThreadPoolExecutor]
     ) -> List[Tuple[_PairRun, MaxIIVerdict]]:
         self.stats.lp_requests += len(pending)
-        grouped: Dict[int, List[_PairRun]] = {}
+        # Group by (arity, seed): all of a chunk's requests share one block
+        # LP, so they must agree on the ``Γn`` seed row set too (in practice
+        # every pipeline's gamma request carries seed="containment").
+        grouped: Dict[Tuple[int, str], List[_PairRun]] = {}
         scalar: List[_PairRun] = []
         for run in pending:
             if run.request.over == "gamma":
-                grouped.setdefault(len(run.request.ground), []).append(run)
+                key = (len(run.request.ground), run.request.seed)
+                grouped.setdefault(key, []).append(run)
             else:
                 scalar.append(run)
         chunks: List[List[_PairRun]] = []
-        for size in sorted(grouped):
-            group = grouped[size]
+        for key in sorted(grouped):
+            group = grouped[key]
             for start in range(0, len(group), self.chunk_size):
                 chunks.append(group[start : start + self.chunk_size])
         tasks: List[Callable[[], object]] = [

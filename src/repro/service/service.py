@@ -39,10 +39,13 @@ class BatchOptions:
     ``method``, ``max_witness_rows`` and ``refutation_effort`` are forwarded
     to every pair's pipeline (same meaning as in
     :func:`repro.core.containment.decide_containment`).  ``chunk_size``,
-    ``max_workers``, ``pair_budget``, ``on_error`` and ``lp_method``
+    ``max_workers``, ``pair_budget``, ``on_error``, ``lp_method`` and ``lp_backend``
     configure the engine (see :class:`repro.service.engine.BatchEngine`;
     ``lp_method`` picks the ``Γn`` LP path — dense elemental matrix vs.
-    lazy row generation).  ``cache_size`` bounds the plan cache (``None`` =
+    lazy row generation — and ``lp_backend`` the solver backend, scipy's
+    one-shot HiGHS vs. the native incremental ``highspy`` driver with
+    ``"auto"`` preferring the latter when installed).
+    ``cache_size`` bounds the plan cache (``None`` =
     unbounded) and ``canonicalize`` switches the isomorphism-aware dedup on
     or off (off, only the LP grouping remains).
     """
@@ -57,6 +60,7 @@ class BatchOptions:
     cache_size: Optional[int] = 4096
     canonicalize: bool = True
     lp_method: str = "auto"
+    lp_backend: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -135,6 +139,7 @@ class ContainmentService:
             on_error=options.on_error,
             stats=self.stats,
             lp_method=options.lp_method,
+            lp_backend=options.lp_backend,
         )
         self.stats.pairs_submitted += len(pairs)
 

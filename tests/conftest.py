@@ -1,27 +1,41 @@
 """Shared fixtures: the paper's running examples and small helper queries.
 
-The terminal-summary hook reports solver-path coverage: how many ``Γn``
-cone decisions ran through the dense elemental matrix vs. lazy row
-generation during the session.  The tier-1 CI job greps this line to prove
-that both LP paths were exercised.
+The terminal-summary hook reports solver-path coverage along two axes: how
+many ``Γn`` cone decisions ran through the dense elemental matrix vs. lazy
+row generation, and how many were served by each solver backend (scipy's
+one-shot HiGHS, the incremental test loop, native ``highspy``).  The tier-1
+CI job greps this line to prove that every path that should have run did:
+``dense``, ``rowgen`` and the ``scipy`` backend always, the ``highs``
+backend only on legs where ``highspy`` is installed.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.lp.solver import solver_path_counts
+from repro.lp.backends import highs_available
+from repro.lp.solver import backend_path_counts, solver_path_counts
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     counts = solver_path_counts()
-    if not any(counts.values()):
+    backends = backend_path_counts()
+    if not any(counts.values()) and not any(backends.values()):
         return
     missing = [name for name in ("dense", "rowgen") if not counts.get(name)]
+    # The scipy fallback must always be exercised; the optional highspy
+    # backend only counts as missing when it is actually installed.
+    expected_backends = ["scipy"] + (["highs"] if highs_available() else [])
+    missing += [
+        f"backend:{name}" for name in expected_backends if not backends.get(name)
+    ]
+    shown_backends = sorted(backends, key=lambda name: (name != "scipy", name))
     terminalreporter.write_sep("-", "solver-path coverage")
     terminalreporter.write_line(
         "solver-path coverage: "
         + ", ".join(f"{name}={counts.get(name, 0)}" for name in ("dense", "rowgen"))
+        + "; backend "
+        + ", ".join(f"{name}={backends.get(name, 0)}" for name in shown_backends)
         + ("" if not missing else f"  (WARNING: {', '.join(missing)} never exercised)")
     )
 

@@ -1,10 +1,13 @@
-"""Replay the frozen containment corpus through both LP solver paths.
+"""Replay the frozen containment corpus through every LP solver path.
 
 Every entry of ``containment_corpus.json`` is a pair with a known verdict
 (paper examples plus deterministic batch-workload seeds).  The replay runs
-each pair through the sequential driver with ``lp_method="dense"`` and
-``"rowgen"``, and through the batch service with both methods — any future
-solver change that flips a verdict fails loudly with the pair's name.
+each pair through the sequential driver and the batch service across
+``lp_method`` (dense / rowgen) *and* ``lp_backend`` (scipy / the
+incremental loop / native highspy) — any future solver change that flips a
+verdict fails loudly with the pair's name.  The ``highs`` column is skipped
+cleanly when ``highspy`` is not installed and replays the full corpus
+through the warm-started backend when it is.
 
 Regenerate (only for deliberate corpus extensions) with::
 
@@ -21,10 +24,22 @@ import pytest
 from repro.core.containment import decide_containment
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery
+from repro.lp.backends import highs_available
 from repro.service import decide_containment_many
 
 CORPUS_PATH = Path(__file__).with_name("containment_corpus.json")
 CORPUS = json.loads(CORPUS_PATH.read_text())["pairs"]
+
+BACKENDS = [
+    "scipy",
+    "scipy-incremental",
+    pytest.param(
+        "highs",
+        marks=pytest.mark.skipif(
+            not highs_available(), reason="highspy is not installed"
+        ),
+    ),
+]
 
 
 def deserialize_query(record) -> ConjunctiveQuery:
@@ -47,23 +62,25 @@ def test_corpus_is_intact():
     assert statuses == {"contained", "not_contained"}
 
 
+@pytest.mark.parametrize("lp_backend", BACKENDS)
 @pytest.mark.parametrize("lp_method", ["dense", "rowgen"])
 @pytest.mark.parametrize("entry", CORPUS, ids=[e["name"] for e in CORPUS])
-def test_sequential_replay_matches_frozen_verdict(entry, lp_method):
+def test_sequential_replay_matches_frozen_verdict(entry, lp_method, lp_backend):
     q1, q2 = load_pair(entry)
-    result = decide_containment(q1, q2, lp_method=lp_method)
+    result = decide_containment(q1, q2, lp_method=lp_method, lp_backend=lp_backend)
     assert result.status.value == entry["status"], (
-        f"{entry['name']}: frozen {entry['status']!r} but {lp_method} path "
-        f"returned {result.status.value!r}"
+        f"{entry['name']}: frozen {entry['status']!r} but {lp_method}/{lp_backend} "
+        f"path returned {result.status.value!r}"
     )
 
 
+@pytest.mark.parametrize("lp_backend", BACKENDS)
 @pytest.mark.parametrize("lp_method", ["dense", "rowgen"])
 @pytest.mark.parametrize("chunk_size", [1, 32])
-def test_batch_replay_matches_frozen_verdicts(lp_method, chunk_size):
+def test_batch_replay_matches_frozen_verdicts(lp_method, chunk_size, lp_backend):
     pairs = [load_pair(entry) for entry in CORPUS]
     results = decide_containment_many(
-        pairs, lp_method=lp_method, chunk_size=chunk_size
+        pairs, lp_method=lp_method, chunk_size=chunk_size, lp_backend=lp_backend
     )
     got = [result.status.value for result in results]
     expected = [entry["status"] for entry in CORPUS]
