@@ -1,0 +1,109 @@
+"""E16 — daemon round-trip overhead and warm-cache serving (PR 5).
+
+Quantifies what the persistent daemon buys and costs:
+
+* **protocol overhead** — a ``ping`` round trip over the Unix socket (wire
+  framing, connection setup, dispatch; no containment work at all);
+* **cold batch via daemon** vs. **in-process service** on the same 16-pair
+  workload — the socket/JSON tax on a real request (each round runs against
+  a fresh daemon-side cache by varying the workload seed);
+* **warm batch via daemon** — the same 16 pairs replayed against a warm
+  plan cache: this is the steady state the daemon exists for (every pair is
+  answered from the structural-hash cache, zero LP solves).
+
+The daemon is served from a background thread in this process; that shares
+CPU with the client but spares the benchmark a ~1s interpreter start per
+daemon, and socket latency — the quantity of interest — is unaffected.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import BatchOptions, ContainmentService
+from repro.service.daemon import DaemonClient, ShedOptions, serve
+from repro.service.protocol import parse_address
+from repro.workloads.generators import mixed_containment_pairs
+
+WORKLOAD_SIZE = 16
+
+
+def _query_text(query):
+    """Serialize a query back into the parser syntax the wire carries."""
+    body = ", ".join(str(atom) for atom in query.atoms)
+    if query.head:
+        return f"({', '.join(query.head)}) :- {body}"
+    return body
+
+
+def _pair_texts(seed):
+    return [
+        (_query_text(q1), _query_text(q2))
+        for q1, q2 in mixed_containment_pairs(WORKLOAD_SIZE, seed=seed)
+    ]
+
+
+@pytest.fixture
+def daemon_client(tmp_path):
+    socket_path = str(tmp_path / "bench-daemon.sock")
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=serve,
+        args=(parse_address(socket_path),),
+        kwargs={
+            "options": BatchOptions(on_error="capture"),
+            "shed": ShedOptions(),
+            "ready_callback": lambda daemon: ready.set(),
+        },
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(timeout=10)
+    client = DaemonClient(socket_path, timeout=120.0)
+    yield client
+    client.stop()
+    thread.join(timeout=10)
+
+
+def test_daemon_ping_roundtrip(benchmark, record, daemon_client):
+    result = benchmark(daemon_client.ping)
+    assert result["ok"]
+    record(experiment="E16", quantity="ping round trip")
+
+
+def test_daemon_batch_cold(benchmark, record, daemon_client):
+    seeds = iter(range(10_000))
+
+    def cold_batch():
+        # A fresh seed per round: the daemon's plan cache never hits, so the
+        # measurement is pipeline + LP work + the socket/JSON tax.
+        return daemon_client.batch(_pair_texts(seed=next(seeds)))
+
+    response = benchmark(cold_batch)
+    assert response.ok and len(response.verdicts) == WORKLOAD_SIZE
+    record(experiment="E16", quantity="cold 16-pair batch via daemon")
+
+
+def test_daemon_batch_warm(benchmark, record, daemon_client):
+    texts = _pair_texts(seed=0)
+    daemon_client.batch(texts)  # warm the plan cache once
+
+    def warm_batch():
+        return daemon_client.batch(texts)
+
+    response = benchmark(warm_batch)
+    assert response.ok
+    assert all(verdict.source == "plan-cache" for verdict in response.verdicts)
+    record(experiment="E16", quantity="warm 16-pair batch via daemon")
+
+
+def test_in_process_batch_cold(benchmark, record):
+    seeds = iter(range(10_000))
+
+    def cold_batch():
+        pairs = mixed_containment_pairs(WORKLOAD_SIZE, seed=next(seeds))
+        return ContainmentService(BatchOptions(on_error="capture")).run(pairs)
+
+    report = benchmark(cold_batch)
+    assert len(report.results) == WORKLOAD_SIZE
+    record(experiment="E16", quantity="cold 16-pair batch in-process")

@@ -235,14 +235,11 @@ def decomposition_gap(
         missing = sorted(entropy.ground_set - covered)
         raise StructureError(f"decomposition does not cover attributes {missing}")
     total = 0.0
-    previous: FrozenSet[str] = frozenset()
     union_so_far: FrozenSet[str] = frozenset()
     for bag in bag_sets:
         separator = bag & union_so_far
         total += entropy.conditional(bag, separator)
         union_so_far |= bag
-        previous = bag
-    del previous
     gap = total - entropy(entropy.ground_set)
     return max(gap, 0.0) if abs(gap) <= tolerance else gap
 

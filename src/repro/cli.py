@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four sub-commands expose the main workflows::
+Five sub-commands expose the main workflows::
 
     python -m repro contain "R(x,y), R(y,z), R(z,x)" "R(a,b), R(a,c)"
     python -m repro inspect "A(y1,y2), B(y1,y3), C(y4,y2)"
     python -m repro dominate --base "R:0,1;1,2;2,0" --dominating "R:a,b;a,c"
     python -m repro batch pairs.txt --jobs 4 --stats
+    python -m repro daemon start --jobs 4 && python -m repro batch pairs.txt --daemon
 
 ``contain`` decides bag containment and prints the verdict, the decision
 method and (for refutations) the witness database.  ``inspect`` reports the
@@ -13,7 +14,10 @@ structural properties that determine which fragment of the paper a query
 falls into.  ``dominate`` runs the DOM problem on two structures given in a
 compact facts syntax (``Rel:v1,v2;v1,v3 Rel2:...``).  ``batch`` reads a file
 of query pairs and decides them all through the batch containment service,
-emitting one JSON verdict per line.
+emitting one JSON verdict per line.  ``daemon`` manages the persistent
+containment daemon (``start``/``run``/``stop``/``status``): a long-lived
+process whose plan cache and warm provers survive across ``batch --daemon``
+invocations (see :mod:`repro.service.daemon`).
 
 The ``batch`` input format is one pair per line, either as the two query
 bodies separated by ``|``::
@@ -44,6 +48,17 @@ from repro.cq.query import ConjunctiveQuery
 from repro.cq.structures import Structure
 from repro.exceptions import ReproError
 from repro.service import BatchOptions, ContainmentService
+from repro.service.daemon import (
+    DaemonClient,
+    DaemonUnavailable,
+    ShedOptions,
+    default_socket_path,
+    serve,
+    spawn_daemon,
+    stop_daemon,
+)
+from repro.service.engine import WORKER_MODES
+from repro.service.protocol import PRIORITIES, SHED_POLICIES, parse_address
 
 
 def _parse_structure(text: str) -> Structure:
@@ -116,8 +131,15 @@ def _cmd_dominate(args, out) -> int:
     return 0 if result.status.value != "unknown" else 2
 
 
-def _parse_pair_line(line: str, line_number: int) -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
-    """Parse one ``batch`` input line (``Q1 | Q2`` or a JSON object)."""
+def _parse_pair_line(
+    line: str, line_number: int
+) -> Tuple[Tuple[ConjunctiveQuery, ConjunctiveQuery], Tuple[str, str]]:
+    """Parse one ``batch`` input line (``Q1 | Q2`` or a JSON object).
+
+    Returns the parsed pair together with the raw body texts (the daemon
+    path re-sends the texts over the wire; parsing here still validates them
+    client-side first).
+    """
     if line.lstrip().startswith("{"):
         try:
             record = json.loads(line)
@@ -137,31 +159,110 @@ def _parse_pair_line(line: str, line_number: int) -> Tuple[ConjunctiveQuery, Con
                 f"line {line_number}: expected 'Q1 | Q2' (exactly one '|' separator)"
             )
         q1_text, q2_text = parts
-    return (
-        parse_query(q1_text.strip(), name=f"Q1@{line_number}"),
-        parse_query(q2_text.strip(), name=f"Q2@{line_number}"),
+    q1_text, q2_text = q1_text.strip(), q2_text.strip()
+    pair = (
+        parse_query(q1_text, name=f"Q1@{line_number}"),
+        parse_query(q2_text, name=f"Q2@{line_number}"),
     )
+    return pair, (q1_text, q2_text)
 
 
-def _read_pairs(path: str) -> List[Tuple[ConjunctiveQuery, ConjunctiveQuery]]:
+def _read_pairs(
+    path: str,
+) -> Tuple[List[Tuple[ConjunctiveQuery, ConjunctiveQuery]], List[Tuple[str, str]]]:
     if path == "-":
         lines = sys.stdin.read().splitlines()
     else:
         with open(path, "r", encoding="utf-8") as handle:
             lines = handle.read().splitlines()
     pairs = []
+    texts = []
     for line_number, line in enumerate(lines, start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        pairs.append(_parse_pair_line(stripped, line_number))
+        pair, pair_texts = _parse_pair_line(stripped, line_number)
+        pairs.append(pair)
+        texts.append(pair_texts)
     if not pairs:
         raise ReproError("the batch input contains no query pairs")
-    return pairs
+    return pairs, texts
+
+
+def _batch_exit_code(statuses: Sequence[str]) -> int:
+    return 0 if all(status != "unknown" for status in statuses) else 2
+
+
+#: Engine flags the batch subparser accepts but a daemon cannot honour per
+#: request (it decides with the configuration it was started with):
+#: (args attribute, parser default, flag spelling).
+_DAEMON_SIDE_FLAGS = (
+    ("method", "auto", "--method"),
+    ("lp_method", "auto", "--lp-method"),
+    ("lp_backend", "auto", "--lp-backend"),
+    ("chunk_size", 32, "--chunk-size"),
+    ("jobs", 1, "--jobs"),
+    ("worker_mode", "auto", "--worker-mode"),
+    ("budget", None, "--budget"),
+)
+
+
+def _batch_via_daemon(args, pairs, texts, out) -> Optional[int]:
+    """Decide the batch through a daemon; None means "fall back in-process"."""
+    overridden = [
+        flag
+        for attribute, default, flag in _DAEMON_SIDE_FLAGS
+        if getattr(args, attribute) != default
+    ]
+    if overridden:
+        print(
+            f"note: {', '.join(overridden)} configure the engine and are ignored "
+            "with --daemon — the daemon decides with the settings it was started "
+            "with (they apply again if this request falls back in-process)",
+            file=sys.stderr,
+        )
+    address = args.daemon if args.daemon else None
+    client = DaemonClient(address)
+    try:
+        response = client.batch(
+            texts, deadline_seconds=args.deadline, priority=args.priority
+        )
+    except DaemonUnavailable as error:
+        if args.daemon_only:
+            raise
+        print(
+            f"note: {error}; deciding in-process instead", file=sys.stderr
+        )
+        return None
+    if not response.ok:
+        # The daemon answered but shed the request (queue-full under the
+        # reject policy) — an explicit overload answer, not an outage, so
+        # no silent in-process fallback that would defeat the shedding.
+        print(f"error: daemon refused the batch: {response.error}", file=out)
+        return 3
+    for verdict, (q1, q2) in zip(response.verdicts, pairs):
+        record = {
+            "index": verdict.index,
+            "status": verdict.status,
+            "method": verdict.method,
+            "source": verdict.source,
+            "q1": str(q1),
+            "q2": str(q2),
+        }
+        if verdict.witness_rows is not None:
+            record["witness_rows"] = verdict.witness_rows
+        print(json.dumps(record), file=out)
+    if args.stats:
+        print(json.dumps({"stats": response.stats}), file=sys.stderr)
+    return _batch_exit_code([verdict.status for verdict in response.verdicts])
 
 
 def _cmd_batch(args, out) -> int:
-    pairs = _read_pairs(args.pairs_file)
+    pairs, texts = _read_pairs(args.pairs_file)
+    if args.daemon is not None:
+        code = _batch_via_daemon(args, pairs, texts, out)
+        if code is not None:
+            return code
     service = ContainmentService(
         BatchOptions(
             method=args.method,
@@ -171,6 +272,8 @@ def _cmd_batch(args, out) -> int:
             on_error="capture",
             lp_method=args.lp_method,
             lp_backend=args.lp_backend,
+            worker_mode=args.worker_mode,
+            deadline=args.deadline,
         )
     )
     report = service.run(pairs)
@@ -190,10 +293,97 @@ def _cmd_batch(args, out) -> int:
         print(json.dumps(record), file=out)
     if args.stats:
         print(json.dumps({"stats": report.stats}), file=sys.stderr)
-    unknown = sum(
-        1 for outcome in report.outcomes if outcome.result.status.value == "unknown"
+    return _batch_exit_code(
+        [outcome.result.status.value for outcome in report.outcomes]
     )
-    return 0 if unknown == 0 else 2
+
+
+# ---------------------------------------------------------------------- #
+# Daemon management
+# ---------------------------------------------------------------------- #
+def _daemon_options(args) -> BatchOptions:
+    return BatchOptions(
+        method=args.method,
+        chunk_size=args.chunk_size,
+        max_workers=args.jobs,
+        pair_budget=args.budget,
+        on_error="capture",
+        lp_method=args.lp_method,
+        lp_backend=args.lp_backend,
+        worker_mode=args.worker_mode,
+    )
+
+
+def _daemon_shed(args) -> ShedOptions:
+    return ShedOptions(
+        max_queue_depth=args.max_queue_depth,
+        policy=args.shed_policy,
+        degrade_pair_budget=args.degrade_budget,
+        default_deadline=args.default_deadline,
+    )
+
+
+def _daemon_run_args(args) -> List[str]:
+    """Re-serialize the engine/shedding flags for the detached child."""
+    forwarded = [
+        "--method", args.method,
+        "--lp-method", args.lp_method,
+        "--lp-backend", args.lp_backend,
+        "--worker-mode", args.worker_mode,
+        "--chunk-size", str(args.chunk_size),
+        "--jobs", str(args.jobs),
+        "--shed-policy", args.shed_policy,
+        "--degrade-budget", str(args.degrade_budget),
+    ]
+    if args.budget is not None:
+        forwarded += ["--budget", str(args.budget)]
+    if args.max_queue_depth is not None:
+        forwarded += ["--max-queue-depth", str(args.max_queue_depth)]
+    if args.default_deadline is not None:
+        forwarded += ["--default-deadline", str(args.default_deadline)]
+    return forwarded
+
+
+def _cmd_daemon_run(args, out) -> int:
+    address = parse_address(args.socket)
+
+    def announce(daemon):
+        print(f"daemon pid {daemon.status()['pid']} serving at {address}", file=out)
+        if out is sys.stdout:
+            out.flush()
+
+    serve(
+        address,
+        options=_daemon_options(args),
+        shed=_daemon_shed(args),
+        ready_callback=announce,
+    )
+    print("daemon stopped", file=out)
+    return 0
+
+
+def _cmd_daemon_start(args, out) -> int:
+    pid = spawn_daemon(
+        args.socket,
+        extra_args=_daemon_run_args(args),
+        log_path=args.log,
+    )
+    print(f"daemon started: pid {pid}, address {args.socket}", file=out)
+    return 0
+
+
+def _cmd_daemon_stop(args, out) -> int:
+    stop_daemon(args.socket)
+    print(f"daemon at {args.socket} stopped", file=out)
+    return 0
+
+
+def _cmd_daemon_status(args, out) -> int:
+    status = DaemonClient(args.socket).status()
+    status.pop("ok", None)
+    status.pop("protocol", None)
+    print(json.dumps(status, indent=2, sort_keys=True), file=out)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,18 +435,111 @@ def build_parser() -> argparse.ArgumentParser:
         "pairs_file",
         help="path to the pairs file ('-' for stdin); one 'Q1 | Q2' or JSON pair per line",
     )
+    _add_engine_arguments(batch)
     batch.add_argument(
+        "--daemon",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="ADDRESS",
+        help=(
+            "send the batch to a running containment daemon instead of solving "
+            "in-process (socket path or host:port; no value = the default "
+            f"socket, {default_socket_path()}).  Falls back to in-process "
+            "solving when no daemon is reachable."
+        ),
+    )
+    batch.add_argument(
+        "--daemon-only",
+        action="store_true",
+        help="with --daemon: fail instead of falling back when no daemon answers",
+    )
+    batch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock deadline in seconds for the whole batch (daemon: queue "
+            "wait included); undecided pairs report unknown/deadline-exceeded"
+        ),
+    )
+    batch.add_argument(
+        "--priority",
+        default="normal",
+        choices=list(PRIORITIES),
+        help="daemon queue priority of this request (default normal)",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service statistics as JSON to stderr after the verdicts",
+    )
+    batch.set_defaults(handler=_cmd_batch)
+
+    daemon = subparsers.add_parser(
+        "daemon",
+        help="manage the persistent containment daemon (warm caches across runs)",
+    )
+    daemon_commands = daemon.add_subparsers(dest="daemon_command", required=True)
+
+    def add_address(sub):
+        sub.add_argument(
+            "--socket",
+            default=default_socket_path(),
+            metavar="ADDRESS",
+            help=(
+                "daemon endpoint: a Unix socket path, or host:port for the "
+                f"localhost TCP fallback (default {default_socket_path()})"
+            ),
+        )
+
+    run = daemon_commands.add_parser(
+        "run", help="run a daemon in the foreground until 'repro daemon stop'"
+    )
+    add_address(run)
+    _add_engine_arguments(run)
+    _add_shed_arguments(run)
+    run.set_defaults(handler=_cmd_daemon_run)
+
+    start = daemon_commands.add_parser(
+        "start", help="start a detached daemon and wait until it answers pings"
+    )
+    add_address(start)
+    _add_engine_arguments(start)
+    _add_shed_arguments(start)
+    start.add_argument(
+        "--log",
+        default=None,
+        help="daemon log file (default: a repro-daemon-<pid>.log under the temp dir)",
+    )
+    start.set_defaults(handler=_cmd_daemon_start)
+
+    stop = daemon_commands.add_parser("stop", help="ask the daemon to shut down")
+    add_address(stop)
+    stop.set_defaults(handler=_cmd_daemon_stop)
+
+    status = daemon_commands.add_parser(
+        "status", help="print the daemon's status and stats snapshot as JSON"
+    )
+    add_address(status)
+    status.set_defaults(handler=_cmd_daemon_status)
+    return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The service/engine knobs shared by ``batch`` and ``daemon run/start``."""
+    parser.add_argument(
         "--method",
         default="auto",
         choices=["auto", "theorem-3.1", "sufficient", "brute-force"],
     )
-    batch.add_argument(
+    parser.add_argument(
         "--lp-method",
         default="auto",
         choices=["auto", "dense", "rowgen"],
         help="Γn LP path: full elemental matrix vs lazy row generation (default auto)",
     )
-    batch.add_argument(
+    parser.add_argument(
         "--lp-backend",
         default="auto",
         choices=["auto", "scipy", "highs", "scipy-incremental"],
@@ -265,31 +548,65 @@ def build_parser() -> argparse.ArgumentParser:
             "highspy driver (default auto = highs when installed, else scipy)"
         ),
     )
-    batch.add_argument(
+    parser.add_argument(
         "--chunk-size",
         type=int,
         default=32,
         help="max Γn decisions folded into one block-LP solve (default 32)",
     )
-    batch.add_argument(
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
-        help="worker threads for pipeline advancement and LP solving (default 1)",
+        help="workers for pipeline advancement (threads or processes; default 1)",
     )
-    batch.add_argument(
+    parser.add_argument(
+        "--worker-mode",
+        default="auto",
+        choices=list(WORKER_MODES),
+        help=(
+            "how --jobs workers run the query-side pipeline stages: threads "
+            "in-process, or worker processes for the GIL-bound stages "
+            "(default auto = thread)"
+        ),
+    )
+    parser.add_argument(
         "--budget",
         type=float,
         default=None,
         help="per-pair wall-clock budget in seconds (over-budget pairs report unknown)",
     )
-    batch.add_argument(
-        "--stats",
-        action="store_true",
-        help="print service statistics as JSON to stderr after the verdicts",
+
+
+def _add_shed_arguments(parser: argparse.ArgumentParser) -> None:
+    """The daemon's admission-control knobs."""
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="max batch requests in the daemon at once (default: unbounded)",
     )
-    batch.set_defaults(handler=_cmd_batch)
-    return parser
+    parser.add_argument(
+        "--shed-policy",
+        default="reject",
+        choices=list(SHED_POLICIES),
+        help=(
+            "what happens to requests over --max-queue-depth: reject with a "
+            "queue-full answer, or degrade (run with --degrade-budget per pair)"
+        ),
+    )
+    parser.add_argument(
+        "--degrade-budget",
+        type=float,
+        default=1.0,
+        help="per-pair budget (seconds) the degrade policy clamps to (default 1.0)",
+    )
+    parser.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline for batch requests that do not carry their own (seconds)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:

@@ -29,7 +29,7 @@ The reduction runs in three stages, mirroring the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.cq.decompositions import is_acyclic
 from repro.cq.query import Atom, ConjunctiveQuery

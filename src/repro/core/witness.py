@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 from repro.cq.homomorphism import count_query_homomorphisms

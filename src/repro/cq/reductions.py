@@ -23,7 +23,7 @@ import itertools
 from typing import Dict, Iterable, Tuple
 
 from repro.cq.query import Atom, ConjunctiveQuery
-from repro.cq.structures import Relation, Structure
+from repro.cq.structures import Structure
 from repro.exceptions import ReductionError
 
 

@@ -17,7 +17,7 @@ identifies queries with structures as in Section 2.2 of the paper.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -30,7 +30,6 @@ from typing import (
 
 from repro.cq.query import ConjunctiveQuery, Vocabulary
 from repro.exceptions import StructureError
-from repro.utils.ordering import canonical_order, stable_unique
 
 Fact = Tuple[str, Tuple]
 

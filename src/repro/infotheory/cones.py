@@ -30,7 +30,7 @@ import scipy.sparse as sp
 from repro.infotheory.expressions import LinearExpression
 from repro.infotheory.functions import modular_function, normal_function, step_function
 from repro.infotheory.imeasure import is_normal_function
-from repro.infotheory.polymatroid import elemental_inequalities, is_modular, is_polymatroid
+from repro.infotheory.polymatroid import is_modular, is_polymatroid
 from repro.infotheory.setfunction import SetFunction
 from repro.lp.backends import resolve_backend
 from repro.lp.rowgen import RowGenOptions, resolve_method, shannon_row_oracle

@@ -18,7 +18,7 @@ expression ``E_T`` is transported along homomorphisms ``Q2 → Q1``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
 
 from repro.exceptions import ExpressionError
 from repro.infotheory.setfunction import SetFunction

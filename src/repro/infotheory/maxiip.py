@@ -23,7 +23,6 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.infotheory.cones import cone_by_name
 from repro.infotheory.expressions import (
     InformationInequality,
-    LinearExpression,
     MaxInformationInequality,
 )
 from repro.infotheory.setfunction import SetFunction

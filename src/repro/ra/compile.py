@@ -25,7 +25,7 @@ Two evaluation entry points are provided:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.cq.decompositions import is_acyclic, join_tree
 from repro.cq.query import Atom, ConjunctiveQuery

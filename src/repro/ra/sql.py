@@ -14,7 +14,7 @@ columns.  Boolean queries become a plain ``SELECT COUNT(*)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cq.query import ConjunctiveQuery, Vocabulary
 from repro.exceptions import QueryError

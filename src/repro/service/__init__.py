@@ -14,7 +14,13 @@ turns the library into a serving system that absorbs *workloads* of pairs:
 * :mod:`repro.service.service` — the user-facing :class:`ContainmentService`
   and the :func:`decide_containment_many` convenience entry point;
 * :mod:`repro.service.stats` — service-level statistics (cache hits, LP
-  solves avoided, per-group timings).
+  solves avoided, shed/deadline counters, per-group timings);
+* :mod:`repro.service.protocol` — the JSONL wire protocol spoken between
+  the daemon and its clients;
+* :mod:`repro.service.daemon` — the persistent daemon: a long-lived server
+  process that keeps one warm service (plan cache, cached provers, lattice
+  contexts) alive across CLI invocations, with admission control
+  (queue-depth shedding, per-request deadlines, priorities).
 
 Quickstart
 ----------
@@ -30,7 +36,17 @@ Quickstart
 
 from repro.service.canonical import canonical_query, canonical_query_key, pair_key
 from repro.service.cache import PlanCache
-from repro.service.engine import BatchEngine
+from repro.service.daemon import (
+    ContainmentDaemon,
+    DaemonClient,
+    DaemonUnavailable,
+    ShedOptions,
+    daemon_available,
+    default_socket_path,
+    spawn_daemon,
+    stop_daemon,
+)
+from repro.service.engine import BatchEngine, PipelineSpec, PipelineStep, PipelineTask
 from repro.service.service import (
     BatchOptions,
     BatchReport,
@@ -44,13 +60,24 @@ __all__ = [
     "BatchEngine",
     "BatchOptions",
     "BatchReport",
+    "ContainmentDaemon",
     "ContainmentService",
+    "DaemonClient",
+    "DaemonUnavailable",
     "GroupTiming",
     "PairOutcome",
+    "PipelineSpec",
+    "PipelineStep",
+    "PipelineTask",
     "PlanCache",
     "ServiceStats",
+    "ShedOptions",
     "canonical_query",
     "canonical_query_key",
+    "daemon_available",
     "decide_containment_many",
+    "default_socket_path",
     "pair_key",
+    "spawn_daemon",
+    "stop_daemon",
 ]

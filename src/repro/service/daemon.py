@@ -1,0 +1,616 @@
+"""The persistent containment daemon: one warm service, many CLI clients.
+
+A single CLI invocation builds its :class:`~repro.service.service.ContainmentService`
+from scratch: empty plan cache, cold ``lru_cache``\\ d provers, cold lattice
+contexts.  The daemon keeps one service alive in a long-lived process and
+serves batch requests over the JSONL protocol of
+:mod:`repro.service.protocol`, so *everything* that warms up stays warm
+across client invocations — the structural-hash plan cache answers repeats
+without any pipeline work, and repeated arities reuse the cached provers and
+lattice contexts.
+
+Transport is a Unix domain socket by default (filesystem permissions are the
+access control), with a localhost TCP fallback for platforms or containers
+without ``AF_UNIX``.  Each client connection is handled on its own thread;
+batch execution itself is serialized through a priority-aware gate (the
+service's caches and counters are not designed for concurrent mutation), so
+the gate's wait line *is* the daemon's queue:
+
+* ``max_queue_depth`` bounds that line.  An over-limit request is either
+  turned away immediately (``shed_policy="reject"``: the client gets a
+  ``queue-full`` response and decides itself whether to fall back in
+  process) or run with a clamped per-pair budget
+  (``shed_policy="degrade"``: every pair still gets an answer, but slow
+  pairs come back UNKNOWN ``"budget-exhausted"`` instead of holding the
+  line up).
+* A request's ``deadline_seconds`` covers its *total* daemon wall clock,
+  queue wait included: whatever remains when the gate admits it becomes the
+  batch deadline, and pairs the engine cannot decide in time are reported
+  as UNKNOWN ``"deadline-exceeded"`` verdicts, never an error.
+* ``priority`` (``high``/``normal``/``low``) orders the wait line.
+
+The module also provides the client side (:class:`DaemonClient`) and the
+process-management helpers the CLI uses (:func:`spawn_daemon`,
+:func:`stop_daemon`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import socket
+import socketserver
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cq.parser import parse_query
+from repro.exceptions import ReproError
+from repro.service.protocol import (
+    PRIORITIES,
+    SHED_POLICIES,
+    Address,
+    BatchRequest,
+    BatchResponse,
+    ControlRequest,
+    PairSpec,
+    PairVerdict,
+    ProtocolError,
+    encode_batch_response,
+    encode_request,
+    encode_response,
+    parse_address,
+    parse_batch_response,
+    parse_request,
+    parse_response,
+)
+from repro.service.service import BatchOptions, ContainmentService
+
+
+class DaemonUnavailable(ReproError):
+    """No daemon is reachable at the requested address."""
+
+
+#: Sentinel distinguishing "use the client's default timeout" from None.
+_USE_DEFAULT = object()
+
+
+def default_socket_path() -> str:
+    """The per-user default Unix socket path."""
+    uid = os.getuid() if hasattr(os, "getuid") else "any"
+    return os.path.join(tempfile.gettempdir(), f"repro-daemon-{uid}.sock")
+
+
+@dataclass(frozen=True)
+class ShedOptions:
+    """Admission-control knobs of a daemon.
+
+    ``max_queue_depth`` bounds the number of batch requests in the daemon at
+    once (running + waiting); ``None`` means unbounded.  ``policy`` picks
+    what happens to a request that arrives over the bound, and
+    ``degrade_pair_budget`` is the per-pair budget (seconds) the
+    ``"degrade"`` policy clamps to.  ``default_deadline`` applies to batch
+    requests that do not carry their own ``deadline_seconds``.
+    """
+
+    max_queue_depth: Optional[int] = None
+    policy: str = "reject"
+    degrade_pair_budget: float = 1.0
+    default_deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive (or None)")
+        if self.policy not in SHED_POLICIES:
+            raise ValueError(f"policy must be one of {SHED_POLICIES}")
+        if self.degrade_pair_budget <= 0:
+            raise ValueError("degrade_pair_budget must be positive")
+
+
+class ServiceGate:
+    """Serializes batch execution, draining waiters by (priority, arrival).
+
+    The gate is the daemon's queue: one request runs at a time, the rest
+    wait here.  Admission control happens *inside* :meth:`acquire`, under
+    the same lock that owns the wait line — checking the depth first and
+    joining afterwards would let a burst of concurrent arrivals all pass
+    the check and blow through ``max_queue_depth``, which is exactly the
+    load the bound exists for.
+    """
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._running = False
+        self._waiting: List[Tuple[int, int]] = []  # heap of (priority_rank, seq)
+        self._sequence = 0
+
+    def depth(self) -> int:
+        with self._condition:
+            return len(self._waiting) + (1 if self._running else 0)
+
+    def waiting(self) -> int:
+        with self._condition:
+            return len(self._waiting)
+
+    def acquire(
+        self,
+        priority: str = "normal",
+        max_depth: Optional[int] = None,
+        overflow: str = "join",
+    ) -> str:
+        """Join the line (depth permitting) and wait for the gate.
+
+        Atomically checks the line against ``max_depth`` and joins it in one
+        critical section.  Returns ``"acquired"`` when admitted under the
+        bound; ``"acquired-over"`` when the line was full but
+        ``overflow="join"`` admitted the request anyway (the degrade
+        policy); ``"rejected"`` — without joining or waiting — when the
+        line was full and ``overflow="reject"``.
+        """
+        rank = PRIORITIES.index(priority)
+        with self._condition:
+            over = (
+                max_depth is not None
+                and len(self._waiting) + (1 if self._running else 0) >= max_depth
+            )
+            if over and overflow == "reject":
+                return "rejected"
+            self._sequence += 1
+            ticket = (rank, self._sequence)
+            heapq.heappush(self._waiting, ticket)
+            while self._running or self._waiting[0] != ticket:
+                self._condition.wait()
+            heapq.heappop(self._waiting)
+            self._running = True
+            return "acquired-over" if over else "acquired"
+
+    def release(self) -> None:
+        with self._condition:
+            self._running = False
+            self._condition.notify_all()
+
+
+class ContainmentDaemon:
+    """The daemon's request brain: one persistent service plus admission.
+
+    Deliberately transport-free — :meth:`handle_line` maps one request line
+    to one response line, so tests can drive the full shedding/deadline
+    logic without opening a socket; :func:`serve` plugs it into
+    ``socketserver``.
+    """
+
+    def __init__(
+        self,
+        options: Optional[BatchOptions] = None,
+        shed: Optional[ShedOptions] = None,
+    ):
+        self.service = ContainmentService(options)
+        self.shed = shed if shed is not None else ShedOptions()
+        self.gate = ServiceGate()
+        self.started_at = time.time()
+        self.requests_served = 0
+        self.stopping = threading.Event()
+        self.address: Optional[Address] = None  # set by serve()
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    def handle_line(self, line: bytes) -> str:
+        """Answer one request line with one response line (never raises)."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as error:
+            return encode_response({"ok": False, "error": str(error)})
+        if isinstance(request, ControlRequest):
+            if request.op == "ping":
+                return encode_response({"ok": True, "op": "ping", "pid": os.getpid()})
+            if request.op == "status":
+                return encode_response({"ok": True, **self.status()})
+            self.stopping.set()
+            return encode_response({"ok": True, "stopping": True})
+        return encode_batch_response(self.handle_batch(request))
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "pid": os.getpid(),
+            "uptime_seconds": time.time() - self.started_at,
+            "address": str(self.address) if self.address is not None else None,
+            "queue_depth": self.gate.depth(),
+            "requests_served": self.requests_served,
+            "shed": {
+                "max_queue_depth": self.shed.max_queue_depth,
+                "policy": self.shed.policy,
+                "degrade_pair_budget": self.shed.degrade_pair_budget,
+                "default_deadline": self.shed.default_deadline,
+            },
+            "plan_cache_entries": len(self.service.cache),
+            "stats": self.service.stats.as_dict(),
+        }
+
+    def handle_batch(self, request: BatchRequest) -> BatchResponse:
+        """Run one batch request through admission, the gate and the service."""
+        try:
+            pairs = [
+                (parse_query(spec.q1, name=f"Q1#{i}"), parse_query(spec.q2, name=f"Q2#{i}"))
+                for i, spec in enumerate(request.pairs)
+            ]
+        except ReproError as error:
+            return BatchResponse(ok=False, error=f"unparseable pair: {error}")
+
+        deadline = request.deadline_seconds
+        if deadline is None:
+            deadline = self.shed.default_deadline
+        submitted = time.perf_counter()
+        admission = self.gate.acquire(
+            request.priority,
+            max_depth=self.shed.max_queue_depth,
+            overflow="reject" if self.shed.policy == "reject" else "join",
+        )
+        if admission == "rejected":
+            self.service.stats.count_request_rejected()
+            return BatchResponse(
+                ok=False,
+                error="queue-full",
+                shed="rejected",
+                stats=self.service.stats.as_dict(),
+            )
+        degraded = admission == "acquired-over"
+        try:
+            service = self.service
+            if degraded:
+                self.service.stats.count_request_degraded()
+                budget = service.options.pair_budget
+                budget = (
+                    self.shed.degrade_pair_budget
+                    if budget is None
+                    else min(budget, self.shed.degrade_pair_budget)
+                )
+                service = self._degraded_service(budget)
+            if deadline is not None:
+                # The deadline covers queue wait too: only the remainder is
+                # left for the engine.
+                remaining = max(0.0, deadline - (time.perf_counter() - submitted))
+                report = service.run(pairs, deadline=remaining)
+            else:
+                report = service.run(pairs)
+            self.requests_served += 1
+        except Exception as error:  # noqa: BLE001 - the daemon must answer
+            # on_error="capture" absorbs per-pair ReproErrors, but a daemon
+            # cannot afford *any* escaping exception: it would kill the
+            # handler thread mid-request, the client would read EOF, and a
+            # poisoned pair could defeat the daemon on every retry.  Answer
+            # ok=false instead and stay alive.
+            return BatchResponse(
+                ok=False,
+                error=f"internal error deciding the batch: {error!r}",
+                stats=self.service.stats.as_dict(),
+            )
+        finally:
+            self.gate.release()
+        verdicts = []
+        for outcome in report.outcomes:
+            witness_rows = None
+            if outcome.result.witness is not None:
+                witness_rows = sum(1 for _ in outcome.result.witness.database.facts())
+            verdicts.append(
+                PairVerdict(
+                    index=outcome.index,
+                    status=outcome.result.status.value,
+                    method=outcome.result.method,
+                    source=outcome.source,
+                    witness_rows=witness_rows,
+                )
+            )
+        return BatchResponse(
+            ok=True, verdicts=tuple(verdicts), stats=report.stats, degraded=degraded
+        )
+
+    def _degraded_service(self, pair_budget: float) -> ContainmentService:
+        """A view of the persistent service with the degrade budget applied.
+
+        Shares the cache and stats objects, so degraded requests still warm
+        (and profit from) the same plan cache.
+        """
+        degraded = ContainmentService.__new__(ContainmentService)
+        degraded.options = replace(self.service.options, pair_budget=pair_budget)
+        degraded.stats = self.service.stats
+        degraded.cache = self.service.cache
+        return degraded
+
+
+# ---------------------------------------------------------------------- #
+# The socket server
+# ---------------------------------------------------------------------- #
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        daemon: ContainmentDaemon = self.server.containment_daemon
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            response = daemon.handle_line(line)
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if daemon.stopping.is_set():
+                # Acknowledge first, then bring the server down from a side
+                # thread (shutdown() deadlocks when called from a handler).
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
+                return
+
+
+class _ThreadingMixIn(socketserver.ThreadingMixIn):
+    daemon_threads = True
+
+
+if hasattr(socketserver, "UnixStreamServer"):
+
+    class _UnixServer(_ThreadingMixIn, socketserver.UnixStreamServer):
+        allow_reuse_address = True
+
+else:  # pragma: no cover - non-POSIX platforms
+    _UnixServer = None
+
+
+class _TCPServer(_ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+
+
+def make_server(daemon: ContainmentDaemon, address: Address):
+    """Bind a threading socketserver for ``daemon`` at ``address``."""
+    if address.kind == "unix":
+        if _UnixServer is None or not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+            raise DaemonUnavailable(
+                "this platform has no AF_UNIX; use a host:port TCP address"
+            )
+        if os.path.exists(address.path):
+            # A previous daemon may have crashed without unlinking.  Refuse
+            # to steal a *live* socket; replace a dead one.
+            if _probe(address, timeout=1.0):
+                raise DaemonUnavailable(f"a daemon is already serving {address.path}")
+            os.unlink(address.path)
+        server = _UnixServer(address.path, _Handler)
+    else:
+        server = _TCPServer((address.host, address.port), _Handler)
+    server.containment_daemon = daemon
+    daemon.address = address
+    return server
+
+
+def serve(
+    address: Address,
+    options: Optional[BatchOptions] = None,
+    shed: Optional[ShedOptions] = None,
+    ready_callback=None,
+) -> None:
+    """Run a daemon at ``address`` until a ``stop`` request arrives.
+
+    Blocks the calling thread; ``ready_callback`` (if given) fires with the
+    daemon once the socket is bound — tests use it to serve from a thread.
+    """
+    daemon = ContainmentDaemon(options=options, shed=shed)
+    server = make_server(daemon, address)
+    try:
+        if ready_callback is not None:
+            ready_callback(daemon)
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        daemon.service.close()
+        if address.kind == "unix" and os.path.exists(address.path):
+            os.unlink(address.path)
+
+
+# ---------------------------------------------------------------------- #
+# The client
+# ---------------------------------------------------------------------- #
+class DaemonClient:
+    """A line-oriented client for the daemon protocol.
+
+    One connection per request/response round trip: the daemon protocol is
+    stateless between lines, and short-lived connections keep the client
+    trivially robust against daemon restarts.
+    """
+
+    #: Slack added to a deadline-carrying batch's client-side timeout: the
+    #: daemon needs a moment beyond the deadline to assemble and ship the
+    #: (deadline-exceeded) response.
+    DEADLINE_MARGIN = 30.0
+
+    def __init__(self, address: Optional[str] = None, timeout: Optional[float] = 300.0):
+        text = address if address else default_socket_path()
+        self.address = parse_address(text) if isinstance(text, str) else text
+        self.timeout = timeout
+
+    def _roundtrip(self, line: str, timeout: object = _USE_DEFAULT) -> str:
+        timeout = self.timeout if timeout is _USE_DEFAULT else timeout
+        try:
+            sock = _connect(self.address, timeout)
+        except (OSError, ValueError) as error:
+            raise DaemonUnavailable(
+                f"no containment daemon reachable at {self.address}: {error}"
+            ) from None
+        try:
+            sock.sendall(line.encode("utf-8") + b"\n")
+            reader = sock.makefile("rb")
+            response = reader.readline()
+            if not response:
+                raise DaemonUnavailable(
+                    f"the daemon at {self.address} closed the connection mid-request"
+                )
+            return response.decode("utf-8")
+        except socket.timeout:
+            raise DaemonUnavailable(
+                f"the daemon at {self.address} timed out after {timeout}s"
+            ) from None
+        except OSError as error:
+            # e.g. a broken pipe against a daemon that is mid-shutdown.
+            raise DaemonUnavailable(
+                f"lost the connection to the daemon at {self.address}: {error}"
+            ) from None
+        finally:
+            sock.close()
+
+    def ping(self) -> Dict[str, object]:
+        return self._control("ping")
+
+    def status(self) -> Dict[str, object]:
+        return self._control("status")
+
+    def stop(self) -> Dict[str, object]:
+        return self._control("stop")
+
+    def _control(self, op: str) -> Dict[str, object]:
+        response = parse_response(self._roundtrip(encode_request(ControlRequest(op))))
+        if not response.get("ok"):
+            raise DaemonUnavailable(
+                f"daemon {op} failed: {response.get('error', 'unknown error')}"
+            )
+        return response
+
+    def batch(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        deadline_seconds: Optional[float] = None,
+        priority: str = "normal",
+    ) -> BatchResponse:
+        """Decide textual query pairs through the daemon.
+
+        The read timeout follows the request's deadline (plus a margin)
+        rather than the client's control-op timeout: a batch without a
+        deadline may legitimately take arbitrarily long, and timing out
+        client-side would abandon a request the daemon is still computing
+        (and, via the CLI fallback, recompute it locally on top).
+        """
+        request = BatchRequest(
+            pairs=tuple(PairSpec(q1=q1, q2=q2) for q1, q2 in pairs),
+            deadline_seconds=deadline_seconds,
+            priority=priority,
+        )
+        timeout = (
+            None
+            if deadline_seconds is None
+            else deadline_seconds + self.DEADLINE_MARGIN
+        )
+        return parse_batch_response(
+            self._roundtrip(encode_request(request), timeout=timeout)
+        )
+
+
+def _connect(address: Address, timeout: Optional[float]) -> socket.socket:
+    if address.kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        if address.kind == "unix":
+            sock.connect(address.path)
+        else:
+            sock.connect((address.host, address.port))
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def _probe(address: Address, timeout: float = 1.0) -> bool:
+    """True when something at ``address`` answers a ping."""
+    try:
+        response = DaemonClient(str(address), timeout=timeout).ping()
+    except (DaemonUnavailable, ProtocolError):
+        return False
+    return bool(response.get("ok"))
+
+
+def daemon_available(address: Optional[str] = None, timeout: float = 2.0) -> bool:
+    """True when a live daemon answers a ping at ``address``."""
+    text = address if address else default_socket_path()
+    return _probe(parse_address(text), timeout=timeout)
+
+
+# ---------------------------------------------------------------------- #
+# Process management (used by the CLI)
+# ---------------------------------------------------------------------- #
+def spawn_daemon(
+    address: Optional[str] = None,
+    extra_args: Sequence[str] = (),
+    wait_seconds: float = 15.0,
+    log_path: Optional[str] = None,
+) -> int:
+    """Start a detached daemon process and wait until it answers pings.
+
+    Returns the child pid.  ``extra_args`` are forwarded to
+    ``repro daemon run`` verbatim (engine and shedding flags).
+    """
+    text = address if address else default_socket_path()
+    if daemon_available(text, timeout=1.0):
+        raise DaemonUnavailable(f"a daemon is already running at {text}")
+    if log_path is None:
+        log_path = os.path.join(
+            tempfile.gettempdir(), f"repro-daemon-{os.getpid()}.log"
+        )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "daemon",
+        "run",
+        "--socket",
+        text,
+        *extra_args,
+    ]
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src_root
+    )
+    with open(log_path, "ab") as log:
+        child = subprocess.Popen(
+            command,
+            stdout=log,
+            stderr=log,
+            stdin=subprocess.DEVNULL,
+            start_new_session=True,
+            env=env,
+        )
+    waited = 0.0
+    while waited < wait_seconds:
+        if daemon_available(text, timeout=1.0):
+            return child.pid
+        if child.poll() is not None:
+            raise DaemonUnavailable(
+                f"the daemon process exited with code {child.returncode} before "
+                f"binding {text} (log: {log_path})"
+            )
+        time.sleep(0.1)
+        waited += 0.1
+    child.terminate()
+    raise DaemonUnavailable(
+        f"the daemon did not answer pings at {text} within {wait_seconds}s "
+        f"(log: {log_path})"
+    )
+
+
+def stop_daemon(
+    address: Optional[str] = None, wait_seconds: float = 10.0
+) -> Dict[str, object]:
+    """Send ``stop`` and wait for the endpoint to go quiet."""
+    text = address if address else default_socket_path()
+    client = DaemonClient(text, timeout=10.0)
+    response = client.stop()
+    waited = 0.0
+    while waited < wait_seconds:
+        if not daemon_available(text, timeout=0.5):
+            return response
+        time.sleep(0.1)
+        waited += 0.1
+    raise DaemonUnavailable(
+        f"the daemon at {text} acknowledged stop but is still answering after "
+        f"{wait_seconds}s"
+    )

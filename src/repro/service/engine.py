@@ -26,29 +26,65 @@ of them at once:
   constructions, and answering them from a joint solve could select a
   different vertex of the same polyhedron than the sequential path.
 
-Pipeline advancement and LP solving can be spread over a thread pool
-(``max_workers``); the query-side stages hold the GIL but the HiGHS solves
-release it, so chunks of different arity groups overlap.
+Worker modes
+------------
+``worker_mode`` selects how the *query-side* pipeline stages (Boolean
+reduction, inequality construction, homomorphism counting, witness
+building — all GIL-bound pure Python) are spread over workers:
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor` advances
+  pipelines and solves LP chunks concurrently.  The query-side stages still
+  serialize on the GIL, but the HiGHS solves release it, so chunks of
+  different arity groups overlap.  This is what ``"auto"`` currently
+  resolves to: it has no pickling overhead and is never slower than the
+  sequential path.
+* ``"process"`` — pipelines are advanced in a
+  :class:`~concurrent.futures.ProcessPoolExecutor` so the query-side stages
+  run on real parallel cores.  Generators cannot cross a process boundary,
+  so the engine ships a picklable :class:`PipelineTask` — the pair plus the
+  verdicts answered so far — and the worker *replays* the deterministic
+  pipeline against the recorded verdicts to reach its next request (or its
+  final result), returned as a picklable :class:`PipelineStep`.  LP solving
+  stays in the parent process, where the warm solver backends and the
+  grouped block-LP machinery live.  Replay re-executes earlier query-side
+  stages (pipelines issue at most three LP requests, so at most two
+  replays), which the per-pair budget accounting therefore counts; the
+  trade is worthwhile exactly when those stages dominate, which is the
+  workload this mode is for.
+
+Both modes drive the *same* pipeline generator with the same grouped LP
+answers, so their verdicts are pair-for-pair identical by construction.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.containment import (
     ConeDecisionRequest,
     ContainmentPipeline,
     ContainmentResult,
     ContainmentStatus,
+    containment_pipeline,
 )
+from repro.cq.query import ConjunctiveQuery
 from repro.exceptions import ReproError
 from repro.infotheory.expressions import MaxInformationInequality
 from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii, decide_max_ii_many
 from repro.infotheory.setfunction import SetFunction
 from repro.lp.backends import BACKEND_NAMES
 from repro.service.stats import GroupTiming, ServiceStats
+
+#: Valid ``worker_mode`` values; ``"auto"`` currently resolves to threads
+#: (zero pickling overhead; process mode is an explicit opt-in for
+#: query-side-dominated workloads until the crossover is measured).
+WORKER_MODES = ("thread", "process", "auto")
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
 
 
 def _canonical_ground(size: int) -> Tuple[str, ...]:
@@ -87,8 +123,96 @@ def _verdict_to_original(
     )
 
 
+# ---------------------------------------------------------------------- #
+# The picklable process-mode boundary
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A picklable description of one containment pipeline.
+
+    This is the request-side boundary of ``worker_mode="process"``: instead
+    of a live generator, the engine is handed the pair and the pipeline
+    parameters, from which either side of the process boundary can
+    (re)build the generator with :meth:`build`.
+    """
+
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+    method: str = "auto"
+    max_witness_rows: int = 1024
+    refutation_effort: int = 1
+
+    def build(self) -> ContainmentPipeline:
+        return containment_pipeline(
+            self.q1,
+            self.q2,
+            method=self.method,
+            max_witness_rows=self.max_witness_rows,
+            refutation_effort=self.refutation_effort,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineTask:
+    """One advancement order shipped to a worker process.
+
+    ``verdicts`` are the LP answers received so far, in request order; the
+    worker replays the (deterministic) pipeline against them and returns the
+    following :class:`PipelineStep`.
+    """
+
+    index: int
+    spec: PipelineSpec
+    verdicts: Tuple[MaxIIVerdict, ...] = ()
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """A worker's answer: the pipeline's next request, result or error.
+
+    Exactly one of ``request``, ``result`` and ``error`` is set.
+    ``elapsed`` is the worker-side wall clock of the whole advancement,
+    replayed stages included (replay is real CPU spent, so the per-pair
+    budget counts it).
+    """
+
+    index: int
+    request: Optional[ConeDecisionRequest] = None
+    result: Optional[ContainmentResult] = None
+    error: Optional[ReproError] = None
+    elapsed: float = 0.0
+
+
+def advance_pipeline_task(task: PipelineTask) -> PipelineStep:
+    """Replay a pipeline against its recorded verdicts; return the next step.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it by reference.  Also the ground truth for what the replay
+    contract *means*, and unit-testable without any pool.
+    """
+    started = time.perf_counter()
+    pipeline = task.spec.build()
+    try:
+        request = next(pipeline)
+        for verdict in task.verdicts:
+            request = pipeline.send(verdict)
+    except StopIteration as stop:
+        return PipelineStep(
+            index=task.index,
+            result=stop.value,
+            elapsed=time.perf_counter() - started,
+        )
+    except ReproError as error:
+        return PipelineStep(
+            index=task.index, error=error, elapsed=time.perf_counter() - started
+        )
+    return PipelineStep(
+        index=task.index, request=request, elapsed=time.perf_counter() - started
+    )
+
+
 class _PairRun:
-    """Bookkeeping for one pipeline driven by the engine."""
+    """Bookkeeping for one pipeline driven in-process (thread mode)."""
 
     __slots__ = ("pipeline", "request", "result", "error", "elapsed")
 
@@ -103,6 +227,34 @@ class _PairRun:
     def active(self) -> bool:
         return self.result is None and self.error is None
 
+    def close_pipeline(self) -> None:
+        self.pipeline.close()
+
+
+class _ProcessRun:
+    """Bookkeeping for one pipeline advanced by replay in worker processes."""
+
+    __slots__ = ("index", "spec", "verdicts", "request", "result", "error", "elapsed")
+
+    def __init__(self, index: int, spec: PipelineSpec):
+        self.index = index
+        self.spec = spec
+        self.verdicts: Tuple[MaxIIVerdict, ...] = ()
+        self.request: Optional[ConeDecisionRequest] = None
+        self.result: Optional[ContainmentResult] = None
+        self.error: Optional[Exception] = None
+        self.elapsed = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.result is None and self.error is None
+
+    def close_pipeline(self) -> None:
+        pass  # nothing lives in this process
+
+    def task(self) -> PipelineTask:
+        return PipelineTask(index=self.index, spec=self.spec, verdicts=self.verdicts)
+
 
 class BatchEngine:
     """Round-based driver for a batch of containment pipelines.
@@ -113,16 +265,26 @@ class BatchEngine:
         Maximum number of same-arity Shannon-cone requests folded into one
         block-LP solve.
     max_workers:
-        Thread-pool width for pipeline advancement and LP solving
-        (1 = fully inline).
+        Worker-pool width for pipeline advancement and (in thread mode) LP
+        solving (1 = fully inline).
     pair_budget:
         Optional per-pair wall-clock budget in seconds, measured over the
         pair's pipeline stages.  A pair that exceeds it is closed out with an
         UNKNOWN ``"budget-exhausted"`` result instead of blocking the batch.
+    deadline:
+        Optional wall-clock deadline in seconds for the *whole* run.  Checked
+        at round boundaries; pairs still unresolved when it expires are
+        closed out with UNKNOWN ``"deadline-exceeded"`` results (never an
+        exception — shed work is an answer, not a failure).  A deadline of 0
+        sheds everything before any pipeline work.
     on_error:
         ``"raise"`` propagates a pair's exception (mirroring the sequential
         loop); ``"capture"`` converts it into an UNKNOWN ``"error"`` result
         so one malformed pair cannot fail a whole batch.
+    worker_mode:
+        ``"thread" | "process" | "auto"`` — how the query-side pipeline
+        stages are parallelized (see the module docstring).  ``"auto"``
+        currently resolves to ``"thread"``.
     lp_method:
         ``Γn`` LP path for every cone decision (``"dense" | "rowgen" |
         "auto"``; see :mod:`repro.lp.rowgen`).
@@ -130,6 +292,12 @@ class BatchEngine:
         Solver backend for every LP solve (``"auto" | "scipy" | "highs" |
         "scipy-incremental"``; see :mod:`repro.lp.backends`).  ``"auto"``
         drives ``highspy`` directly when installed and falls back to scipy.
+    process_pool:
+        An externally owned :class:`~concurrent.futures.ProcessPoolExecutor`
+        to borrow for process-mode work instead of creating one per engine —
+        long-lived callers (the service, hence the daemon) amortize the
+        worker fork cost across runs this way.  Borrowed pools are never
+        shut down by :meth:`close`.
     """
 
     def __init__(
@@ -141,6 +309,9 @@ class BatchEngine:
         stats: Optional[ServiceStats] = None,
         lp_method: str = "auto",
         lp_backend: str = "auto",
+        worker_mode: str = "auto",
+        deadline: Optional[float] = None,
+        process_pool: Optional[ProcessPoolExecutor] = None,
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
@@ -152,17 +323,108 @@ class BatchEngine:
             raise ValueError("lp_method must be 'dense', 'rowgen' or 'auto'")
         if lp_backend not in BACKEND_NAMES:
             raise ValueError(f"lp_backend must be one of {BACKEND_NAMES}")
+        if worker_mode not in WORKER_MODES:
+            raise ValueError(f"worker_mode must be one of {WORKER_MODES}")
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be non-negative (or None)")
         self.chunk_size = chunk_size
         self.max_workers = max_workers
         self.pair_budget = pair_budget
+        self.deadline = deadline
         self.on_error = on_error
         self.stats = stats if stats is not None else ServiceStats()
         self.lp_method = lp_method
         self.lp_backend = lp_backend
+        self.worker_mode = worker_mode
+        # A caller-provided pool (e.g. a long-lived service amortizing the
+        # worker fork cost across runs) is borrowed, never shut down here.
+        self._process_pool = process_pool
+        self._owns_process_pool = process_pool is None
 
     # ------------------------------------------------------------------ #
-    # Pipeline advancement
+    # Worker-pool plumbing
     # ------------------------------------------------------------------ #
+    @property
+    def resolved_worker_mode(self) -> str:
+        """The concrete mode ``"auto"`` resolves to (currently threads)."""
+        if self.worker_mode == "auto":
+            return "thread"
+        return self.worker_mode
+
+    def process_pool(self) -> ProcessPoolExecutor:
+        """The engine's lazily created worker-process pool."""
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._process_pool
+
+    def close(self) -> None:
+        """Release the worker-process pool if this engine owns it (idempotent)."""
+        if self._process_pool is not None and self._owns_process_pool:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def map_query_side(
+        self, function: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> List[_ResultT]:
+        """Map a pure, picklable query-side function over ``items``.
+
+        In process mode with workers this fans out over the worker-process
+        pool (the service uses it for canonical-labeling keys, the other
+        GIL-bound stage); otherwise it runs inline — thread pools cannot help
+        pure Python work.
+        """
+        items = list(items)
+        if (
+            self.resolved_worker_mode == "process"
+            and self.max_workers > 1
+            and len(items) > 1
+        ):
+            chunksize = max(1, len(items) // (self.max_workers * 4))
+            return list(self.process_pool().map(function, items, chunksize=chunksize))
+        return [function(item) for item in items]
+
+    # ------------------------------------------------------------------ #
+    # Pipeline advancement (thread mode)
+    # ------------------------------------------------------------------ #
+    def _budget_result(self, elapsed: float) -> ContainmentResult:
+        return ContainmentResult(
+            status=ContainmentStatus.UNKNOWN,
+            method="budget-exhausted",
+            details={
+                "note": "per-pair budget exceeded inside the batch engine",
+                "budget_seconds": self.pair_budget,
+                "elapsed_seconds": elapsed,
+            },
+        )
+
+    def _deadline_result(self) -> ContainmentResult:
+        return ContainmentResult(
+            status=ContainmentStatus.UNKNOWN,
+            method="deadline-exceeded",
+            details={
+                "note": "the batch deadline expired before this pair was decided",
+                "deadline_seconds": self.deadline,
+            },
+        )
+
+    def _shed_expired(self, runs, deadline_at: Optional[float]) -> bool:
+        """Close every still-active run once the batch deadline has passed."""
+        if deadline_at is None or time.perf_counter() < deadline_at:
+            return False
+        for run in runs:
+            if run.active:
+                run.close_pipeline()
+                run.request = None
+                run.result = self._deadline_result()
+                self.stats.count_deadline_exceeded()
+        return True
+
     def _advance(self, run: _PairRun, verdict: Optional[MaxIIVerdict]) -> None:
         """Step one pipeline to its next request (or completion)."""
         started = time.perf_counter()
@@ -178,22 +440,17 @@ class BatchEngine:
             run.request = None
             run.error = error
         run.elapsed += time.perf_counter() - started
+        self._enforce_budget(run)
+
+    def _enforce_budget(self, run) -> None:
         if (
             run.active
             and self.pair_budget is not None
             and run.elapsed > self.pair_budget
         ):
-            run.pipeline.close()
+            run.close_pipeline()
             run.request = None
-            run.result = ContainmentResult(
-                status=ContainmentStatus.UNKNOWN,
-                method="budget-exhausted",
-                details={
-                    "note": "per-pair budget exceeded inside the batch engine",
-                    "budget_seconds": self.pair_budget,
-                    "elapsed_seconds": run.elapsed,
-                },
-            )
+            run.result = self._budget_result(run.elapsed)
             self.stats.count_over_budget()
 
     def _advance_all(
@@ -289,18 +546,28 @@ class BatchEngine:
         return answers
 
     # ------------------------------------------------------------------ #
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------ #
     def run(self, pipelines: Sequence[ContainmentPipeline]) -> List[ContainmentResult]:
-        """Drive every pipeline to completion; results in submission order."""
+        """Drive every pipeline to completion; results in submission order.
+
+        This is the in-process (thread-mode) driver; it accepts live
+        generators.  Process mode needs picklable inputs — use
+        :meth:`run_specs`.
+        """
         runs = [_PairRun(pipeline) for pipeline in pipelines]
         self.stats.pipelines_run += len(runs)
+        deadline_at = (
+            None if self.deadline is None else time.perf_counter() + self.deadline
+        )
         pool: Optional[ThreadPoolExecutor] = None
         try:
             if self.max_workers > 1:
                 pool = ThreadPoolExecutor(max_workers=self.max_workers)
-            self._advance_all([(run, None) for run in runs], pool)
+            if not self._shed_expired(runs, deadline_at):
+                self._advance_all([(run, None) for run in runs], pool)
             while True:
+                self._shed_expired(runs, deadline_at)
                 pending = [run for run in runs if run.active and run.request is not None]
                 if not pending:
                     break
@@ -309,7 +576,79 @@ class BatchEngine:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+        return self._collect(runs)
 
+    def run_specs(self, specs: Sequence[PipelineSpec]) -> List[ContainmentResult]:
+        """Drive a batch described by picklable :class:`PipelineSpec` objects.
+
+        Dispatches on the resolved worker mode: thread mode builds the
+        generators here and delegates to :meth:`run`; process mode replays
+        them in the worker-process pool (see the module docstring).
+        """
+        specs = list(specs)
+        if (
+            self.resolved_worker_mode == "process"
+            and self.max_workers > 1
+            and len(specs) > 1
+        ):
+            return self._run_process(specs)
+        return self.run([spec.build() for spec in specs])
+
+    def _run_process(self, specs: Sequence[PipelineSpec]) -> List[ContainmentResult]:
+        runs = [_ProcessRun(index, spec) for index, spec in enumerate(specs)]
+        self.stats.pipelines_run += len(runs)
+        deadline_at = (
+            None if self.deadline is None else time.perf_counter() + self.deadline
+        )
+        pool = self.process_pool()
+        # LP solving stays in this process: the grouped block solves and any
+        # warm backend state live here — but independent chunks still overlap
+        # on a thread pool exactly as in thread mode (HiGHS releases the GIL),
+        # so opting into process workers never serializes the LP rounds.
+        lp_pool: Optional[ThreadPoolExecutor] = None
+        to_advance: List[_ProcessRun] = list(runs)
+        try:
+            if self.max_workers > 1:
+                lp_pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            while True:
+                if self._shed_expired(runs, deadline_at):
+                    break
+                futures = [
+                    pool.submit(advance_pipeline_task, run.task()) for run in to_advance
+                ]
+                for run, future in zip(to_advance, futures):
+                    self._apply_step(run, future.result())
+                self._shed_expired(runs, deadline_at)
+                pending = [run for run in runs if run.active and run.request is not None]
+                if not pending:
+                    break
+                answers = self._answer_round(pending, lp_pool)
+                to_advance = []
+                for run, verdict in answers:
+                    if run.active:
+                        run.verdicts = run.verdicts + (verdict,)
+                        run.request = None
+                        to_advance.append(run)
+                if not to_advance:
+                    break
+        finally:
+            if lp_pool is not None:
+                lp_pool.shutdown(wait=True)
+        return self._collect(runs)
+
+    def _apply_step(self, run: _ProcessRun, step: PipelineStep) -> None:
+        run.elapsed += step.elapsed
+        if step.error is not None:
+            run.request = None
+            run.error = step.error
+        elif step.result is not None:
+            run.request = None
+            run.result = step.result
+        else:
+            run.request = step.request
+        self._enforce_budget(run)
+
+    def _collect(self, runs) -> List[ContainmentResult]:
         results: List[ContainmentResult] = []
         for run in runs:
             if run.error is not None:

@@ -14,22 +14,27 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.core.containment import (
-    ContainmentResult,
-    containment_pipeline,
-)
+from repro.core.containment import ContainmentResult
 from repro.cq.query import ConjunctiveQuery
 from repro.exceptions import QueryError
 from repro.service.cache import PlanCache
 from repro.service.canonical import pair_key
-from repro.service.engine import BatchEngine
+from repro.service.engine import BatchEngine, PipelineSpec
 from repro.service.stats import ServiceStats
 
 QueryPair = Tuple[ConjunctiveQuery, ConjunctiveQuery]
 
 #: Methods whose results are not worth caching (no verdict was established
 #: for reasons specific to this run, not to the pair).
-_UNCACHEABLE_METHODS = frozenset({"budget-exhausted", "error"})
+_UNCACHEABLE_METHODS = frozenset({"budget-exhausted", "deadline-exceeded", "error"})
+
+#: Sentinel distinguishing "no per-call deadline override" from None.
+_USE_OPTIONS_DEADLINE = object()
+
+
+def _pair_key_task(pair: QueryPair):
+    """Module-level (hence picklable) canonicalization step for pool fan-out."""
+    return pair_key(pair[0], pair[1])
 
 
 @dataclass(frozen=True)
@@ -48,6 +53,15 @@ class BatchOptions:
     ``cache_size`` bounds the plan cache (``None`` =
     unbounded) and ``canonicalize`` switches the isomorphism-aware dedup on
     or off (off, only the LP grouping remains).
+
+    ``worker_mode`` (``"thread" | "process" | "auto"``) selects how the
+    GIL-bound query-side pipeline stages are parallelized across
+    ``max_workers`` — threads in-process, or worker processes advancing
+    replayed pipelines while LP solving stays in-process (see
+    :mod:`repro.service.engine`).  ``deadline`` is an optional wall-clock
+    bound in seconds for each :meth:`ContainmentService.run` call: pairs
+    still undecided when it expires are reported as UNKNOWN
+    ``"deadline-exceeded"`` results in the batch report, never raised.
     """
 
     method: str = "auto"
@@ -61,6 +75,8 @@ class BatchOptions:
     canonicalize: bool = True
     lp_method: str = "auto"
     lp_backend: str = "auto"
+    worker_mode: str = "auto"
+    deadline: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -110,28 +126,62 @@ class ContainmentService:
         self.options = options
         self.stats = ServiceStats()
         self.cache = PlanCache(maxsize=options.cache_size)
+        # In process mode the worker pool is as much long-lived warm state as
+        # the plan cache: it lives on the service and is lent to each run's
+        # engine, so a persistent service (e.g. the daemon) pays the worker
+        # fork cost once, not per request.
+        self._process_pool = None
+
+    def _shared_process_pool(self):
+        if self.options.worker_mode != "process" or self.options.max_workers <= 1:
+            return None
+        if self._process_pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.options.max_workers
+            )
+        return self._process_pool
+
+    def close(self) -> None:
+        """Release the shared worker-process pool (idempotent)."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    def __enter__(self) -> "ContainmentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    def _pair_key(self, q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> Optional[Hashable]:
-        if not self.options.canonicalize:
-            return None
-        return pair_key(q1, q2)
-
-    def _pipeline(self, q1: ConjunctiveQuery, q2: ConjunctiveQuery):
-        return containment_pipeline(
-            q1,
-            q2,
+    def _spec(self, q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> PipelineSpec:
+        return PipelineSpec(
+            q1=q1,
+            q2=q2,
             method=self.options.method,
             max_witness_rows=self.options.max_witness_rows,
             refutation_effort=self.options.refutation_effort,
         )
 
-    def run(self, pairs: Sequence[QueryPair]) -> BatchReport:
-        """Decide a batch of pairs; full provenance and a stats snapshot."""
+    def run(
+        self,
+        pairs: Sequence[QueryPair],
+        *,
+        deadline: object = _USE_OPTIONS_DEADLINE,
+    ) -> BatchReport:
+        """Decide a batch of pairs; full provenance and a stats snapshot.
+
+        ``deadline`` overrides :attr:`BatchOptions.deadline` for this call
+        only (the daemon passes each request's remaining wall clock here).
+        """
         started = time.perf_counter()
         options = self.options
+        if deadline is _USE_OPTIONS_DEADLINE:
+            deadline = options.deadline
         engine = BatchEngine(
             chunk_size=options.chunk_size,
             max_workers=options.max_workers,
@@ -140,17 +190,35 @@ class ContainmentService:
             stats=self.stats,
             lp_method=options.lp_method,
             lp_backend=options.lp_backend,
+            worker_mode=options.worker_mode,
+            deadline=deadline,
+            process_pool=self._shared_process_pool(),
         )
         self.stats.pairs_submitted += len(pairs)
+        try:
+            return self._run_with_engine(engine, pairs, started)
+        finally:
+            engine.close()  # a no-op for the borrowed shared pool
+
+    def _run_with_engine(
+        self, engine: BatchEngine, pairs: Sequence[QueryPair], started: float
+    ) -> BatchReport:
+        for q1, q2 in pairs:
+            if not isinstance(q1, ConjunctiveQuery) or not isinstance(q2, ConjunctiveQuery):
+                raise QueryError("pairs must be (ConjunctiveQuery, ConjunctiveQuery) tuples")
+
+        # Canonical-labeling keys: pure GIL-bound query-side work, fanned out
+        # over the engine's worker processes in process mode.
+        if self.options.canonicalize and pairs:
+            keys = engine.map_query_side(_pair_key_task, pairs)
+        else:
+            keys = [None] * len(pairs)
 
         jobs: List[Tuple[QueryPair, Optional[Hashable]]] = []
         # Per input pair: ("cache", result) | ("job", job_index, source)
         placements: List[Tuple[str, object, str]] = []
         first_seen: Dict[Hashable, int] = {}
-        for q1, q2 in pairs:
-            if not isinstance(q1, ConjunctiveQuery) or not isinstance(q2, ConjunctiveQuery):
-                raise QueryError("pairs must be (ConjunctiveQuery, ConjunctiveQuery) tuples")
-            key = self._pair_key(q1, q2)
+        for (q1, q2), key in zip(pairs, keys):
             if key is not None:
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -165,7 +233,7 @@ class ContainmentService:
             placements.append(("job", len(jobs), "solved"))
             jobs.append(((q1, q2), key))
 
-        solved = engine.run([self._pipeline(q1, q2) for (q1, q2), _ in jobs])
+        solved = engine.run_specs([self._spec(q1, q2) for (q1, q2), _ in jobs])
         for ((_, _), key), result in zip(jobs, solved):
             if key is not None and result.method not in _UNCACHEABLE_METHODS:
                 self.cache.put(key, result)

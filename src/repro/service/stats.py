@@ -42,6 +42,12 @@ class ServiceStats:
     solves relative to the sequential path.  Cache hits and batch duplicates
     additionally avoid their pairs' *entire* pipelines (homomorphism
     enumeration, inequality construction and all LP work).
+
+    The shedding counters cover the service-protection knobs:
+    ``pairs_deadline_exceeded`` counts pairs closed out by a batch deadline,
+    ``requests_rejected`` whole requests turned away by a full admission
+    queue, and ``requests_degraded`` requests the ``"degrade"`` policy ran
+    with a clamped per-pair budget instead of rejecting.
     """
 
     pairs_submitted: int = 0
@@ -50,6 +56,9 @@ class ServiceStats:
     batch_duplicates: int = 0
     pair_errors: int = 0
     pairs_over_budget: int = 0
+    pairs_deadline_exceeded: int = 0
+    requests_rejected: int = 0
+    requests_degraded: int = 0
     lp_requests: int = 0
     block_solves: int = 0
     scalar_solves: int = 0
@@ -76,6 +85,18 @@ class ServiceStats:
         with self._lock:
             self.pairs_over_budget += 1
 
+    def count_deadline_exceeded(self) -> None:
+        with self._lock:
+            self.pairs_deadline_exceeded += 1
+
+    def count_request_rejected(self) -> None:
+        with self._lock:
+            self.requests_rejected += 1
+
+    def count_request_degraded(self) -> None:
+        with self._lock:
+            self.requests_degraded += 1
+
     def as_dict(self) -> Dict[str, object]:
         """A JSON-ready snapshot (group timings aggregated per arity)."""
         per_group: Dict[str, Dict[str, float]] = {}
@@ -95,6 +116,9 @@ class ServiceStats:
             "batch_duplicates": self.batch_duplicates,
             "pair_errors": self.pair_errors,
             "pairs_over_budget": self.pairs_over_budget,
+            "pairs_deadline_exceeded": self.pairs_deadline_exceeded,
+            "requests_rejected": self.requests_rejected,
+            "requests_degraded": self.requests_degraded,
             "lp_requests": self.lp_requests,
             "block_solves": self.block_solves,
             "scalar_solves": self.scalar_solves,

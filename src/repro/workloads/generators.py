@@ -7,7 +7,7 @@ property-based tests.  All of them are deterministic given a seed.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.cq.query import Atom, ConjunctiveQuery
 from repro.cq.structures import Structure
@@ -213,6 +213,45 @@ def _fresh_pair(
         star_query(generator.randint(1, 3)),
         star_query(generator.randint(1, 3)),
     )
+
+
+def stream_containment_pairs(
+    seed: int = 0,
+    duplicate_fraction: float = 0.2,
+    isomorphic_fraction: float = 0.2,
+    history_window: int = 64,
+) -> Iterator[Tuple[ConjunctiveQuery, ConjunctiveQuery]]:
+    """An endless stream of mixed containment pairs (the soak-test source).
+
+    Where :func:`mixed_containment_pairs` materializes a fixed batch, this
+    generator never terminates: callers take as many pairs as their soak run
+    wants (``itertools.islice``) and the daemon/batch layers consume them
+    incrementally.  The traffic shape matches the batch version — fresh
+    pairs from the family catalogue, salted with exact repeats and renamed
+    isomorphic copies of *recent* pairs — except that the dup/iso salting
+    draws from a sliding ``history_window`` instead of the full history, the
+    way serving traffic repeats recently-hot queries rather than arbitrarily
+    old ones.  Deterministic given ``seed``.
+    """
+    if history_window < 1:
+        raise ValueError("history_window must be at least 1")
+    generator = random.Random(seed)
+    recent: List[Tuple[ConjunctiveQuery, ConjunctiveQuery]] = []
+    emitted = 0
+    while True:
+        roll = generator.random()
+        if recent and roll < duplicate_fraction:
+            pair = recent[generator.randrange(len(recent))]
+        elif recent and roll < duplicate_fraction + isomorphic_fraction:
+            base = recent[generator.randrange(len(recent))]
+            pair = _rename_pair(*base, tag=emitted)
+        else:
+            pair = _fresh_pair(generator, emitted)
+            recent.append(pair)
+            if len(recent) > history_window:
+                del recent[0]
+        emitted += 1
+        yield pair
 
 
 def mixed_containment_pairs(

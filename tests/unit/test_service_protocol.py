@@ -1,0 +1,132 @@
+"""Tests for the daemon wire protocol (JSONL messages and addresses)."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    Address,
+    BatchRequest,
+    BatchResponse,
+    ControlRequest,
+    PairSpec,
+    PairVerdict,
+    ProtocolError,
+    encode_batch_response,
+    encode_request,
+    parse_address,
+    parse_batch_response,
+    parse_request,
+    parse_response,
+)
+
+
+class TestRequests:
+    @pytest.mark.parametrize("op", ["ping", "status", "stop"])
+    def test_control_round_trip(self, op):
+        line = encode_request(ControlRequest(op))
+        request = parse_request(line)
+        assert isinstance(request, ControlRequest)
+        assert request.op == op
+
+    def test_batch_round_trip(self):
+        request = BatchRequest(
+            pairs=(PairSpec("R(x,y)", "R(a,b)"), PairSpec("S(x)", "S(y)")),
+            deadline_seconds=12.5,
+            priority="high",
+        )
+        parsed = parse_request(encode_request(request))
+        assert parsed == request
+
+    def test_batch_defaults(self):
+        parsed = parse_request('{"op": "batch", "pairs": [{"q1": "R(x,y)", "q2": "R(y,x)"}]}')
+        assert parsed.deadline_seconds is None
+        assert parsed.priority == "normal"
+
+    def test_bytes_accepted(self):
+        assert parse_request(b'{"op": "ping"}') == ControlRequest("ping")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"op": "reboot"}',
+            '{"op": "batch"}',
+            '{"op": "batch", "pairs": []}',
+            '{"op": "batch", "pairs": ["R(x,y)"]}',
+            '{"op": "batch", "pairs": [{"q1": "R(x,y)"}]}',
+            '{"op": "batch", "pairs": [{"q1": 3, "q2": "R(x,y)"}]}',
+            '{"op": "batch", "pairs": [{"q1": "a", "q2": "b"}], "deadline_seconds": -1}',
+            '{"op": "batch", "pairs": [{"q1": "a", "q2": "b"}], "deadline_seconds": true}',
+            '{"op": "batch", "pairs": [{"q1": "a", "q2": "b"}], "priority": "urgent"}',
+        ],
+    )
+    def test_malformed_requests_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request(line)
+
+
+class TestResponses:
+    def test_batch_response_round_trip(self):
+        response = BatchResponse(
+            ok=True,
+            verdicts=(
+                PairVerdict(0, "contained", "theorem-3.1", "solved"),
+                PairVerdict(1, "not_contained", "theorem-3.1", "plan-cache", witness_rows=4),
+            ),
+            stats={"cache_hits": 1},
+            degraded=True,
+        )
+        parsed = parse_batch_response(encode_batch_response(response))
+        assert parsed == response
+
+    def test_rejection_round_trip(self):
+        response = BatchResponse(
+            ok=False, error="queue-full", shed="rejected", stats={"requests_rejected": 1}
+        )
+        parsed = parse_batch_response(encode_batch_response(response))
+        assert not parsed.ok
+        assert parsed.error == "queue-full"
+        assert parsed.shed == "rejected"
+        assert parsed.stats == {"requests_rejected": 1}
+
+    def test_every_response_carries_protocol_version(self):
+        line = encode_batch_response(BatchResponse(ok=True))
+        assert json.loads(line)["protocol"] == 1
+
+    def test_response_requires_ok(self):
+        with pytest.raises(ProtocolError):
+            parse_response('{"verdicts": []}')
+
+    def test_batch_response_requires_verdict_list(self):
+        with pytest.raises(ProtocolError):
+            parse_batch_response('{"ok": true}')
+        with pytest.raises(ProtocolError):
+            parse_batch_response('{"ok": true, "verdicts": [{"index": 0}]}')
+
+
+class TestAddresses:
+    def test_unix_path(self):
+        address = parse_address("/tmp/repro.sock")
+        assert address == Address(kind="unix", path="/tmp/repro.sock")
+        assert str(address) == "/tmp/repro.sock"
+
+    def test_tcp_host_port(self):
+        address = parse_address("127.0.0.1:7411")
+        assert address == Address(kind="tcp", host="127.0.0.1", port=7411)
+        assert str(address) == "127.0.0.1:7411"
+
+    def test_explicit_prefixes(self):
+        assert parse_address("unix:./relative.sock").kind == "unix"
+        assert parse_address("tcp:localhost:9000") == Address(
+            kind="tcp", host="localhost", port=9000
+        )
+
+    def test_path_with_colon_but_no_port_is_unix(self):
+        assert parse_address("/tmp/odd:name").kind == "unix"
+
+    @pytest.mark.parametrize("text", ["", "tcp:nohost", "tcp::123", "tcp:host:0", "unix:"])
+    def test_bad_addresses(self, text):
+        with pytest.raises(ProtocolError):
+            parse_address(text)

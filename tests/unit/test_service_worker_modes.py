@@ -1,0 +1,205 @@
+"""Tests for engine worker modes (thread vs process) and batch deadlines.
+
+The acceptance bar for ``worker_mode="process"`` is *pair-for-pair verdict
+equivalence* with the thread mode on a mixed workload: both modes drive the
+same deterministic pipeline generator with the same grouped LP answers, so
+everything observable — status, method, provenance — must coincide.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.cq.parser import parse_query
+from repro.infotheory.maxiip import decide_max_ii
+from repro.service import BatchOptions, ContainmentService, PipelineSpec
+from repro.service.engine import (
+    WORKER_MODES,
+    BatchEngine,
+    PipelineStep,
+    PipelineTask,
+    advance_pipeline_task,
+)
+from repro.service.service import _pair_key_task
+from repro.workloads.generators import mixed_containment_pairs
+
+TRIANGLE = parse_query("R(x,y), R(y,z), R(z,x)")
+VEE = parse_query("R(a,b), R(a,c)")
+
+
+class TestWorkerModeKnob:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            BatchEngine(worker_mode="fibers")
+        with pytest.raises(ValueError):
+            ContainmentService(BatchOptions(worker_mode="fibers")).run([(TRIANGLE, VEE)])
+
+    def test_auto_resolves_to_thread(self):
+        assert BatchEngine(worker_mode="auto").resolved_worker_mode == "thread"
+
+    def test_modes_are_documented_tuple(self):
+        assert WORKER_MODES == ("thread", "process", "auto")
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ValueError):
+            BatchEngine(deadline=-1.0)
+
+
+class TestPicklableBoundary:
+    def test_spec_and_task_round_trip(self):
+        spec = PipelineSpec(q1=TRIANGLE, q2=VEE)
+        task = PipelineTask(index=3, spec=spec)
+        restored = pickle.loads(pickle.dumps(task))
+        assert restored.index == 3
+        assert restored.spec.q1.atoms == TRIANGLE.atoms
+        assert restored.spec.q2.atoms == VEE.atoms
+
+    def test_step_round_trips_with_request_and_verdict(self):
+        spec = PipelineSpec(q1=TRIANGLE, q2=VEE)
+        step = advance_pipeline_task(PipelineTask(index=0, spec=spec))
+        restored = pickle.loads(pickle.dumps(step))
+        assert restored.request.over == "gamma"
+        assert restored.request.seed == "containment"
+        verdict = decide_max_ii(
+            restored.request.max_ii,
+            over=restored.request.over,
+            ground=restored.request.ground,
+            seed=restored.request.seed,
+        )
+        # The verdict crosses the boundary on the way back in.
+        assert pickle.loads(pickle.dumps(verdict)).valid == verdict.valid
+
+    def test_error_step_round_trips(self):
+        mismatched = parse_query("R(x,y)")
+        with_head = parse_query("(x) :- S(x, y)")
+        spec = PipelineSpec(q1=mismatched, q2=with_head)
+        step = advance_pipeline_task(PipelineTask(index=0, spec=spec))
+        assert step.error is not None
+        restored = pickle.loads(pickle.dumps(step))
+        assert str(restored.error) == str(step.error)
+
+
+class TestReplayAdvancement:
+    def test_replay_reaches_the_sequential_result(self):
+        spec = PipelineSpec(q1=TRIANGLE, q2=VEE)
+        verdicts = []
+        while True:
+            step = advance_pipeline_task(
+                PipelineTask(index=0, spec=spec, verdicts=tuple(verdicts))
+            )
+            assert step.error is None
+            if step.result is not None:
+                break
+            verdicts.append(
+                decide_max_ii(
+                    step.request.max_ii,
+                    over=step.request.over,
+                    ground=step.request.ground,
+                    seed=step.request.seed,
+                )
+            )
+        sequential = decide_containment(TRIANGLE, VEE)
+        assert step.result.status == sequential.status
+        assert step.result.method == sequential.method
+
+    def test_replay_is_deterministic(self):
+        spec = PipelineSpec(q1=TRIANGLE, q2=VEE)
+        first = advance_pipeline_task(PipelineTask(index=0, spec=spec))
+        second = advance_pipeline_task(PipelineTask(index=0, spec=spec))
+        assert first.request.max_ii == second.request.max_ii
+        assert first.request.ground == second.request.ground
+
+
+class TestProcessModeEquivalence:
+    def test_process_equals_thread_on_mixed_32_pair_workload(self):
+        # The ISSUE-5 acceptance workload: 32 mixed pairs (Theorem 3.1
+        # routes, general routes, no-homomorphism refutations, head
+        # variables, duplicates and isomorphic copies).
+        pairs = mixed_containment_pairs(32, seed=11)
+        thread_report = ContainmentService(
+            BatchOptions(worker_mode="thread", max_workers=4, on_error="capture")
+        ).run(pairs)
+        process_report = ContainmentService(
+            BatchOptions(worker_mode="process", max_workers=4, on_error="capture")
+        ).run(pairs)
+        thread_triples = [
+            (o.result.status, o.result.method, o.source)
+            for o in thread_report.outcomes
+        ]
+        process_triples = [
+            (o.result.status, o.result.method, o.source)
+            for o in process_report.outcomes
+        ]
+        assert thread_triples == process_triples
+
+    def test_process_mode_single_pair_and_dedup(self):
+        service = ContainmentService(
+            BatchOptions(worker_mode="process", max_workers=2)
+        )
+        report = service.run([(TRIANGLE, VEE), (TRIANGLE, VEE)])
+        assert [r.status for r in report.results] == [
+            ContainmentStatus.CONTAINED,
+            ContainmentStatus.CONTAINED,
+        ]
+        assert report.outcomes[1].source == "batch-dedup"
+        # A second call hits the plan cache without any worker involvement.
+        again = service.run([(TRIANGLE, VEE)])
+        assert again.outcomes[0].source == "plan-cache"
+
+    def test_process_mode_captures_pair_errors(self):
+        bad = parse_query("(x) :- R(x, y)")
+        good = parse_query("R(a,b)")
+        report = ContainmentService(
+            BatchOptions(worker_mode="process", max_workers=2, on_error="capture")
+        ).run([(bad, good), (TRIANGLE, VEE)])
+        assert report.results[0].method == "error"
+        assert report.results[1].status == ContainmentStatus.CONTAINED
+
+    def test_map_query_side_matches_inline(self):
+        pairs = mixed_containment_pairs(8, seed=3)
+        with BatchEngine(worker_mode="process", max_workers=2) as engine:
+            fanned = engine.map_query_side(_pair_key_task, pairs)
+        inline = [_pair_key_task(pair) for pair in pairs]
+        assert fanned == inline
+
+
+class TestDeadline:
+    def test_zero_deadline_sheds_every_pair_without_raising(self):
+        report = ContainmentService(BatchOptions(deadline=0.0)).run(
+            [(TRIANGLE, VEE), (VEE, TRIANGLE)]
+        )
+        for result in report.results:
+            assert result.status == ContainmentStatus.UNKNOWN
+            assert result.method == "deadline-exceeded"
+        assert report.stats["pairs_deadline_exceeded"] == 2
+
+    def test_zero_deadline_sheds_in_process_mode_too(self):
+        report = ContainmentService(
+            BatchOptions(deadline=0.0, worker_mode="process", max_workers=2)
+        ).run([(TRIANGLE, VEE), (VEE, TRIANGLE)])
+        assert [r.method for r in report.results] == ["deadline-exceeded"] * 2
+
+    def test_per_call_deadline_overrides_options(self):
+        service = ContainmentService()
+        shed = service.run([(TRIANGLE, VEE)], deadline=0.0)
+        assert shed.results[0].method == "deadline-exceeded"
+        solved = service.run([(TRIANGLE, VEE)])
+        assert solved.results[0].status == ContainmentStatus.CONTAINED
+
+    def test_deadline_exceeded_results_are_not_cached(self):
+        service = ContainmentService()
+        service.run([(TRIANGLE, VEE)], deadline=0.0)
+        report = service.run([(TRIANGLE, VEE)])
+        assert report.outcomes[0].source == "solved"
+        assert report.results[0].status == ContainmentStatus.CONTAINED
+
+    def test_generous_deadline_changes_nothing(self):
+        pairs = mixed_containment_pairs(6, seed=2)
+        unbounded = ContainmentService(BatchOptions(on_error="capture")).run(pairs)
+        bounded = ContainmentService(
+            BatchOptions(on_error="capture", deadline=600.0)
+        ).run(pairs)
+        assert [r.status for r in unbounded.results] == [
+            r.status for r in bounded.results
+        ]

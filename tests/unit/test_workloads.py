@@ -17,6 +17,7 @@ from repro.workloads.generators import (
     random_max_ii,
     random_query,
     star_query,
+    stream_containment_pairs,
 )
 from repro.workloads.paper_examples import (
     chaudhuri_vardi_example,
@@ -130,3 +131,36 @@ def test_mixed_containment_pairs_contain_duplicates_and_renames():
 def test_mixed_containment_pairs_heads_always_aligned():
     for q1, q2 in mixed_containment_pairs(40, seed=12):
         assert len(q1.head) == len(q2.head)
+
+
+def test_stream_containment_pairs_is_deterministic():
+    from itertools import islice
+
+    first = list(islice(stream_containment_pairs(seed=9), 30))
+    second = list(islice(stream_containment_pairs(seed=9), 30))
+    assert [(str(a), str(b)) for a, b in first] == [
+        (str(a), str(b)) for a, b in second
+    ]
+
+
+def test_stream_containment_pairs_salts_duplicates_from_recent_window():
+    from itertools import islice
+
+    pairs = list(
+        islice(
+            stream_containment_pairs(
+                seed=6, duplicate_fraction=0.4, isomorphic_fraction=0.4
+            ),
+            60,
+        )
+    )
+    texts = [(str(a), str(b)) for a, b in pairs]
+    assert len(set(texts)) < len(texts)  # exact repeats present
+    assert any("__iso" in a for a, _ in texts)  # renamed copies present
+    for q1, q2 in pairs:
+        assert len(q1.head) == len(q2.head)
+
+
+def test_stream_containment_pairs_rejects_bad_window():
+    with pytest.raises(ValueError):
+        next(stream_containment_pairs(history_window=0))
