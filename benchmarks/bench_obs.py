@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""E17: telemetry overhead and a live multi-client soak — BENCH_5.json.
+
+Two cells:
+
+* **overhead** — the E13 128-pair workload (``mixed_containment_pairs(128,
+  seed=7)``) is run through a fresh :class:`ContainmentService` with tracing
+  off and with a live :class:`repro.obs.tracer.Tracer` capturing the full
+  span tree, interleaved over ``--repeats`` rounds (fresh service per run so
+  the plan cache is cold in both arms).  The cell records the median wall
+  clock of each arm, the overhead fraction, and whether it stayed inside the
+  ISSUE 7 budget of 5%.
+
+* **soak** — :func:`repro.obs.soak.run_soak` drives an ephemeral daemon
+  with ``--clients`` concurrent clients at ``--qps`` for ``--duration``
+  seconds (default: the acceptance-bar 60 s × 4 clients), scraping the
+  daemon's Prometheus exposition each second.  The cell embeds the full
+  soak report: achieved qps, p50/p95/p99 latency, hit-rate trajectory, and
+  the verdict-parity check against a fresh offline service.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py                    # full E17
+    PYTHONPATH=src python benchmarks/bench_obs.py --duration 15 --clients 2
+    PYTHONPATH=src python benchmarks/bench_obs.py --skip-soak --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import tracer as obs_tracer  # noqa: E402
+from repro.obs.soak import SoakOptions, run_soak  # noqa: E402
+from repro.service import ContainmentService  # noqa: E402
+from repro.workloads.generators import mixed_containment_pairs  # noqa: E402
+
+WORKLOAD_SEED = 7  # the E13 seed: overhead is measured on the same traffic
+WORKLOAD_SIZE = 128
+OVERHEAD_BUDGET = 0.05
+
+
+def _run_once(pairs, traced):
+    """One cold pass of the workload; returns (seconds, statuses, spans)."""
+    service = ContainmentService()
+    tracer = obs_tracer.activate(obs_tracer.Tracer()) if traced else None
+    started = time.perf_counter()
+    try:
+        report = service.run(pairs)
+    finally:
+        service.close()
+        if tracer is not None:
+            obs_tracer.deactivate()
+    seconds = time.perf_counter() - started
+    statuses = [result.status.value for result in report.results]
+    spans = len(tracer.records()) if tracer is not None else 0
+    return seconds, statuses, spans
+
+
+def measure_overhead(repeats):
+    pairs = mixed_containment_pairs(WORKLOAD_SIZE, seed=WORKLOAD_SEED)
+    untraced, traced, spans = [], [], 0
+    baseline_statuses = None
+    # One throwaway warm-up pass keeps import/JIT-ish one-time costs out of
+    # whichever arm happens to run first.
+    _run_once(pairs, traced=False)
+    for _ in range(repeats):
+        seconds, statuses, _ = _run_once(pairs, traced=False)
+        untraced.append(seconds)
+        if baseline_statuses is None:
+            baseline_statuses = statuses
+        seconds, statuses, spans = _run_once(pairs, traced=True)
+        traced.append(seconds)
+        assert statuses == baseline_statuses, "tracing changed a verdict"
+    untraced_median = statistics.median(untraced)
+    traced_median = statistics.median(traced)
+    overhead = (traced_median - untraced_median) / untraced_median
+    return {
+        "workload": f"mixed_containment_pairs({WORKLOAD_SIZE}, seed={WORKLOAD_SEED})",
+        "repeats": repeats,
+        "untraced_seconds": round(untraced_median, 4),
+        "traced_seconds": round(traced_median, 4),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": OVERHEAD_BUDGET,
+        "within_budget": overhead < OVERHEAD_BUDGET,
+        "spans_per_run": spans,
+        "verdicts_identical": True,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="interleaved untraced/traced rounds (default 5)")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--qps", type=float, default=8.0)
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="soak duration in seconds (default 60)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skip-soak", action="store_true",
+                        help="overhead cell only")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_5.json"))
+    args = parser.parse_args(argv)
+
+    print(f"overhead: {args.repeats}x2 passes over the E13 128-pair workload ...")
+    overhead = measure_overhead(args.repeats)
+    print(
+        f"  untraced {overhead['untraced_seconds']}s, "
+        f"traced {overhead['traced_seconds']}s "
+        f"({overhead['overhead_fraction'] * 100:+.1f}%, "
+        f"budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )
+
+    soak = None
+    if not args.skip_soak:
+        print(
+            f"soak: {args.clients} clients x {args.qps} qps "
+            f"for {args.duration}s against an ephemeral daemon ..."
+        )
+        soak = run_soak(
+            SoakOptions(
+                clients=args.clients,
+                qps=args.qps,
+                duration_seconds=args.duration,
+                seed=args.seed,
+            )
+        )
+        latency = soak["latency_seconds"]
+        print(
+            f"  achieved {soak['achieved_qps']} qps, "
+            f"p99 {latency['p99']}s, parity ok={soak['parity']['ok']}"
+        )
+
+    document = {
+        "experiment": "E17-telemetry",
+        "description": (
+            "Tracing overhead on the E13 128-pair mixed workload (traced vs "
+            "untraced, interleaved cold runs, median of repeats; budget <5%) "
+            "plus a multi-client soak of an ephemeral daemon at sustained "
+            "target qps with per-second Prometheus scrapes and an offline "
+            "verdict-parity check"
+        ),
+        "overhead": overhead,
+        "soak": soak,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failed = not overhead["within_budget"]
+    if soak is not None and not soak["parity"]["ok"]:
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

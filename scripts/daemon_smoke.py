@@ -13,7 +13,10 @@ locally with ``PYTHONPATH=src python scripts/daemon_smoke.py``):
    from the plan cache — cache hits grow by exactly the corpus size, and the
    pipeline/LP counters do not move at all (zero new solves for
    structurally-duplicate pairs);
-4. ``repro daemon stop`` and assert the shutdown is clean: exit code 0, the
+4. scrape the daemon's metrics endpoint (``repro daemon status --prom``) and
+   assert the exposition parses cleanly, reports at least the corpus-size
+   cache hits, and shows zero deadline misses;
+5. ``repro daemon stop`` and assert the shutdown is clean: exit code 0, the
    socket file unlinked, pings unanswered.
 
 Any violated expectation exits non-zero with a message, so the CI job fails
@@ -34,6 +37,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.cli import main as cli_main  # noqa: E402
+from repro.obs.metrics import MetricsError, parse_exposition  # noqa: E402
 from repro.service.daemon import daemon_available, spawn_daemon  # noqa: E402
 
 CORPUS = REPO_ROOT / "tests" / "regression" / "containment_corpus.json"
@@ -149,6 +153,38 @@ def main() -> int:
         print(
             f"daemon-smoke: replay 2 ok — all {len(lines)} pairs from the plan "
             "cache, zero new LP solves"
+        )
+
+        code, exposition = run_cli("daemon", "status", "--socket", socket_path, "--prom")
+        if code != 0:
+            fail(f"daemon status --prom exited {code}", log_path)
+        try:
+            samples = parse_exposition(exposition)
+        except MetricsError as error:
+            fail(f"metrics exposition does not parse: {error}", log_path)
+        cache_hits = sum(samples.get("repro_plan_cache_hits_total", {}).values())
+        if cache_hits < len(lines):
+            fail(
+                f"exposition reports {cache_hits} cache hits, expected at "
+                f"least the corpus size ({len(lines)})",
+                log_path,
+            )
+        deadline_misses = sum(
+            samples.get("repro_pairs_deadline_exceeded_total", {}).values()
+        )
+        if deadline_misses != 0:
+            fail(f"exposition reports {deadline_misses} deadline misses", log_path)
+        for family in (
+            "repro_daemon_uptime_seconds",
+            "repro_daemon_queue_depth",
+            "repro_pair_seconds_count",
+            "repro_daemon_requests_total",
+        ):
+            if family not in samples:
+                fail(f"exposition is missing {family}", log_path)
+        print(
+            f"daemon-smoke: metrics scrape ok — {len(samples)} sample families, "
+            f"{int(cache_hits)} cache hits, 0 deadline misses"
         )
 
         code, output = run_cli("daemon", "stop", "--socket", socket_path)

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Run a soak against the containment daemon (CI's soak leg).
+
+A thin wrapper over ``repro soak`` (:mod:`repro.obs.soak`) that works from a
+source checkout without installing the package::
+
+    python scripts/soak.py --clients 2 --qps 6 --duration 15 --report soak.json
+
+All flags are forwarded to the ``repro soak`` subcommand verbatim.  By
+default the soak spins up an ephemeral in-process daemon; pass ``--socket``
+to drive a daemon that is already running.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli_main(["soak", *sys.argv[1:]]))

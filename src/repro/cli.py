@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Five sub-commands expose the main workflows::
+Seven sub-commands expose the main workflows::
 
     python -m repro contain "R(x,y), R(y,z), R(z,x)" "R(a,b), R(a,c)"
     python -m repro inspect "A(y1,y2), B(y1,y3), C(y4,y2)"
     python -m repro dominate --base "R:0,1;1,2;2,0" --dominating "R:a,b;a,c"
-    python -m repro batch pairs.txt --jobs 4 --stats
+    python -m repro batch pairs.txt --jobs 4 --stats --trace spans.jsonl
+    python -m repro trace summarize spans.jsonl
     python -m repro daemon start --jobs 4 && python -m repro batch pairs.txt --daemon
+    python -m repro daemon status --prom
+    python -m repro soak --clients 4 --qps 8 --duration 60 --report soak.json
 
 ``contain`` decides bag containment and prints the verdict, the decision
 method and (for refutations) the witness database.  ``inspect`` reports the
@@ -14,10 +17,16 @@ structural properties that determine which fragment of the paper a query
 falls into.  ``dominate`` runs the DOM problem on two structures given in a
 compact facts syntax (``Rel:v1,v2;v1,v3 Rel2:...``).  ``batch`` reads a file
 of query pairs and decides them all through the batch containment service,
-emitting one JSON verdict per line.  ``daemon`` manages the persistent
+emitting one JSON verdict per line; ``--trace FILE`` exports a span trace
+of the run and ``trace summarize`` turns such a file into per-phase totals,
+the critical path and the slowest pairs.  ``daemon`` manages the persistent
 containment daemon (``start``/``run``/``stop``/``status``): a long-lived
 process whose plan cache and warm provers survive across ``batch --daemon``
-invocations (see :mod:`repro.service.daemon`).
+invocations (see :mod:`repro.service.daemon`); ``status --prom`` prints its
+Prometheus metrics exposition.  ``soak`` drives a daemon (an ephemeral one
+by default) with the endless mixed workload from several paced clients and
+reports throughput, latency percentiles, the cache hit-rate trajectory and
+verdict parity (see :mod:`repro.obs.soak`).
 
 The ``batch`` input format is one pair per line, either as the two query
 bodies separated by ``|``::
@@ -47,6 +56,7 @@ from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.structures import Structure
 from repro.exceptions import ReproError
+from repro.obs import tracer as obs_tracer
 from repro.service import BatchOptions, ContainmentService
 from repro.service.daemon import (
     DaemonClient,
@@ -193,6 +203,36 @@ def _batch_exit_code(statuses: Sequence[str]) -> int:
     return 0 if all(status != "unknown" for status in statuses) else 2
 
 
+def _print_group_table(groups, stream) -> None:
+    """The per-arity block-LP timing table (``stats["groups"]``) for humans."""
+    if not groups:
+        return
+    print(
+        f"{'group':<16} {'chunks':>7} {'requests':>9} {'rows':>7} {'seconds':>9}",
+        file=stream,
+    )
+    for key in sorted(groups):
+        bucket = groups[key]
+        print(
+            f"{key:<16} {int(bucket['chunks']):>7} {int(bucket['requests']):>9} "
+            f"{int(bucket['rows']):>7} {bucket['seconds']:>9.4f}",
+            file=stream,
+        )
+
+
+def _emit_batch_stats(stats, args) -> None:
+    """Honour ``--stats`` (stderr JSON + group table) and ``--stats-json``."""
+    if args.stats:
+        # Table first, JSON last: scripted consumers parse the *last* stderr
+        # line as the stats record (see tests/integration/test_daemon_e2e.py).
+        _print_group_table(stats.get("groups") or {}, sys.stderr)
+        print(json.dumps({"stats": stats}), file=sys.stderr)
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+
+
 #: Engine flags the batch subparser accepts but a daemon cannot honour per
 #: request (it decides with the configuration it was started with):
 #: (args attribute, parser default, flag spelling).
@@ -252,14 +292,19 @@ def _batch_via_daemon(args, pairs, texts, out) -> Optional[int]:
         if verdict.witness_rows is not None:
             record["witness_rows"] = verdict.witness_rows
         print(json.dumps(record), file=out)
-    if args.stats:
-        print(json.dumps({"stats": response.stats}), file=sys.stderr)
+    _emit_batch_stats(response.stats, args)
     return _batch_exit_code([verdict.status for verdict in response.verdicts])
 
 
 def _cmd_batch(args, out) -> int:
     pairs, texts = _read_pairs(args.pairs_file)
     if args.daemon is not None:
+        if args.trace:
+            print(
+                "note: --trace applies to in-process solving only; the daemon "
+                "decides remotely and its spans are not exported here",
+                file=sys.stderr,
+            )
         code = _batch_via_daemon(args, pairs, texts, out)
         if code is not None:
             return code
@@ -276,7 +321,17 @@ def _cmd_batch(args, out) -> int:
             deadline=args.deadline,
         )
     )
-    report = service.run(pairs)
+    tracer = None
+    if args.trace:
+        tracer = obs_tracer.activate(obs_tracer.Tracer())
+    try:
+        report = service.run(pairs)
+    finally:
+        service.close()
+        if tracer is not None:
+            obs_tracer.deactivate()
+            spans = tracer.export_jsonl(args.trace)
+            print(f"trace: wrote {spans} spans to {args.trace}", file=sys.stderr)
     for outcome, (q1, q2) in zip(report.outcomes, pairs):
         record = {
             "index": outcome.index,
@@ -291,8 +346,7 @@ def _cmd_batch(args, out) -> int:
                 1 for _ in outcome.result.witness.database.facts()
             )
         print(json.dumps(record), file=out)
-    if args.stats:
-        print(json.dumps({"stats": report.stats}), file=sys.stderr)
+    _emit_batch_stats(report.stats, args)
     return _batch_exit_code(
         [outcome.result.status.value for outcome in report.outcomes]
     )
@@ -379,11 +433,52 @@ def _cmd_daemon_stop(args, out) -> int:
 
 
 def _cmd_daemon_status(args, out) -> int:
-    status = DaemonClient(args.socket).status()
+    client = DaemonClient(args.socket)
+    if args.prom:
+        print(client.metrics(), end="", file=out)
+        return 0
+    status = client.status()
     status.pop("ok", None)
     status.pop("protocol", None)
     print(json.dumps(status, indent=2, sort_keys=True), file=out)
     return 0
+
+
+def _cmd_trace_summarize(args, out) -> int:
+    from repro.obs.trace_tools import format_summary, summarize
+    from repro.obs.tracer import read_spans_jsonl
+
+    summary = summarize(read_spans_jsonl(args.trace_file), top=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2), file=out)
+    else:
+        print(format_summary(summary), file=out)
+    return 0
+
+
+def _cmd_soak(args, out) -> int:
+    from repro.obs.soak import SoakOptions, format_report, run_soak, write_report
+
+    report = run_soak(
+        SoakOptions(
+            clients=args.clients,
+            qps=args.qps,
+            duration_seconds=args.duration,
+            address=args.socket,
+            seed=args.seed,
+            deadline_seconds=args.deadline,
+            priority=args.priority,
+            check_parity=not args.no_parity,
+        )
+    )
+    print(format_report(report), file=out)
+    if args.report:
+        write_report(report, args.report)
+        print(f"report: {args.report}", file=out)
+    parity = report.get("parity")
+    if parity is not None and not parity["ok"]:
+        return 4
+    return 0 if not report["requests_errored"] else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -472,9 +567,90 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stats",
         action="store_true",
-        help="print service statistics as JSON to stderr after the verdicts",
+        help=(
+            "print service statistics as JSON plus the per-arity block-LP "
+            "timing table to stderr after the verdicts"
+        ),
+    )
+    batch.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="FILE",
+        help="also write the full stats snapshot (group timings included) to FILE",
+    )
+    batch.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a span trace of the run (admission, canonicalization, "
+            "plan cache, LP chunks, row-generation rounds) and export it as "
+            "JSONL to FILE; summarize with 'repro trace summarize FILE'"
+        ),
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    trace = subparsers.add_parser(
+        "trace", help="tools over span traces exported by 'batch --trace'"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_commands.add_parser(
+        "summarize",
+        help="per-phase totals, the critical path and the slowest pairs",
+    )
+    trace_summarize.add_argument("trace_file", help="a JSONL span file from --trace")
+    trace_summarize.add_argument(
+        "--top", type=int, default=5, help="how many slowest pairs to list (default 5)"
+    )
+    trace_summarize.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON instead of text"
+    )
+    trace_summarize.set_defaults(handler=_cmd_trace_summarize)
+
+    soak = subparsers.add_parser(
+        "soak",
+        help="drive a daemon with the mixed stream workload and report qps/latency",
+    )
+    soak.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads (default 4)"
+    )
+    soak.add_argument(
+        "--qps",
+        type=float,
+        default=8.0,
+        help="aggregate offered request rate across all clients (default 8)",
+    )
+    soak.add_argument(
+        "--duration", type=float, default=60.0, help="soak length in seconds (default 60)"
+    )
+    soak.add_argument(
+        "--socket",
+        default=None,
+        metavar="ADDRESS",
+        help=(
+            "daemon to drive (socket path or host:port); default: spin up an "
+            "ephemeral in-process daemon for the run"
+        ),
+    )
+    soak.add_argument("--seed", type=int, default=0, help="workload stream seed")
+    soak.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (daemon semantics: queue wait included)",
+    )
+    soak.add_argument(
+        "--priority", default="normal", choices=list(PRIORITIES), help="request priority"
+    )
+    soak.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the post-run in-process verdict parity check",
+    )
+    soak.add_argument(
+        "--report", default=None, metavar="FILE", help="write the full JSON report to FILE"
+    )
+    soak.set_defaults(handler=_cmd_soak)
 
     daemon = subparsers.add_parser(
         "daemon",
@@ -522,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="print the daemon's status and stats snapshot as JSON"
     )
     add_address(status)
+    status.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the Prometheus text exposition instead of the JSON status",
+    )
     status.set_defaults(handler=_cmd_daemon_status)
     return parser
 

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+import time
 from itertools import combinations
 from typing import List, Optional, Sequence, Tuple
 
@@ -60,6 +61,8 @@ import scipy.sparse as sp
 
 from repro.exceptions import LPError
 from repro.lp.backends import AntiCyclingLedger, resolve_backend
+from repro.obs.metrics import global_registry
+from repro.obs.tracer import record_span
 from repro.lp.solver import (
     BlockFeasibilityResult,
     FeasibilityBlock,
@@ -84,6 +87,62 @@ AUTO_ROW_THRESHOLD = 4096
 #: Names accepted by the :attr:`RowGenOptions.seed` knob (and the
 #: ``seed`` parameter of the decision layers above the LP).
 SEED_NAMES = ("generic", "containment")
+
+
+# --------------------------------------------------------------------- #
+# Round telemetry.  Every separation round tallies into the process-wide
+# metrics registry (rounds and cuts by backend); when a tracer is active the
+# loops additionally file retrospective ``rowgen-round`` spans carrying the
+# backend-solve / separation-oracle time split.  The untraced cost per round
+# is two clock reads and one counter increment.
+# --------------------------------------------------------------------- #
+_ROWGEN_ROUNDS = global_registry().counter(
+    "repro_rowgen_rounds_total",
+    "Cutting-plane separation rounds by solver backend.",
+    labelnames=("backend",),
+)
+_ROWGEN_CUTS = global_registry().counter(
+    "repro_rowgen_cuts_total",
+    "Violated elemental rows admitted by the separation oracle, by backend.",
+    labelnames=("backend",),
+)
+
+
+def _separate_timed(
+    oracle: "ShannonRowOracle",
+    solution,
+    options: "RowGenOptions",
+    backend,
+    loop: str,
+    round_number: int,
+    round_started: float,
+):
+    """Run one separation step with round telemetry; returns the cut ids.
+
+    ``round_started`` is the clock stamp taken before the round's backend
+    solve — the filed span covers solve plus separation, with the split in
+    its attributes.
+    """
+    oracle_started = time.perf_counter()
+    dense = oracle.dense_from_canonical(solution)
+    cut_ids, scores = oracle.separate(
+        dense, options.tolerance, options.max_cuts_per_round
+    )
+    now = time.perf_counter()
+    cuts = int(cut_ids.size)
+    if cuts:
+        _ROWGEN_CUTS.inc(cuts, backend=backend.name)
+    record_span(
+        "rowgen-round",
+        round_started,
+        now - round_started,
+        loop=loop,
+        round=round_number,
+        solve_seconds=oracle_started - round_started,
+        oracle_seconds=now - oracle_started,
+        cuts=cuts,
+    )
+    return cut_ids, scores
 
 
 def resolve_method(method: str, row_count: int, threshold: int = AUTO_ROW_THRESHOLD) -> str:
@@ -515,7 +574,9 @@ def _minimize_lazy_incremental(
     model.add_rows([int(i) for i in seed], -oracle.rows_matrix(seed))
     drop = _should_drop(options, backend)
     for round_number in range(1, options.max_rounds + 1):
+        round_started = time.perf_counter()
         result = model.solve()
+        _ROWGEN_ROUNDS.inc(backend=backend.name)
         if result.status == LPStatus.UNBOUNDED:
             raise LPError(
                 "row-generation relaxation is unbounded; pass bounds that are "
@@ -539,8 +600,15 @@ def _minimize_lazy_incremental(
                     round_number, ledger, oracle, backend, early_stopped=True
                 ),
             )
-        dense = oracle.dense_from_canonical(result.solution)
-        cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+        cut_ids, _ = _separate_timed(
+            oracle,
+            result.solution,
+            options,
+            backend,
+            "minimize-incremental",
+            round_number,
+            round_started,
+        )
         if cut_ids.size == 0:
             return LPResult(
                 status=result.status,
@@ -614,8 +682,10 @@ def minimize_lazy(
         )
     active = _ActiveRows(oracle, seed_ids=oracle.seed_ids_for(options.seed))
     for round_number in range(1, options.max_rounds + 1):
+        round_started = time.perf_counter()
         A, b = _with_active_rows(active, A_ub, b_ub)
         result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds, backend=backend)
+        _ROWGEN_ROUNDS.inc(backend=backend.name)
         if result.status == LPStatus.UNBOUNDED:
             raise LPError(
                 "row-generation relaxation is unbounded; pass bounds that are "
@@ -653,8 +723,15 @@ def minimize_lazy(
                     backend=backend.name,
                 ),
             )
-        dense = oracle.dense_from_canonical(result.solution)
-        cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+        cut_ids, _ = _separate_timed(
+            oracle,
+            result.solution,
+            options,
+            backend,
+            "minimize-stacked",
+            round_number,
+            round_started,
+        )
         if cut_ids.size == 0 or active.add(cut_ids) == 0:
             return LPResult(
                 status=result.status,
@@ -719,7 +796,9 @@ def _minimize_many_lazy_incremental(
         if k:
             model.set_objective(np.asarray(objective, dtype=float))
         for round_number in range(1, options.max_rounds + 1):
+            round_started = time.perf_counter()
             result = model.solve()
+            _ROWGEN_ROUNDS.inc(backend=backend.name)
             if result.status == LPStatus.UNBOUNDED:
                 raise LPError(
                     "row-generation relaxation is unbounded; pass bounds valid "
@@ -731,8 +810,15 @@ def _minimize_many_lazy_incremental(
                     LPResult(status=result.status, objective=None, solution=None, rowgen=report)
                 )
                 break
-            dense = oracle.dense_from_canonical(result.solution)
-            cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+            cut_ids, _ = _separate_timed(
+                oracle,
+                result.solution,
+                options,
+                backend,
+                "minimize-many-incremental",
+                round_number,
+                round_started,
+            )
             if cut_ids.size == 0:
                 results.append(
                     LPResult(
@@ -790,8 +876,10 @@ def minimize_many_lazy(
     results: List[LPResult] = []
     for objective in objectives:
         for round_number in range(1, options.max_rounds + 1):
+            round_started = time.perf_counter()
             A, b = _with_active_rows(active, A_ub, b_ub)
             result = minimize(objective, A_ub=A, b_ub=b, bounds=bounds, backend=backend)
+            _ROWGEN_ROUNDS.inc(backend=backend.name)
             if result.status == LPStatus.UNBOUNDED:
                 raise LPError(
                     "row-generation relaxation is unbounded; pass bounds valid "
@@ -809,8 +897,15 @@ def minimize_many_lazy(
                     LPResult(status=result.status, objective=None, solution=None, rowgen=report)
                 )
                 break
-            dense = oracle.dense_from_canonical(result.solution)
-            cut_ids, _ = oracle.separate(dense, options.tolerance, options.max_cuts_per_round)
+            cut_ids, _ = _separate_timed(
+                oracle,
+                result.solution,
+                options,
+                backend,
+                "minimize-many-stacked",
+                round_number,
+                round_started,
+            )
             if cut_ids.size == 0 or active.add(cut_ids) == 0:
                 results.append(
                     LPResult(
@@ -902,10 +997,15 @@ def _solve_feasibility_blocks_incremental(
 
     final: List[Optional[BlockFeasibilityResult]] = [None] * len(blocks)
     unresolved = list(range(len(blocks)))
-    for _ in range(options.max_rounds):
+    for round_number in range(1, options.max_rounds + 1):
         if not unresolved:
             break
+        round_started = time.perf_counter()
+        round_blocks = len(unresolved)
         result = model.solve()
+        _ROWGEN_ROUNDS.inc(backend=backend.name)
+        solve_done = time.perf_counter()
+        round_cuts = 0
         if result.status != LPStatus.OPTIMAL:
             # The stacked LP is always feasible and bounded below by 0.
             raise LPError(f"block feasibility program failed: {result.status}")
@@ -948,8 +1048,23 @@ def _solve_feasibility_blocks_incremental(
                     -oracle.rows_matrix(entered), column_offsets[i], total_columns
                 ),
             )
+            round_cuts += len(entered)
             still_unresolved.append(i)
         unresolved = still_unresolved
+        if round_cuts:
+            _ROWGEN_CUTS.inc(round_cuts, backend=backend.name)
+        now = time.perf_counter()
+        record_span(
+            "rowgen-round",
+            round_started,
+            now - round_started,
+            loop="blocks-incremental",
+            round=round_number,
+            solve_seconds=solve_done - round_started,
+            oracle_seconds=now - solve_done,
+            blocks=round_blocks,
+            cuts=round_cuts,
+        )
     if unresolved:
         raise LPError("block row generation did not converge within max_rounds")
     return [result for result in final if result is not None]
@@ -986,15 +1101,20 @@ def solve_feasibility_blocks_lazy(
     ]
     final: List[Optional[BlockFeasibilityResult]] = [None] * len(blocks)
     unresolved = list(range(len(blocks)))
-    for _ in range(options.max_rounds):
+    for round_number in range(1, options.max_rounds + 1):
         if not unresolved:
             break
+        round_started = time.perf_counter()
+        round_blocks = len(unresolved)
         sub_blocks = [
             _block_with_hard_rows(blocks[i], -active[i].matrix()) for i in unresolved
         ]
         round_results = solve_feasibility_blocks(
             sub_blocks, slack_threshold, backend=backend
         )
+        _ROWGEN_ROUNDS.inc(backend=backend.name)
+        solve_done = time.perf_counter()
+        round_cuts = 0
         still_unresolved: List[int] = []
         for i, result in zip(unresolved, round_results):
             if not result.feasible or result.solution is None:
@@ -1009,7 +1129,8 @@ def solve_feasibility_blocks_lazy(
             cut_ids, _ = oracle.separate(
                 dense, options.tolerance, options.max_cuts_per_round
             )
-            if cut_ids.size == 0 or active[i].add(cut_ids) == 0:
+            added = active[i].add(cut_ids) if cut_ids.size else 0
+            if added == 0:
                 final[i] = BlockFeasibilityResult(
                     feasible=True,
                     solution=result.solution,
@@ -1017,8 +1138,23 @@ def solve_feasibility_blocks_lazy(
                     rows_used=len(active[i]),
                 )
             else:
+                round_cuts += added
                 still_unresolved.append(i)
         unresolved = still_unresolved
+        if round_cuts:
+            _ROWGEN_CUTS.inc(round_cuts, backend=backend.name)
+        now = time.perf_counter()
+        record_span(
+            "rowgen-round",
+            round_started,
+            now - round_started,
+            loop="blocks-stacked",
+            round=round_number,
+            solve_seconds=solve_done - round_started,
+            oracle_seconds=now - solve_done,
+            blocks=round_blocks,
+            cuts=round_cuts,
+        )
     if unresolved:
         raise LPError("block row generation did not converge within max_rounds")
     return [result for result in final if result is not None]

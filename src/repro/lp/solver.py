@@ -62,6 +62,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import LPError
+from repro.obs.metrics import global_registry
 
 
 class LPStatus(Enum):
@@ -79,6 +80,19 @@ _PATH_LOCK = threading.Lock()
 _SOLVER_PATH_COUNTS: Dict[str, int] = {"dense": 0, "rowgen": 0}
 _BACKEND_PATH_COUNTS: Dict[str, int] = {"scipy": 0, "highs": 0}
 
+# The same tallies, exported on the process-wide metrics registry so the
+# daemon's Prometheus exposition covers LP decisions by method and backend.
+_LP_DECISIONS = global_registry().counter(
+    "repro_lp_decisions_total",
+    "Gamma_n LP decisions by solver path (dense vs row generation).",
+    labelnames=("method",),
+)
+_LP_BACKEND_DECISIONS = global_registry().counter(
+    "repro_lp_backend_decisions_total",
+    "Gamma_n LP decisions by solver backend.",
+    labelnames=("backend",),
+)
+
 
 def record_solver_path(method: str) -> None:
     """Tally one ``Γn`` LP decision taken through ``method`` (dense/rowgen).
@@ -89,6 +103,7 @@ def record_solver_path(method: str) -> None:
     """
     with _PATH_LOCK:
         _SOLVER_PATH_COUNTS[method] = _SOLVER_PATH_COUNTS.get(method, 0) + 1
+    _LP_DECISIONS.inc(method=method)
 
 
 def solver_path_counts() -> Dict[str, int]:
@@ -101,6 +116,7 @@ def record_backend_path(name: str) -> None:
     """Tally one ``Γn`` LP decision served by the named solver backend."""
     with _PATH_LOCK:
         _BACKEND_PATH_COUNTS[name] = _BACKEND_PATH_COUNTS.get(name, 0) + 1
+    _LP_BACKEND_DECISIONS.inc(backend=name)
 
 
 def backend_path_counts() -> Dict[str, int]:

@@ -1,0 +1,437 @@
+"""A multi-client soak harness against the containment daemon.
+
+``repro soak`` (and ``scripts/soak.py``) drives a daemon with the endless
+mixed workload of :func:`repro.workloads.generators.stream_containment_pairs`
+from several concurrent client threads at a target aggregate rate, while a
+scraper thread polls the daemon's ``metrics`` verb once a second.  The run
+produces one JSON report: achieved throughput, client-observed latency
+percentiles, the plan-cache hit-rate trajectory over the run, the daemon's
+final Prometheus counters (deadline misses, shed requests), and a verdict
+*parity* check — every unique pair the soak sent is re-decided by a fresh
+in-process service and compared against the daemon's answer.
+
+The harness spins up an *ephemeral* daemon (in-process server thread on a
+private Unix socket) when no address is given, so a soak needs no prior
+setup; pointing it at a running daemon via ``--socket`` exercises that
+daemon instead.
+
+Pacing is global, not per-client: request ``i`` of the run is scheduled at
+``start + i / qps`` and the clients share the schedule round-robin, so the
+offered load is ``qps`` regardless of the client count, and slow responses
+show up as schedule lateness rather than a silently lower offered rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cq.query import ConjunctiveQuery
+from repro.exceptions import ReproError
+from repro.obs.metrics import parse_exposition
+from repro.service.daemon import (
+    ContainmentDaemon,
+    DaemonClient,
+    DaemonUnavailable,
+    make_server,
+)
+from repro.service.protocol import parse_address
+from repro.service.service import BatchOptions, ContainmentService
+from repro.workloads.generators import stream_containment_pairs
+
+
+def query_to_text(query: ConjunctiveQuery) -> str:
+    """Serialize a query back to the parser syntax (the wire format).
+
+    ``str(query)`` renders the display form (``Q() :- R(x, y) ∧ ...``),
+    which :func:`repro.cq.parser.parse_query` does not accept; this emits
+    the comma-separated body (with a ``(head) :-`` prefix when the query
+    has head variables), which round-trips.
+    """
+    body = ", ".join(str(atom) for atom in query.atoms)
+    if query.head:
+        return f"({', '.join(query.head)}) :- {body}"
+    return body
+
+
+@dataclass(frozen=True)
+class SoakOptions:
+    """Knobs of one soak run.
+
+    ``qps`` is the *aggregate* offered rate across all ``clients``; the
+    total request count is ``round(qps * duration_seconds)``.  ``address``
+    of ``None`` runs an ephemeral in-process daemon for the duration of the
+    soak.  ``deadline_seconds`` rides on every request (daemon semantics:
+    queue wait included).  ``check_parity`` re-decides every unique pair
+    in-process after the run and counts verdict mismatches.
+    """
+
+    clients: int = 4
+    qps: float = 8.0
+    duration_seconds: float = 60.0
+    address: Optional[str] = None
+    seed: int = 0
+    deadline_seconds: Optional[float] = None
+    priority: str = "normal"
+    scrape_interval_seconds: float = 1.0
+    check_parity: bool = True
+    daemon_options: Optional[BatchOptions] = None
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ValueError("clients must be at least 1")
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+
+
+@dataclass
+class _RequestOutcome:
+    index: int
+    latency: float
+    lateness: float
+    status: Optional[str] = None
+    source: Optional[str] = None
+    error: Optional[str] = None
+
+
+class _EphemeralDaemon:
+    """An in-process daemon on a private Unix socket, for self-contained soaks."""
+
+    def __init__(self, options: Optional[BatchOptions]):
+        self.socket_path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-soak-"), "daemon.sock"
+        )
+        self.daemon = ContainmentDaemon(options=options)
+        self.address = parse_address(self.socket_path)
+        self._server = make_server(self.daemon, self.address)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self.daemon.service.close()
+        self._thread.join(timeout=5.0)
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+            os.rmdir(os.path.dirname(self.socket_path))
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile over an already sorted sample."""
+    if not sorted_values:
+        return None
+    rank = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _counter_value(samples: Dict[str, Dict], name: str) -> float:
+    """Sum a family's samples across label sets (0.0 when absent)."""
+    return float(sum(samples.get(name, {}).values()))
+
+
+class _Scraper(threading.Thread):
+    """Polls the daemon's ``metrics`` verb and records the hit-rate trajectory."""
+
+    def __init__(self, client: DaemonClient, interval: float, stop: threading.Event):
+        super().__init__(daemon=True)
+        self.client = client
+        self.interval = interval
+        self.stop_event = stop
+        self.trajectory: List[Dict[str, float]] = []
+        self.scrape_errors = 0
+        self.final_samples: Dict[str, Dict] = {}
+        self._started_at = time.perf_counter()
+
+    def scrape_once(self) -> None:
+        try:
+            samples = parse_exposition(self.client.metrics())
+        except (DaemonUnavailable, ReproError):
+            self.scrape_errors += 1
+            return
+        self.final_samples = samples
+        submitted = _counter_value(samples, "repro_pairs_submitted_total")
+        hits = _counter_value(samples, "repro_plan_cache_hits_total")
+        self.trajectory.append(
+            {
+                "t": round(time.perf_counter() - self._started_at, 3),
+                "pairs_submitted": submitted,
+                "cache_hits": hits,
+                "hit_rate": round(hits / submitted, 4) if submitted else 0.0,
+                "queue_depth": _counter_value(samples, "repro_daemon_queue_depth"),
+            }
+        )
+
+    def run(self) -> None:
+        while not self.stop_event.wait(self.interval):
+            self.scrape_once()
+        self.scrape_once()  # one final scrape after the load stops
+
+
+def _client_worker(
+    client_index: int,
+    options: SoakOptions,
+    address: str,
+    texts: List[Tuple[str, str]],
+    start_at: float,
+    outcomes: List[Optional[_RequestOutcome]],
+) -> None:
+    client = DaemonClient(address)
+    for index in range(client_index, len(texts), options.clients):
+        target = start_at + index / options.qps
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        sent = time.perf_counter()
+        try:
+            response = client.batch(
+                [texts[index]],
+                deadline_seconds=options.deadline_seconds,
+                priority=options.priority,
+            )
+        except DaemonUnavailable as error:
+            outcomes[index] = _RequestOutcome(
+                index=index,
+                latency=time.perf_counter() - sent,
+                lateness=sent - target,
+                error=str(error),
+            )
+            continue
+        latency = time.perf_counter() - sent
+        if response.ok and response.verdicts:
+            verdict = response.verdicts[0]
+            outcomes[index] = _RequestOutcome(
+                index=index,
+                latency=latency,
+                lateness=sent - target,
+                status=verdict.status,
+                source=verdict.source,
+            )
+        else:
+            outcomes[index] = _RequestOutcome(
+                index=index,
+                latency=latency,
+                lateness=sent - target,
+                error=response.error or "empty response",
+            )
+
+
+def _check_parity(
+    texts: List[Tuple[str, str]],
+    outcomes: List[Optional[_RequestOutcome]],
+    options: SoakOptions,
+) -> Dict[str, object]:
+    """Re-decide every unique pair in-process and compare verdicts.
+
+    Pairs the daemon answered with a load-dependent UNKNOWN (deadline or
+    budget exhaustion) are excluded — those verdicts are about the load, not
+    the pair — and reported separately.
+    """
+    from repro.cq.parser import parse_query
+
+    daemon_verdicts: Dict[Tuple[str, str], str] = {}
+    load_unknowns = 0
+    conflicting: List[Dict[str, object]] = []
+    for text, outcome in zip(texts, outcomes):
+        if outcome is None or outcome.status is None:
+            continue
+        if outcome.status == "unknown":
+            load_unknowns += 1
+            continue
+        previous = daemon_verdicts.setdefault(text, outcome.status)
+        if previous != outcome.status:
+            conflicting.append(
+                {"pair": list(text), "verdicts": sorted({previous, outcome.status})}
+            )
+    service = ContainmentService(options.daemon_options)
+    mismatches: List[Dict[str, object]] = []
+    for (q1_text, q2_text), daemon_status in daemon_verdicts.items():
+        result = service.decide(
+            parse_query(q1_text, name="P1"), parse_query(q2_text, name="P2")
+        )
+        if result.status.value != daemon_status:
+            mismatches.append(
+                {
+                    "pair": [q1_text, q2_text],
+                    "daemon": daemon_status,
+                    "in_process": result.status.value,
+                }
+            )
+    service.close()
+    return {
+        "unique_pairs_checked": len(daemon_verdicts),
+        "load_dependent_unknowns": load_unknowns,
+        "self_conflicts": conflicting,
+        "mismatches": mismatches,
+        "ok": not mismatches and not conflicting,
+    }
+
+
+def run_soak(options: SoakOptions) -> Dict[str, object]:
+    """Run one soak and return the JSON-ready report."""
+    total = max(1, int(round(options.qps * options.duration_seconds)))
+    pairs = list(itertools.islice(stream_containment_pairs(seed=options.seed), total))
+    texts = [(query_to_text(q1), query_to_text(q2)) for q1, q2 in pairs]
+
+    ephemeral: Optional[_EphemeralDaemon] = None
+    if options.address is None:
+        ephemeral = _EphemeralDaemon(options.daemon_options)
+        address = str(ephemeral.address)
+    else:
+        address = options.address
+    outcomes: List[Optional[_RequestOutcome]] = [None] * total
+    stop_scraper = threading.Event()
+    scraper = _Scraper(
+        DaemonClient(address), options.scrape_interval_seconds, stop_scraper
+    )
+    try:
+        scraper.start()
+        start_at = time.perf_counter() + 0.05
+        workers = [
+            threading.Thread(
+                target=_client_worker,
+                args=(k, options, address, texts, start_at, outcomes),
+                daemon=True,
+            )
+            for k in range(options.clients)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        finished_at = time.perf_counter()
+        stop_scraper.set()
+        scraper.join(timeout=10.0)
+
+        completed = [outcome for outcome in outcomes if outcome is not None]
+        answered = [outcome for outcome in completed if outcome.error is None]
+        latencies = sorted(outcome.latency for outcome in answered)
+        statuses: Dict[str, int] = {}
+        sources: Dict[str, int] = {}
+        for outcome in answered:
+            statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+            sources[outcome.source] = sources.get(outcome.source, 0) + 1
+        wall = max(finished_at - start_at, 1e-9)
+        samples = scraper.final_samples
+        report: Dict[str, object] = {
+            "config": {
+                "clients": options.clients,
+                "target_qps": options.qps,
+                "duration_seconds": options.duration_seconds,
+                "requests": total,
+                "seed": options.seed,
+                "address": address,
+                "ephemeral_daemon": ephemeral is not None,
+                "deadline_seconds": options.deadline_seconds,
+                "priority": options.priority,
+            },
+            "achieved_qps": round(len(answered) / wall, 3),
+            "wall_seconds": round(wall, 3),
+            "requests_answered": len(answered),
+            "requests_errored": len(completed) - len(answered),
+            "latency_seconds": {
+                "p50": _percentile(latencies, 0.50),
+                "p95": _percentile(latencies, 0.95),
+                "p99": _percentile(latencies, 0.99),
+                "max": latencies[-1] if latencies else None,
+                "mean": (
+                    round(sum(latencies) / len(latencies), 6) if latencies else None
+                ),
+            },
+            "max_schedule_lateness_seconds": (
+                round(max(outcome.lateness for outcome in completed), 4)
+                if completed
+                else None
+            ),
+            "statuses": dict(sorted(statuses.items())),
+            "sources": dict(sorted(sources.items())),
+            "hit_rate_trajectory": scraper.trajectory,
+            "scrape_errors": scraper.scrape_errors,
+            "daemon_metrics": {
+                "pairs_submitted": _counter_value(
+                    samples, "repro_pairs_submitted_total"
+                ),
+                "cache_hits": _counter_value(samples, "repro_plan_cache_hits_total"),
+                "batch_duplicates": _counter_value(
+                    samples, "repro_batch_duplicates_total"
+                ),
+                "deadline_misses": _counter_value(
+                    samples, "repro_pairs_deadline_exceeded_total"
+                ),
+                "requests_rejected": _counter_value(
+                    samples, "repro_requests_rejected_total"
+                ),
+                "requests_degraded": _counter_value(
+                    samples, "repro_requests_degraded_total"
+                ),
+                "lp_block_solves": _counter_value(
+                    samples, "repro_lp_block_solves_total"
+                ),
+            },
+        }
+        if options.check_parity:
+            report["parity"] = _check_parity(texts, outcomes, options)
+        return report
+    finally:
+        stop_scraper.set()
+        if ephemeral is not None:
+            ephemeral.close()
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """A terse human summary of :func:`run_soak` output for the CLI."""
+    latency = report["latency_seconds"]
+    config = report["config"]
+
+    def fmt(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value * 1000:.1f}ms"
+
+    lines = [
+        f"soak: {config['clients']} clients, target {config['target_qps']} qps "
+        f"for {config['duration_seconds']}s against {config['address']}"
+        f"{' (ephemeral)' if config['ephemeral_daemon'] else ''}",
+        f"answered {report['requests_answered']}/{config['requests']} requests "
+        f"({report['requests_errored']} errors) at {report['achieved_qps']} qps",
+        f"latency p50={fmt(latency['p50'])} p95={fmt(latency['p95'])} "
+        f"p99={fmt(latency['p99'])} max={fmt(latency['max'])}",
+    ]
+    trajectory = report["hit_rate_trajectory"]
+    if trajectory:
+        lines.append(
+            f"plan-cache hit rate {trajectory[0]['hit_rate']:.0%} -> "
+            f"{trajectory[-1]['hit_rate']:.0%} over {len(trajectory)} scrapes"
+        )
+    metrics = report["daemon_metrics"]
+    lines.append(
+        f"daemon: {int(metrics['pairs_submitted'])} pairs, "
+        f"{int(metrics['cache_hits'])} cache hits, "
+        f"{int(metrics['deadline_misses'])} deadline misses, "
+        f"{int(metrics['requests_rejected'])} rejected"
+    )
+    parity = report.get("parity")
+    if parity is not None:
+        verdict = "OK" if parity["ok"] else "MISMATCH"
+        lines.append(
+            f"parity: {verdict} ({parity['unique_pairs_checked']} unique pairs, "
+            f"{len(parity['mismatches'])} mismatches, "
+            f"{parity['load_dependent_unknowns']} load-dependent unknowns)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Summaries over exported trace files (``repro trace summarize``).
+
+Works on the flat :class:`~repro.obs.tracer.SpanRecord` list a ``repro
+batch --trace FILE`` run exports: rebuilds the span forest, aggregates
+per-phase (per span name) totals with *self* time (duration minus the time
+covered by child spans), walks the duration-greedy critical path from the
+largest root, and ranks the slowest pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracer import SpanRecord
+
+
+@dataclass
+class SpanNode:
+    """One span with its children resolved (the tree view of a record)."""
+
+    record: SpanRecord
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def duration(self) -> float:
+        return self.record.duration
+
+    def self_time(self) -> float:
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+
+def build_forest(records: Sequence[SpanRecord]) -> List[SpanNode]:
+    """Rebuild the span forest; spans with unknown parents become roots.
+
+    A dangling parent id is tolerated here (the file may be a filtered
+    slice) — the *well-formedness tests* are where orphans are an error.
+    """
+    nodes = {record.span_id: SpanNode(record) for record in records}
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = node.record.parent_id
+        if parent is not None and parent in nodes:
+            nodes[parent].children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.record.start)
+    roots.sort(key=lambda node: node.record.start)
+    return roots
+
+
+def phase_totals(records: Sequence[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    """Per span name: count, total wall time, total *self* time."""
+    roots = build_forest(records)
+    totals: Dict[str, Dict[str, float]] = {}
+
+    def visit(node: SpanNode) -> None:
+        bucket = totals.setdefault(
+            node.name, {"count": 0, "seconds": 0.0, "self_seconds": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["seconds"] += node.duration
+        bucket["self_seconds"] += node.self_time()
+        for child in node.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return totals
+
+
+def critical_path(records: Sequence[SpanRecord]) -> List[Dict[str, object]]:
+    """The duration-greedy chain from the largest root to a leaf.
+
+    At every level, descend into the child with the largest duration — the
+    chain a perf PR should attack first.  Each step reports the span name,
+    its duration, and the fraction of its parent it covers.
+    """
+    roots = build_forest(records)
+    if not roots:
+        return []
+    node = max(roots, key=lambda n: n.duration)
+    path: List[Dict[str, object]] = []
+    parent_duration: Optional[float] = None
+    while True:
+        step: Dict[str, object] = {
+            "name": node.name,
+            "seconds": node.duration,
+            "attrs": dict(node.record.attrs),
+        }
+        if parent_duration:
+            step["fraction_of_parent"] = (
+                node.duration / parent_duration if parent_duration > 0 else 0.0
+            )
+        path.append(step)
+        if not node.children:
+            return path
+        parent_duration = node.duration
+        node = max(node.children, key=lambda child: child.duration)
+
+
+def slowest_spans(
+    records: Sequence[SpanRecord], name: str = "pair", top: int = 5
+) -> List[Dict[str, object]]:
+    """The ``top`` slowest spans named ``name`` (the slowest-pairs report)."""
+    matching = sorted(
+        (record for record in records if record.name == name),
+        key=lambda record: record.duration,
+        reverse=True,
+    )
+    return [
+        {"seconds": record.duration, "attrs": dict(record.attrs)}
+        for record in matching[:top]
+    ]
+
+
+def summarize(records: Sequence[SpanRecord], top: int = 5) -> Dict[str, object]:
+    """The full ``repro trace summarize`` payload as a JSON-ready dict."""
+    totals = phase_totals(records)
+    return {
+        "spans": len(records),
+        "phases": {
+            name: totals[name]
+            for name in sorted(
+                totals, key=lambda name: totals[name]["seconds"], reverse=True
+            )
+        },
+        "critical_path": critical_path(records),
+        "slowest_pairs": slowest_spans(records, name="pair", top=top),
+    }
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`summarize` for the CLI."""
+    lines: List[str] = [f"spans: {summary['spans']}"]
+    lines.append("")
+    lines.append(f"{'phase':<24} {'count':>7} {'total s':>10} {'self s':>10}")
+    for name, bucket in summary["phases"].items():
+        lines.append(
+            f"{name:<24} {int(bucket['count']):>7} "
+            f"{bucket['seconds']:>10.4f} {bucket['self_seconds']:>10.4f}"
+        )
+    lines.append("")
+    lines.append("critical path:")
+    for depth, step in enumerate(summary["critical_path"]):
+        fraction = step.get("fraction_of_parent")
+        suffix = f"  ({fraction:.0%} of parent)" if fraction is not None else ""
+        attrs = step.get("attrs") or {}
+        attr_text = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"  {'  ' * depth}{step['name']}: {step['seconds']:.4f}s{suffix}{attr_text}"
+        )
+    if summary["slowest_pairs"]:
+        lines.append("")
+        lines.append("slowest pairs:")
+        for entry in summary["slowest_pairs"]:
+            attrs = entry.get("attrs") or {}
+            attr_text = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(f"  {entry['seconds']:.4f}s  {attr_text}")
+    return "\n".join(lines)

@@ -50,6 +50,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cq.parser import parse_query
 from repro.exceptions import ReproError
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+    render_registries,
+)
 from repro.service.protocol import (
     PRIORITIES,
     SHED_POLICIES,
@@ -188,13 +194,46 @@ class ContainmentDaemon:
         options: Optional[BatchOptions] = None,
         shed: Optional[ShedOptions] = None,
     ):
-        self.service = ContainmentService(options)
+        # The daemon owns the metrics registry and lends it to the service,
+        # so service counters and daemon-level gauges come out of one scrape.
+        self.registry = MetricsRegistry()
+        self.service = ContainmentService(options, registry=self.registry)
         self.shed = shed if shed is not None else ShedOptions()
         self.gate = ServiceGate()
         self.started_at = time.time()
         self.requests_served = 0
         self.stopping = threading.Event()
         self.address: Optional[Address] = None  # set by serve()
+        self.registry.gauge(
+            "repro_daemon_uptime_seconds",
+            "Seconds since this daemon process started.",
+            callback=lambda: time.time() - self.started_at,
+        )
+        self.registry.gauge(
+            "repro_daemon_queue_depth",
+            "Batch requests in the daemon right now (running + waiting).",
+            callback=self.gate.depth,
+        )
+        workers = self.registry.gauge(
+            "repro_daemon_workers",
+            "Size of the service's pipeline worker pool.",
+        )
+        workers.set(self.service.options.max_workers)
+        self._queue_wait = self.registry.histogram(
+            "repro_daemon_queue_wait_seconds",
+            "Seconds an admitted batch request waited for the service gate.",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._request_seconds = self.registry.histogram(
+            "repro_daemon_request_seconds",
+            "Total daemon wall clock of a batch request, queue wait included.",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._requests_total = self.registry.counter(
+            "repro_daemon_requests_total",
+            "Batch requests by outcome (ok, degraded, rejected, error, parse-error).",
+            labelnames=("outcome",),
+        )
 
     # ------------------------------------------------------------------ #
     # Request handling
@@ -210,9 +249,26 @@ class ContainmentDaemon:
                 return encode_response({"ok": True, "op": "ping", "pid": os.getpid()})
             if request.op == "status":
                 return encode_response({"ok": True, **self.status()})
+            if request.op == "metrics":
+                return encode_response(
+                    {
+                        "ok": True,
+                        "content_type": "text/plain; version=0.0.4",
+                        "body": self.render_metrics(),
+                    }
+                )
             self.stopping.set()
             return encode_response({"ok": True, "stopping": True})
         return encode_batch_response(self.handle_batch(request))
+
+    def render_metrics(self) -> str:
+        """The daemon's full Prometheus exposition document.
+
+        Merges the daemon-owned registry (service counters, gate gauges,
+        latency histograms) with the process-global one (LP solver-path and
+        row-generation counters, which live below the service layer).
+        """
+        return render_registries(self.registry, global_registry())
 
     def status(self) -> Dict[str, object]:
         return {
@@ -220,7 +276,10 @@ class ContainmentDaemon:
             "uptime_seconds": time.time() - self.started_at,
             "address": str(self.address) if self.address is not None else None,
             "queue_depth": self.gate.depth(),
+            "queue_waiting": self.gate.waiting(),
             "requests_served": self.requests_served,
+            "workers": self.service.options.max_workers,
+            "worker_mode": self.service.options.worker_mode,
             "shed": {
                 "max_queue_depth": self.shed.max_queue_depth,
                 "policy": self.shed.policy,
@@ -233,12 +292,14 @@ class ContainmentDaemon:
 
     def handle_batch(self, request: BatchRequest) -> BatchResponse:
         """Run one batch request through admission, the gate and the service."""
+        received = time.perf_counter()
         try:
             pairs = [
                 (parse_query(spec.q1, name=f"Q1#{i}"), parse_query(spec.q2, name=f"Q2#{i}"))
                 for i, spec in enumerate(request.pairs)
             ]
         except ReproError as error:
+            self._requests_total.inc(outcome="parse-error")
             return BatchResponse(ok=False, error=f"unparseable pair: {error}")
 
         deadline = request.deadline_seconds
@@ -252,12 +313,14 @@ class ContainmentDaemon:
         )
         if admission == "rejected":
             self.service.stats.count_request_rejected()
+            self._requests_total.inc(outcome="rejected")
             return BatchResponse(
                 ok=False,
                 error="queue-full",
                 shed="rejected",
                 stats=self.service.stats.as_dict(),
             )
+        self._queue_wait.observe(time.perf_counter() - submitted)
         degraded = admission == "acquired-over"
         try:
             service = self.service
@@ -284,6 +347,7 @@ class ContainmentDaemon:
             # handler thread mid-request, the client would read EOF, and a
             # poisoned pair could defeat the daemon on every retry.  Answer
             # ok=false instead and stay alive.
+            self._requests_total.inc(outcome="error")
             return BatchResponse(
                 ok=False,
                 error=f"internal error deciding the batch: {error!r}",
@@ -291,6 +355,8 @@ class ContainmentDaemon:
             )
         finally:
             self.gate.release()
+            self._request_seconds.observe(time.perf_counter() - received)
+        self._requests_total.inc(outcome="degraded" if degraded else "ok")
         verdicts = []
         for outcome in report.outcomes:
             witness_rows = None
@@ -319,6 +385,9 @@ class ContainmentDaemon:
         degraded.options = replace(self.service.options, pair_budget=pair_budget)
         degraded.stats = self.service.stats
         degraded.cache = self.service.cache
+        # Borrow the warm worker pool too (process mode): the view must never
+        # spawn a pool of its own, and it never closes the shared one.
+        degraded._process_pool = self.service._shared_process_pool()
         return degraded
 
 
@@ -461,6 +530,10 @@ class DaemonClient:
 
     def status(self) -> Dict[str, object]:
         return self._control("status")
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition document."""
+        return str(self._control("metrics")["body"])
 
     def stop(self) -> Dict[str, object]:
         return self._control("stop")

@@ -76,6 +76,8 @@ from repro.infotheory.expressions import MaxInformationInequality
 from repro.infotheory.maxiip import MaxIIVerdict, decide_max_ii, decide_max_ii_many
 from repro.infotheory.setfunction import SetFunction
 from repro.lp.backends import BACKEND_NAMES
+from repro.obs import tracer as obs_tracer
+from repro.obs.tracer import SpanRecord
 from repro.service.stats import GroupTiming, ServiceStats
 
 #: Valid ``worker_mode`` values; ``"auto"`` currently resolves to threads
@@ -158,12 +160,16 @@ class PipelineTask:
 
     ``verdicts`` are the LP answers received so far, in request order; the
     worker replays the (deterministic) pipeline against them and returns the
-    following :class:`PipelineStep`.
+    following :class:`PipelineStep`.  ``trace`` asks the worker to record
+    spans for the advancement — the parent process's tracer cannot cross the
+    process boundary, so tracing propagates as this one flag and the spans
+    come back inside the step (see :meth:`repro.obs.tracer.Tracer.adopt`).
     """
 
     index: int
     spec: PipelineSpec
     verdicts: Tuple[MaxIIVerdict, ...] = ()
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -173,7 +179,9 @@ class PipelineStep:
     Exactly one of ``request``, ``result`` and ``error`` is set.
     ``elapsed`` is the worker-side wall clock of the whole advancement,
     replayed stages included (replay is real CPU spent, so the per-pair
-    budget counts it).
+    budget counts it).  ``spans`` carries the worker-side trace when the
+    task asked for one — span times are relative to the worker's task start,
+    shifted onto the parent's timeline at adoption.
     """
 
     index: int
@@ -181,6 +189,7 @@ class PipelineStep:
     result: Optional[ContainmentResult] = None
     error: Optional[ReproError] = None
     elapsed: float = 0.0
+    spans: Tuple[SpanRecord, ...] = ()
 
 
 def advance_pipeline_task(task: PipelineTask) -> PipelineStep:
@@ -192,36 +201,70 @@ def advance_pipeline_task(task: PipelineTask) -> PipelineStep:
     """
     started = time.perf_counter()
     pipeline = task.spec.build()
+    request = None
+    result = None
+    error: Optional[ReproError] = None
     try:
         request = next(pipeline)
         for verdict in task.verdicts:
             request = pipeline.send(verdict)
     except StopIteration as stop:
-        return PipelineStep(
-            index=task.index,
-            result=stop.value,
-            elapsed=time.perf_counter() - started,
-        )
-    except ReproError as error:
-        return PipelineStep(
-            index=task.index, error=error, elapsed=time.perf_counter() - started
+        request = None
+        result = stop.value
+    except ReproError as caught:
+        request = None
+        error = caught
+    elapsed = time.perf_counter() - started
+    spans: Tuple[SpanRecord, ...] = ()
+    if task.trace:
+        # One span covering the whole worker-side advancement, on the
+        # worker's own clock (start 0 = task start); the parent grafts it
+        # under the pair's span and shifts it onto its timeline.
+        spans = (
+            SpanRecord(
+                span_id=1,
+                parent_id=None,
+                name="advance",
+                start=0.0,
+                duration=elapsed,
+                attrs={"index": task.index, "replayed": len(task.verdicts)},
+            ),
         )
     return PipelineStep(
-        index=task.index, request=request, elapsed=time.perf_counter() - started
+        index=task.index,
+        request=request,
+        result=result,
+        error=error,
+        elapsed=elapsed,
+        spans=spans,
     )
 
 
 class _PairRun:
     """Bookkeeping for one pipeline driven in-process (thread mode)."""
 
-    __slots__ = ("pipeline", "request", "result", "error", "elapsed")
+    __slots__ = (
+        "pipeline",
+        "request",
+        "result",
+        "error",
+        "elapsed",
+        "index",
+        "span",
+        "started_at",
+        "finalized",
+    )
 
-    def __init__(self, pipeline: ContainmentPipeline):
+    def __init__(self, pipeline: ContainmentPipeline, index: int = 0):
         self.pipeline = pipeline
         self.request: Optional[ConeDecisionRequest] = None
         self.result: Optional[ContainmentResult] = None
         self.error: Optional[Exception] = None
         self.elapsed = 0.0
+        self.index = index
+        self.span = obs_tracer.NULL_SPAN
+        self.started_at = time.perf_counter()
+        self.finalized = False
 
     @property
     def active(self) -> bool:
@@ -234,7 +277,18 @@ class _PairRun:
 class _ProcessRun:
     """Bookkeeping for one pipeline advanced by replay in worker processes."""
 
-    __slots__ = ("index", "spec", "verdicts", "request", "result", "error", "elapsed")
+    __slots__ = (
+        "index",
+        "spec",
+        "verdicts",
+        "request",
+        "result",
+        "error",
+        "elapsed",
+        "span",
+        "started_at",
+        "finalized",
+    )
 
     def __init__(self, index: int, spec: PipelineSpec):
         self.index = index
@@ -244,6 +298,9 @@ class _ProcessRun:
         self.result: Optional[ContainmentResult] = None
         self.error: Optional[Exception] = None
         self.elapsed = 0.0
+        self.span = obs_tracer.NULL_SPAN
+        self.started_at = time.perf_counter()
+        self.finalized = False
 
     @property
     def active(self) -> bool:
@@ -253,7 +310,12 @@ class _ProcessRun:
         pass  # nothing lives in this process
 
     def task(self) -> PipelineTask:
-        return PipelineTask(index=self.index, spec=self.spec, verdicts=self.verdicts)
+        return PipelineTask(
+            index=self.index,
+            spec=self.spec,
+            verdicts=self.verdicts,
+            trace=obs_tracer.active_tracer() is not None,
+        )
 
 
 class BatchEngine:
@@ -340,6 +402,9 @@ class BatchEngine:
         # worker fork cost across runs) is borrowed, never shut down here.
         self._process_pool = process_pool
         self._owns_process_pool = process_pool is None
+        # The current run's batch span id: chunk solves run on pool threads
+        # whose span stacks are empty, so they parent here explicitly.
+        self._batch_span_id: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Worker-pool plumbing
@@ -413,6 +478,23 @@ class BatchEngine:
             },
         )
 
+    def _finalize_run(self, run) -> None:
+        """Close out a finished run's telemetry (idempotent).
+
+        Observes the pair's end-to-end latency — creation to completion,
+        LP rounds included — and finishes its span with the outcome.
+        """
+        if run.active or run.finalized:
+            return
+        run.finalized = True
+        self.stats.observe_pair_seconds(time.perf_counter() - run.started_at)
+        if run.error is not None:
+            run.span.finish(outcome="error")
+        else:
+            run.span.finish(
+                outcome=run.result.status.value, method=run.result.method
+            )
+
     def _shed_expired(self, runs, deadline_at: Optional[float]) -> bool:
         """Close every still-active run once the batch deadline has passed."""
         if deadline_at is None or time.perf_counter() < deadline_at:
@@ -423,6 +505,7 @@ class BatchEngine:
                 run.request = None
                 run.result = self._deadline_result()
                 self.stats.count_deadline_exceeded()
+                self._finalize_run(run)
         return True
 
     def _advance(self, run: _PairRun, verdict: Optional[MaxIIVerdict]) -> None:
@@ -439,8 +522,13 @@ class BatchEngine:
         except ReproError as error:
             run.request = None
             run.error = error
-        run.elapsed += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        run.elapsed += elapsed
+        obs_tracer.record_span(
+            "advance", started, elapsed, parent=run.span.id, index=run.index
+        )
         self._enforce_budget(run)
+        self._finalize_run(run)
 
     def _enforce_budget(self, run) -> None:
         if (
@@ -478,15 +566,25 @@ class BatchEngine:
             mapping = dict(zip(run.request.ground, canonical))
             renamed.append(_rename_max_ii(run.request.max_ii, mapping, canonical))
         rows = sum(len(max_ii.branches) for max_ii in renamed)
-        started = time.perf_counter()
-        verdicts = decide_max_ii_many(
-            renamed,
-            over="gamma",
-            ground=canonical,
-            lp_method=self.lp_method,
-            lp_backend=self.lp_backend,
-            seed=chunk[0].request.seed,
-        )
+        # The span is pushed on this (pool) thread's stack, so the rowgen
+        # round spans recorded inside the solve nest under it.
+        with obs_tracer.span(
+            "lp-chunk",
+            parent=self._batch_span_id,
+            cone="gamma",
+            ground_size=size,
+            requests=len(chunk),
+            rows=rows,
+        ):
+            started = time.perf_counter()
+            verdicts = decide_max_ii_many(
+                renamed,
+                over="gamma",
+                ground=canonical,
+                lp_method=self.lp_method,
+                lp_backend=self.lp_backend,
+                seed=chunk[0].request.seed,
+            )
         self.stats.record_chunk(
             GroupTiming(
                 cone="gamma",
@@ -504,14 +602,21 @@ class BatchEngine:
     def _solve_scalar(self, run: _PairRun) -> Tuple[_PairRun, MaxIIVerdict]:
         request = run.request
         self.stats.count_scalar_solve()
-        return run, decide_max_ii(
-            request.max_ii,
+        with obs_tracer.span(
+            "lp-scalar",
+            parent=run.span.id if run.span.id is not None else self._batch_span_id,
             over=request.over,
-            ground=request.ground,
-            lp_method=self.lp_method,
-            lp_backend=self.lp_backend,
-            seed=request.seed,
-        )
+            ground_size=len(request.ground),
+        ):
+            verdict = decide_max_ii(
+                request.max_ii,
+                over=request.over,
+                ground=request.ground,
+                lp_method=self.lp_method,
+                lp_backend=self.lp_backend,
+                seed=request.seed,
+            )
+        return run, verdict
 
     def _answer_round(
         self, pending: List[_PairRun], pool: Optional[ThreadPoolExecutor]
@@ -555,8 +660,14 @@ class BatchEngine:
         generators.  Process mode needs picklable inputs — use
         :meth:`run_specs`.
         """
-        runs = [_PairRun(pipeline) for pipeline in pipelines]
+        runs = [_PairRun(pipeline, index) for index, pipeline in enumerate(pipelines)]
         self.stats.pipelines_run += len(runs)
+        batch_span = obs_tracer.start_span("batch", mode="thread", pairs=len(runs))
+        self._batch_span_id = batch_span.id
+        for run in runs:
+            run.span = obs_tracer.start_span(
+                "pair", parent=batch_span.id, index=run.index
+            )
         deadline_at = (
             None if self.deadline is None else time.perf_counter() + self.deadline
         )
@@ -576,6 +687,8 @@ class BatchEngine:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+            self._batch_span_id = None
+            batch_span.finish()
         return self._collect(runs)
 
     def run_specs(self, specs: Sequence[PipelineSpec]) -> List[ContainmentResult]:
@@ -597,6 +710,13 @@ class BatchEngine:
     def _run_process(self, specs: Sequence[PipelineSpec]) -> List[ContainmentResult]:
         runs = [_ProcessRun(index, spec) for index, spec in enumerate(specs)]
         self.stats.pipelines_run += len(runs)
+        tracer = obs_tracer.active_tracer()
+        batch_span = obs_tracer.start_span("batch", mode="process", pairs=len(runs))
+        self._batch_span_id = batch_span.id
+        for run in runs:
+            run.span = obs_tracer.start_span(
+                "pair", parent=batch_span.id, index=run.index
+            )
         deadline_at = (
             None if self.deadline is None else time.perf_counter() + self.deadline
         )
@@ -613,11 +733,19 @@ class BatchEngine:
             while True:
                 if self._shed_expired(runs, deadline_at):
                     break
+                submitted_at = time.perf_counter()
                 futures = [
                     pool.submit(advance_pipeline_task, run.task()) for run in to_advance
                 ]
                 for run, future in zip(to_advance, futures):
-                    self._apply_step(run, future.result())
+                    step = future.result()
+                    if tracer is not None and step.spans:
+                        tracer.adopt(
+                            step.spans,
+                            parent=run.span.id,
+                            start_offset=submitted_at - tracer.epoch,
+                        )
+                    self._apply_step(run, step)
                 self._shed_expired(runs, deadline_at)
                 pending = [run for run in runs if run.active and run.request is not None]
                 if not pending:
@@ -634,6 +762,8 @@ class BatchEngine:
         finally:
             if lp_pool is not None:
                 lp_pool.shutdown(wait=True)
+            self._batch_span_id = None
+            batch_span.finish()
         return self._collect(runs)
 
     def _apply_step(self, run: _ProcessRun, step: PipelineStep) -> None:
@@ -647,6 +777,7 @@ class BatchEngine:
         else:
             run.request = step.request
         self._enforce_budget(run)
+        self._finalize_run(run)
 
     def _collect(self, runs) -> List[ContainmentResult]:
         results: List[ContainmentResult] = []

@@ -14,8 +14,13 @@ Requests
 ``{"op": "ping"}``
     Liveness probe; answered immediately, never queued.
 ``{"op": "status"}``
-    Daemon metadata (pid, uptime, address, queue depth) plus a full
-    :class:`~repro.service.stats.ServiceStats` snapshot.
+    Daemon metadata (pid, uptime, address, queue depth, worker pool) plus a
+    full :class:`~repro.service.stats.ServiceStats` snapshot.
+``{"op": "metrics"}``
+    The daemon's metrics in the Prometheus text exposition format: the
+    response carries ``content_type`` (``text/plain; version=0.0.4``) and
+    the document itself in ``body``.  This is the scrape endpoint of the
+    soak harness and ``repro daemon status --prom``.
 ``{"op": "stop"}``
     Acknowledge, then shut the server down cleanly.
 ``{"op": "batch", "pairs": [{"q1": "R(x,y)", "q2": "R(a,b)"}, ...],
@@ -77,14 +82,15 @@ class BatchRequest:
 
 @dataclass(frozen=True)
 class ControlRequest:
-    """A parameterless control request (``ping``, ``status`` or ``stop``)."""
+    """A parameterless control request (``ping``, ``status``, ``metrics`` or
+    ``stop``)."""
 
     op: str
 
 
 Request = Union[BatchRequest, ControlRequest]
 
-_CONTROL_OPS = ("ping", "status", "stop")
+_CONTROL_OPS = ("ping", "status", "metrics", "stop")
 
 
 def parse_request(line: Union[str, bytes]) -> Request:

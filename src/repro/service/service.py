@@ -17,6 +17,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.core.containment import ContainmentResult
 from repro.cq.query import ConjunctiveQuery
 from repro.exceptions import QueryError
+from repro.obs import tracer as obs_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import PlanCache
 from repro.service.canonical import pair_key
 from repro.service.engine import BatchEngine, PipelineSpec
@@ -118,13 +120,21 @@ class ContainmentService:
     'batch-dedup'
     """
 
-    def __init__(self, options: Optional[BatchOptions] = None, **overrides):
+    def __init__(
+        self,
+        options: Optional[BatchOptions] = None,
+        registry: Optional[MetricsRegistry] = None,
+        **overrides,
+    ):
         if options is None:
             options = BatchOptions(**overrides)
         elif overrides:
             options = replace(options, **overrides)
         self.options = options
-        self.stats = ServiceStats()
+        # ``registry`` lets an owner (the daemon) expose this service's
+        # counters on its own metrics registry; by default the stats carry a
+        # private one.
+        self.stats = ServiceStats(registry)
         self.cache = PlanCache(maxsize=options.cache_size)
         # In process mode the worker pool is as much long-lived warm state as
         # the plan cache: it lives on the service and is lent to each run's
@@ -195,10 +205,14 @@ class ContainmentService:
             process_pool=self._shared_process_pool(),
         )
         self.stats.pairs_submitted += len(pairs)
-        try:
-            return self._run_with_engine(engine, pairs, started)
-        finally:
-            engine.close()  # a no-op for the borrowed shared pool
+        # One root span per service call: canonicalization, the plan-cache
+        # pass and the engine's batch span all nest under it, so a traced run
+        # is a single tree.
+        with obs_tracer.span("request", pairs=len(pairs)):
+            try:
+                return self._run_with_engine(engine, pairs, started)
+            finally:
+                engine.close()  # a no-op for the borrowed shared pool
 
     def _run_with_engine(
         self, engine: BatchEngine, pairs: Sequence[QueryPair], started: float
@@ -209,29 +223,35 @@ class ContainmentService:
 
         # Canonical-labeling keys: pure GIL-bound query-side work, fanned out
         # over the engine's worker processes in process mode.
-        if self.options.canonicalize and pairs:
-            keys = engine.map_query_side(_pair_key_task, pairs)
-        else:
-            keys = [None] * len(pairs)
+        with obs_tracer.span("canonicalize", pairs=len(pairs)):
+            if self.options.canonicalize and pairs:
+                keys = engine.map_query_side(_pair_key_task, pairs)
+            else:
+                keys = [None] * len(pairs)
 
         jobs: List[Tuple[QueryPair, Optional[Hashable]]] = []
         # Per input pair: ("cache", result) | ("job", job_index, source)
         placements: List[Tuple[str, object, str]] = []
         first_seen: Dict[Hashable, int] = {}
-        for (q1, q2), key in zip(pairs, keys):
-            if key is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    self.stats.cache_hits += 1
-                    placements.append(("cache", cached, "plan-cache"))
-                    continue
-                if key in first_seen:
-                    self.stats.batch_duplicates += 1
-                    placements.append(("job", first_seen[key], "batch-dedup"))
-                    continue
-                first_seen[key] = len(jobs)
-            placements.append(("job", len(jobs), "solved"))
-            jobs.append(((q1, q2), key))
+        with obs_tracer.span("plan-cache", pairs=len(pairs)) as cache_span:
+            hits = duplicates = 0
+            for (q1, q2), key in zip(pairs, keys):
+                if key is not None:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        self.stats.cache_hits += 1
+                        hits += 1
+                        placements.append(("cache", cached, "plan-cache"))
+                        continue
+                    if key in first_seen:
+                        self.stats.batch_duplicates += 1
+                        duplicates += 1
+                        placements.append(("job", first_seen[key], "batch-dedup"))
+                        continue
+                    first_seen[key] = len(jobs)
+                placements.append(("job", len(jobs), "solved"))
+                jobs.append(((q1, q2), key))
+            cache_span.set(hits=hits, duplicates=duplicates)
 
         solved = engine.run_specs([self._spec(q1, q2) for (q1, q2), _ in jobs])
         for ((_, _), key), result in zip(jobs, solved):

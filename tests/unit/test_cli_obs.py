@@ -1,0 +1,81 @@
+"""CLI tests for the observability surface: --trace, --stats-json, summarize."""
+
+import io
+import json
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.obs.tracer import active_tracer, read_spans_jsonl
+
+PAIR_LINES = (
+    "R(x,y), R(y,z), R(z,x) | R(a,b), R(a,c)\n"
+    "R(x,y), R(y,z), R(z,x) | R(a,b), R(a,c)\n"
+    "R(x,y), R(y,z) | R(a,b), R(a,c), R(c,d)\n"
+)
+
+
+@pytest.fixture
+def pairs_file(tmp_path):
+    path = tmp_path / "pairs.txt"
+    path.write_text(PAIR_LINES)
+    return path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    stderr, sys.stderr = sys.stderr, io.StringIO()
+    try:
+        code = main(list(argv), out=out)
+        captured = sys.stderr.getvalue()
+    finally:
+        sys.stderr = stderr
+    return code, out.getvalue(), captured
+
+
+def test_batch_trace_exports_a_wellformed_jsonl(tmp_path, pairs_file):
+    trace_file = tmp_path / "spans.jsonl"
+    code, output, captured = run_cli("batch", str(pairs_file), "--trace", str(trace_file))
+    assert code == 0
+    assert f"wrote" in captured and str(trace_file) in captured
+    assert active_tracer() is None  # the CLI must always deactivate
+    records = read_spans_jsonl(str(trace_file))
+    names = {record.name for record in records}
+    assert {"batch", "pair", "canonicalize", "plan-cache"} <= names
+    ids = {record.span_id for record in records}
+    for record in records:
+        assert record.parent_id is None or record.parent_id in ids
+
+
+def test_batch_stats_json_and_group_table(tmp_path, pairs_file):
+    stats_file = tmp_path / "stats.json"
+    code, output, captured = run_cli(
+        "batch", str(pairs_file), "--stats", "--stats-json", str(stats_file)
+    )
+    assert code == 0
+    stats = json.loads(stats_file.read_text())
+    assert stats["pairs_submitted"] == 3
+    assert stats["batch_duplicates"] == 1
+    assert "groups" in stats
+    # --stats prints the JSON line plus the per-arity table on stderr.
+    assert '"stats"' in captured
+    if stats["groups"]:
+        assert "group" in captured and "chunks" in captured
+
+
+def test_trace_summarize_renders_text_and_json(tmp_path, pairs_file):
+    trace_file = tmp_path / "spans.jsonl"
+    code, _, _ = run_cli("batch", str(pairs_file), "--trace", str(trace_file))
+    assert code == 0
+
+    code, output, _ = run_cli("trace", "summarize", str(trace_file))
+    assert code == 0
+    assert "critical path:" in output
+    assert "pair" in output
+
+    code, output, _ = run_cli("trace", "summarize", str(trace_file), "--json")
+    assert code == 0
+    summary = json.loads(output)
+    assert summary["spans"] == len(read_spans_jsonl(str(trace_file)))
+    assert summary["critical_path"][0]["name"] == "request"

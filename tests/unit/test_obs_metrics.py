@@ -1,0 +1,270 @@
+"""Tests for the metrics registry and its Prometheus text exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    format_value,
+    global_registry,
+    parse_exposition,
+    render_registries,
+)
+
+
+class TestExpositionGolden:
+    """The renderer emits exactly the Prometheus 0.0.4 text we expect."""
+
+    def build_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "app_requests_total", "Requests served.", labelnames=("outcome",)
+        )
+        requests.inc(outcome="ok")
+        requests.inc(2, outcome='shed "hard"\\path\n')
+        registry.gauge("app_temperature", "Current temperature.").set(36.5)
+        latency = registry.histogram(
+            "app_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        latency.observe(0.05)
+        latency.observe(0.5)
+        latency.observe(5.0)
+        return registry
+
+    def test_golden_document(self):
+        expected = "\n".join(
+            [
+                "# HELP app_latency_seconds Latency.",
+                "# TYPE app_latency_seconds histogram",
+                'app_latency_seconds_bucket{le="0.1"} 1',
+                'app_latency_seconds_bucket{le="1"} 2',
+                'app_latency_seconds_bucket{le="+Inf"} 3',
+                "app_latency_seconds_sum 5.55",
+                "app_latency_seconds_count 3",
+                "# HELP app_requests_total Requests served.",
+                "# TYPE app_requests_total counter",
+                'app_requests_total{outcome="ok"} 1',
+                'app_requests_total{outcome="shed \\"hard\\"\\\\path\\n"} 2',
+                "# HELP app_temperature Current temperature.",
+                "# TYPE app_temperature gauge",
+                "app_temperature 36.5",
+            ]
+        ) + "\n"
+        assert self.build_registry().render() == expected
+
+    def test_every_family_has_help_and_type(self):
+        text = self.build_registry().render()
+        lines = text.splitlines()
+        for family in ("app_requests_total", "app_temperature", "app_latency_seconds"):
+            assert f"# TYPE {family} " in "\n".join(lines)
+            help_index = lines.index(
+                next(l for l in lines if l.startswith(f"# HELP {family} "))
+            )
+            assert lines[help_index + 1].startswith(f"# TYPE {family} ")
+
+    def test_round_trips_through_the_strict_parser(self):
+        samples = parse_exposition(self.build_registry().render())
+        assert samples["app_requests_total"][(("outcome", "ok"),)] == 1.0
+        # The escaped label value comes back verbatim.
+        assert samples["app_requests_total"][
+            (("outcome", 'shed "hard"\\path\n'),)
+        ] == 2.0
+        assert samples["app_temperature"][()] == 36.5
+        assert samples["app_latency_seconds_count"][()] == 3.0
+        assert samples["app_latency_seconds_bucket"][(("le", "+Inf"),)] == 3.0
+
+    def test_callback_gauge_renders_at_scrape_time(self):
+        registry = MetricsRegistry()
+        value = [1.0]
+        registry.gauge("live_value", "Scrape-time value.", callback=lambda: value[0])
+        assert "live_value 1\n" in registry.render()
+        value[0] = 7.5
+        assert "live_value 7.5\n" in registry.render()
+
+
+class TestHistogramBuckets:
+    def test_boundary_lands_in_its_bucket(self):
+        """Prometheus ``le`` is ≤ — a value equal to a bound is inside it."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "x.", buckets=(0.1, 1.0, 10.0))
+        hist.observe(0.1)
+        hist.observe(1.0)
+        hist.observe(10.0)
+        assert hist.bucket_counts() == {"0.1": 1, "1": 2, "10": 3, "+Inf": 3}
+
+    def test_overflow_goes_to_inf_only(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "x.", buckets=(0.1, 1.0))
+        hist.observe(50.0)
+        assert hist.bucket_counts() == {"0.1": 0, "1": 0, "+Inf": 1}
+        assert hist.count() == 1
+        assert hist.sum() == 50.0
+
+    def test_cumulative_counts_are_monotone(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "x.", buckets=LATENCY_BUCKETS)
+        for value in (0.0005, 0.003, 0.003, 0.2, 7.0, 200.0):
+            hist.observe(value)
+        counts = list(hist.bucket_counts().values())
+        assert counts == sorted(counts)
+        assert counts[-1] == 6
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "x.", buckets=(0.1, 1.0, 10.0))
+        assert hist.quantile(0.5) is None
+        for value in (0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 0.1
+        assert hist.quantile(0.75) == 1.0
+        assert hist.quantile(1.0) == 10.0
+
+    def test_quantile_of_overflow_is_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "x.", buckets=(1.0,))
+        hist.observe(5.0)
+        assert hist.quantile(1.0) == math.inf
+
+    def test_buckets_must_strictly_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.histogram("h", "x.", buckets=(1.0, 1.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("h2", "x.", buckets=())
+
+    def test_labeled_histogram_keeps_series_apart(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "x.", buckets=(1.0,), labelnames=("kind",))
+        hist.observe(0.5, kind="a")
+        hist.observe(2.0, kind="b")
+        assert hist.count(kind="a") == 1
+        assert hist.count(kind="b") == 1
+        assert hist.bucket_counts(kind="a") == {"1": 1, "+Inf": 1}
+        assert hist.bucket_counts(kind="b") == {"1": 0, "+Inf": 1}
+
+
+class TestCounterAndGauge:
+    def test_counter_refuses_negative_and_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "x.")
+        counter.inc(3)
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+        with pytest.raises(MetricsError):
+            counter.set_total(2)
+        counter.set_total(5)
+        assert counter.value() == 5.0
+
+    def test_callback_gauge_rejects_labels_and_set(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.gauge("g", "x.", labelnames=("a",), callback=lambda: 1.0)
+        gauge = registry.gauge("g2", "x.", callback=lambda: 1.0)
+        with pytest.raises(MetricsError):
+            gauge.set(2.0)
+
+    def test_reregistration_returns_the_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "x.")
+        assert registry.counter("c_total", "x.") is first
+        with pytest.raises(MetricsError):
+            registry.gauge("c_total", "x.")
+        with pytest.raises(MetricsError):
+            registry.counter("c_total", "x.", labelnames=("other",))
+
+    def test_invalid_names_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.counter("bad-name", "x.")
+        with pytest.raises(MetricsError):
+            registry.counter("ok_total", "x.", labelnames=("bad-label",))
+
+    def test_wrong_label_set_is_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "x.", labelnames=("a",))
+        with pytest.raises(MetricsError):
+            counter.inc(a="1", b="2")
+        with pytest.raises(MetricsError):
+            counter.inc()
+
+
+class TestConcurrency:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "x.", labelnames=("worker",))
+        hist = registry.histogram("h", "x.", buckets=(0.5,))
+        threads = 8
+        per_thread = 2000
+
+        def hammer(worker: int) -> None:
+            for i in range(per_thread):
+                counter.inc(worker=str(worker % 2))
+                hist.observe(float(i % 2))
+
+        pool = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        total = counter.value(worker="0") + counter.value(worker="1")
+        assert total == threads * per_thread
+        assert hist.count() == threads * per_thread
+        assert hist.bucket_counts()["0.5"] == threads * per_thread // 2
+
+
+class TestRenderRegistries:
+    def test_merges_in_name_order_per_registry(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_total", "x.")
+        second.counter("b_total", "x.")
+        text = render_registries(first, second)
+        assert text.index("a_total") < text.index("b_total")
+        assert parse_exposition(text).keys() == {"a_total", "b_total"}
+
+    def test_duplicate_family_across_registries_is_an_error(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("dup_total", "x.")
+        second.counter("dup_total", "x.")
+        with pytest.raises(MetricsError):
+            render_registries(first, second)
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestParseExpositionStrictness:
+    def test_sample_without_type_is_rejected(self):
+        with pytest.raises(MetricsError):
+            parse_exposition("mystery_total 3\n")
+
+    def test_duplicate_sample_is_rejected(self):
+        text = "# TYPE c_total counter\nc_total 1\nc_total 2\n"
+        with pytest.raises(MetricsError):
+            parse_exposition(text)
+
+    def test_bad_value_is_rejected(self):
+        text = "# TYPE c_total counter\nc_total notanumber\n"
+        with pytest.raises(MetricsError):
+            parse_exposition(text)
+
+    def test_malformed_label_block_is_rejected(self):
+        text = '# TYPE c_total counter\nc_total{oops} 1\n'
+        with pytest.raises(MetricsError):
+            parse_exposition(text)
+
+    def test_inf_values_parse(self):
+        text = "# TYPE g gauge\ng +Inf\n"
+        assert parse_exposition(text)["g"][()] == math.inf
+
+
+def test_format_value_renders_integers_and_infinities():
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(math.inf) == "+Inf"
+    assert format_value(-math.inf) == "-Inf"
