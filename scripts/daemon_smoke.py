@@ -17,7 +17,13 @@ locally with ``PYTHONPATH=src python scripts/daemon_smoke.py``):
    assert the exposition parses cleanly, reports at least the corpus-size
    cache hits, and shows zero deadline misses;
 5. ``repro daemon stop`` and assert the shutdown is clean: exit code 0, the
-   socket file unlinked, pings unanswered.
+   socket file unlinked, pings unanswered;
+6. start a **fresh** daemon on the same ``--store`` and replay the corpus a
+   third time: every pair must be answered from the durable verdict store
+   (or the plan cache it warms) with zero pipelines and zero LP solves in
+   the new process — this is the restart-warm guarantee;
+7. audit the store offline: ``repro cache verify`` re-validates every stored
+   certificate and witness, and ``repro cache compact`` exits cleanly.
 
 Any violated expectation exits non-zero with a message, so the CI job fails
 loudly and the daemon log is printed for debugging.
@@ -98,11 +104,17 @@ def main() -> int:
     log_path = scratch / "daemon.log"
     pairs_file = scratch / "corpus_pairs.jsonl"
 
+    store_path = str(scratch / "verdicts.sqlite")
+
     lines, expected = corpus_pair_lines()
     pairs_file.write_text("\n".join(lines) + "\n")
     print(f"daemon-smoke: corpus has {len(lines)} pairs; socket {socket_path}")
 
-    pid = spawn_daemon(socket_path, extra_args=["--jobs", "2"], log_path=str(log_path))
+    pid = spawn_daemon(
+        socket_path,
+        extra_args=["--jobs", "2", "--store", store_path],
+        log_path=str(log_path),
+    )
     print(f"daemon-smoke: daemon pid {pid}")
     try:
         first_records, first_stats = replay(
@@ -200,6 +212,68 @@ def main() -> int:
             os.kill(pid, signal.SIGKILL)
         except (OSError, ProcessLookupError):
             pass
+
+    # --- restart on the same store: the disk tier must warm the new daemon.
+    restart_log = scratch / "daemon-restart.log"
+    pid = spawn_daemon(
+        socket_path,
+        extra_args=["--jobs", "2", "--store", store_path],
+        log_path=str(restart_log),
+    )
+    print(f"daemon-smoke: restarted daemon pid {pid} on store {store_path}")
+    try:
+        third_records, third_stats = replay(
+            pairs_file, socket_path, scratch / "stats3.json"
+        )
+        if [record["status"] for record in third_records] != expected:
+            fail("replay 3 statuses diverge from the corpus", restart_log)
+        # A store hit promotes its key into the plan cache, so duplicate
+        # hashes later in the batch legitimately answer from the memory tier.
+        cold = [
+            record["index"]
+            for record in third_records
+            if record["source"] not in ("store", "plan-cache", "batch-dedup")
+        ]
+        if cold:
+            fail(
+                f"replay 3 pairs {cold} were not answered from the store or "
+                "the cache it warms",
+                restart_log,
+            )
+        if third_stats["store_hits"] <= 0:
+            fail("replay 3 recorded no store hits", restart_log)
+        if third_stats["pipelines_run"] != 0:
+            fail(
+                f"replay 3 ran {third_stats['pipelines_run']} pipelines in the "
+                "restarted daemon (the store must make the restart free)",
+                restart_log,
+            )
+        if third_stats["block_solves"] != 0 or third_stats["scalar_solves"] != 0:
+            fail("replay 3 made new LP solves in the restarted daemon", restart_log)
+        print(
+            f"daemon-smoke: replay 3 ok — restarted daemon answered all "
+            f"{len(lines)} pairs from the store ({third_stats['store_hits']} "
+            "disk hits), zero new LP solves"
+        )
+
+        code, output = run_cli("daemon", "stop", "--socket", socket_path)
+        if code != 0:
+            fail(f"daemon stop (restart) exited {code}: {output}", restart_log)
+    finally:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+
+    # --- offline audit of the store the two daemons produced.
+    code, output = run_cli("cache", "verify", "--store", store_path)
+    if code != 0:
+        fail(f"cache verify exited {code}:\n{output}")
+    print(f"daemon-smoke: cache verify ok — {output.strip().splitlines()[-1]}")
+    code, output = run_cli("cache", "compact", "--store", store_path)
+    if code != 0:
+        fail(f"cache compact exited {code}:\n{output}")
+    print("daemon-smoke: cache compact ok")
 
     print("daemon-smoke: PASS")
     return 0

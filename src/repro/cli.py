@@ -1,15 +1,17 @@
 """Command-line interface.
 
-Seven sub-commands expose the main workflows::
+Eight sub-commands expose the main workflows::
 
     python -m repro contain "R(x,y), R(y,z), R(z,x)" "R(a,b), R(a,c)"
     python -m repro inspect "A(y1,y2), B(y1,y3), C(y4,y2)"
     python -m repro dominate --base "R:0,1;1,2;2,0" --dominating "R:a,b;a,c"
     python -m repro batch pairs.txt --jobs 4 --stats --trace spans.jsonl
     python -m repro trace summarize spans.jsonl
-    python -m repro daemon start --jobs 4 && python -m repro batch pairs.txt --daemon
+    python -m repro daemon start --jobs 4 --store verdicts.sqlite
+    python -m repro batch pairs.txt --daemon
     python -m repro daemon status --prom
     python -m repro soak --clients 4 --qps 8 --duration 60 --report soak.json
+    python -m repro cache verify --store verdicts.sqlite
 
 ``contain`` decides bag containment and prints the verdict, the decision
 method and (for refutations) the witness database.  ``inspect`` reports the
@@ -26,7 +28,12 @@ invocations (see :mod:`repro.service.daemon`); ``status --prom`` prints its
 Prometheus metrics exposition.  ``soak`` drives a daemon (an ephemeral one
 by default) with the endless mixed workload from several paced clients and
 reports throughput, latency percentiles, the cache hit-rate trajectory and
-verdict parity (see :mod:`repro.obs.soak`).
+verdict parity (see :mod:`repro.obs.soak`).  ``cache`` operates on the
+durable verdict store written by ``batch --store`` / ``daemon --store``
+(see :mod:`repro.store`): ``verify`` independently re-checks every stored
+certificate and witness, ``export``/``import`` move records as JSONL,
+``compact`` rewrites the append-only log to one row per verdict, and
+``info`` prints the store's summary.
 
 The ``batch`` input format is one pair per line, either as the two query
 bodies separated by ``|``::
@@ -244,6 +251,7 @@ _DAEMON_SIDE_FLAGS = (
     ("jobs", 1, "--jobs"),
     ("worker_mode", "auto", "--worker-mode"),
     ("budget", None, "--budget"),
+    ("store", None, "--store"),
 )
 
 
@@ -319,6 +327,7 @@ def _cmd_batch(args, out) -> int:
             lp_backend=args.lp_backend,
             worker_mode=args.worker_mode,
             deadline=args.deadline,
+            store_path=args.store,
         )
     )
     tracer = None
@@ -365,6 +374,7 @@ def _daemon_options(args) -> BatchOptions:
         lp_method=args.lp_method,
         lp_backend=args.lp_backend,
         worker_mode=args.worker_mode,
+        store_path=args.store,
     )
 
 
@@ -391,6 +401,8 @@ def _daemon_run_args(args) -> List[str]:
     ]
     if args.budget is not None:
         forwarded += ["--budget", str(args.budget)]
+    if args.store is not None:
+        forwarded += ["--store", args.store]
     if args.max_queue_depth is not None:
         forwarded += ["--max-queue-depth", str(args.max_queue_depth)]
     if args.default_deadline is not None:
@@ -441,6 +453,73 @@ def _cmd_daemon_status(args, out) -> int:
     status.pop("ok", None)
     status.pop("protocol", None)
     print(json.dumps(status, indent=2, sort_keys=True), file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Durable verdict store operations
+# ---------------------------------------------------------------------- #
+def _cmd_cache_info(args, out) -> int:
+    from repro.store import VerdictStore
+
+    with VerdictStore(args.store) as store:
+        print(json.dumps(store.info(), indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def _cmd_cache_verify(args, out) -> int:
+    from repro.store import VerdictStore, verify_store
+
+    with VerdictStore(args.store) as store:
+        report = verify_store(store, farkas_backend=args.lp_backend)
+        dropped = store.dropped
+    print(
+        f"checked {report.checked} records: {report.certificates} certificates, "
+        f"{report.witnesses} witnesses, {report.unchecked} unchecked"
+        + (f" ({dropped} torn log rows dropped on open)" if dropped else ""),
+        file=out,
+    )
+    for hash_, reason in report.failures:
+        print(f"FAIL {hash_}: {reason}", file=out)
+    if report.failures:
+        print(f"error: {len(report.failures)} records failed verification", file=out)
+        return 1
+    return 0
+
+
+def _cmd_cache_export(args, out) -> int:
+    from repro.store import VerdictStore
+
+    with VerdictStore(args.store) as store:
+        if args.output == "-":
+            count = store.export_jsonl(out)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                count = store.export_jsonl(handle)
+    print(f"exported {count} records", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache_import(args, out) -> int:
+    from repro.store import VerdictStore
+
+    with VerdictStore(args.store) as store:
+        if args.input == "-":
+            imported, skipped = store.import_jsonl(sys.stdin)
+        else:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                imported, skipped = store.import_jsonl(handle)
+    print(f"imported {imported} records, skipped {skipped} already present", file=out)
+    return 0
+
+
+def _cmd_cache_compact(args, out) -> int:
+    from repro.store import VerdictStore
+
+    with VerdictStore(args.store) as store:
+        removed = store.compact()
+        entries = len(store)
+    print(f"compacted: {entries} records kept, {removed} superseded rows removed", file=out)
     return 0
 
 
@@ -704,6 +783,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Prometheus text exposition instead of the JSON status",
     )
     status.set_defaults(handler=_cmd_daemon_status)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="operate on a durable verdict store (verify/export/import/compact/info)",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_store(sub):
+        sub.add_argument(
+            "--store",
+            required=True,
+            metavar="PATH",
+            help="the SQLite verdict store (as passed to batch/daemon --store)",
+        )
+
+    cache_verify = cache_commands.add_parser(
+        "verify",
+        help=(
+            "independently re-check every stored certificate (exact Shannon "
+            "sum + Farkas recheck) and witness (homomorphism recount)"
+        ),
+    )
+    add_store(cache_verify)
+    cache_verify.add_argument(
+        "--lp-backend",
+        default="auto",
+        choices=["auto", "scipy", "highs", "scipy-incremental"],
+        help="backend for the Farkas feasibility recheck (default auto)",
+    )
+    cache_verify.set_defaults(handler=_cmd_cache_verify)
+
+    cache_export = cache_commands.add_parser(
+        "export", help="write the store's records as JSONL (canonical payloads)"
+    )
+    add_store(cache_export)
+    cache_export.add_argument(
+        "output", nargs="?", default="-", help="output file (default '-' = stdout)"
+    )
+    cache_export.set_defaults(handler=_cmd_cache_export)
+
+    cache_import = cache_commands.add_parser(
+        "import", help="merge a JSONL export into the store (present hashes skipped)"
+    )
+    add_store(cache_import)
+    cache_import.add_argument(
+        "input", nargs="?", default="-", help="input file (default '-' = stdin)"
+    )
+    cache_import.set_defaults(handler=_cmd_cache_import)
+
+    cache_compact = cache_commands.add_parser(
+        "compact", help="rewrite the append-only log to one row per verdict"
+    )
+    add_store(cache_compact)
+    cache_compact.set_defaults(handler=_cmd_cache_compact)
+
+    cache_info = cache_commands.add_parser(
+        "info", help="print the store summary (entries, recovery counts, evidence)"
+    )
+    add_store(cache_info)
+    cache_info.set_defaults(handler=_cmd_cache_info)
     return parser
 
 
@@ -756,6 +895,16 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="per-pair wall-clock budget in seconds (over-budget pairs report unknown)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "durable verdict store (SQLite) behind the plan cache: previously "
+            "decided pairs are answered from disk and every new verdict is "
+            "recorded with its certificate or witness (see 'repro cache')"
+        ),
     )
 
 

@@ -111,6 +111,11 @@ class ContainmentResult:
         The raw cone verdict from the LP layer, when one was computed.
     details:
         Free-form diagnostic information.
+    provenance:
+        Where this result object came from: ``"solved"`` (a pipeline ran for
+        it), ``"cache-hit"`` (replayed from the plan cache) or
+        ``"store-hit"`` (replayed from the durable verdict store).  Replays
+        carry the evidence renamed onto the requesting pair's variables.
     """
 
     status: ContainmentStatus
@@ -119,6 +124,7 @@ class ContainmentResult:
     witness: Optional[WitnessDatabase] = None
     verdict: Optional[MaxIIVerdict] = None
     details: Dict[str, object] = field(default_factory=dict)
+    provenance: str = "solved"
 
     @property
     def is_contained(self) -> bool:

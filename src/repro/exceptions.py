@@ -63,3 +63,7 @@ class ReductionError(ReproError):
 
 class SearchBudgetExceeded(ReproError):
     """A counterexample / witness search exhausted its budget inconclusively."""
+
+
+class StoreError(ReproError):
+    """The durable verdict store is corrupt, unwritable or refused a record."""

@@ -60,6 +60,46 @@ class ElementalInequality:
             if abs(coeff) > _COEFFICIENT_TOLERANCE
         }
 
+    def rename(self, mapping) -> "ElementalInequality":
+        """Rename the variables of every subset (missing keys unchanged).
+
+        The description is regenerated from the renamed coefficients, so the
+        human-readable form matches the new names.
+        """
+        coefficients = tuple(
+            (frozenset(mapping.get(v, v) for v in subset), coeff)
+            for subset, coeff in self.coefficients
+        )
+        return ElementalInequality(
+            kind=self.kind,
+            coefficients=coefficients,
+            description=describe_elemental(self.kind, coefficients),
+        )
+
+
+def describe_elemental(
+    kind: str, coefficients: Sequence[Tuple[FrozenSet[str], float]]
+) -> str:
+    """The human-readable form of an elemental row, from its coefficients.
+
+    Used when an :class:`ElementalInequality` is rebuilt under different
+    variable names (renaming, store deserialization) and the original
+    description no longer matches.
+    """
+    positives = [subset for subset, coeff in coefficients if coeff > 0]
+    negatives = [subset for subset, coeff in coefficients if coeff < 0]
+    if kind == "monotonicity":
+        full = max(positives, key=len) if positives else frozenset()
+        rest = max(negatives, key=len) if negatives else frozenset()
+        return f"h({','.join(sorted(full))}) - h({','.join(sorted(rest))}) >= 0"
+    if len(positives) < 2:
+        raise ValueError("a CMI elemental needs the two positive subsets iK and jK")
+    iK, jK = sorted(positives[:2], key=lambda subset: tuple(sorted(subset)))
+    pair = iK ^ jK
+    context = iK & jK
+    left, right = sorted(pair)
+    return f"I({left};{right}|{','.join(sorted(context)) or '∅'}) >= 0"
+
 
 def _materialize_elemental(lattice, row_masks, row_coeffs, kind: str) -> ElementalInequality:
     """Build one :class:`ElementalInequality` from its mask/coefficient row."""

@@ -1,19 +1,35 @@
 """The plan cache: structural pair key → previously computed result.
 
 A bounded LRU mapping from :data:`~repro.service.canonical.PairKey` to
-:class:`~repro.core.containment.ContainmentResult`.  Results are immutable,
-so a hit can be returned directly; the witness and inequality of a cached
-result are expressed over the variable names of the *first* pair that was
-solved for the key (statuses are renaming-invariant, the evidence is carried
-over from the representative).
+:class:`~repro.core.containment.ContainmentResult`.  Entries are stored in
+*canonical* variables (the ``c0, c1, ...`` names of the key's labeling) and
+renamed onto each requesting pair's variables on a hit, so the witness and
+inequality a hit returns are always expressed over the requester's own
+variable names — never a representative's — and the same canonical entry is
+what the durable verdict store persists (see :mod:`repro.store`).
+
+Membership semantics: ``key in cache`` is a first-class cache read.  It
+counts a hit or a miss and refreshes the entry's LRU recency exactly like
+:meth:`PlanCache.get`, so probe-then-get code paths cannot skew the hit
+accounting relative to the entries they actually consume, and a just-probed
+entry is the *most* recently used one (a probe can never be followed by the
+probed entry's eviction before the get).  Use :meth:`PlanCache.peek` for
+side-effect-free introspection.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Hashable, Optional
 
 from repro.core.containment import ContainmentResult
+from repro.service.canonical import PairLabelings
+from repro.service.evidence import (
+    canonical_mappings,
+    rename_result,
+    requester_mappings,
+)
 
 
 class PlanCache:
@@ -31,24 +47,66 @@ class PlanCache:
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        """A counting, recency-refreshing membership probe (see module docs)."""
+        if key not in self._entries:
+            self.misses += 1
+            return False
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True
 
-    def get(self, key: Hashable) -> Optional[ContainmentResult]:
-        """Look up a result, counting the hit/miss and refreshing recency."""
+    def peek(self, key: Hashable) -> Optional[ContainmentResult]:
+        """The entry as stored (canonical variables), without counting a
+        hit/miss or refreshing recency."""
+        return self._entries.get(key)
+
+    def get(
+        self, key: Hashable, labelings: Optional[PairLabelings] = None
+    ) -> Optional[ContainmentResult]:
+        """Look up a result, counting the hit/miss and refreshing recency.
+
+        With ``labelings`` (the requesting pair's canonical labelings, from
+        :func:`~repro.service.canonical.pair_key_with_labelings`) a hit is
+        renamed from the stored canonical variables onto the requester's
+        variables and tagged ``provenance="cache-hit"``; without, the stored
+        entry is returned as is.
+        """
         result = self._entries.get(key)
         if result is None:
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if labelings is not None and isinstance(result, ContainmentResult):
+            mapping1, mapping2 = requester_mappings(labelings)
+            return replace(
+                rename_result(result, mapping1, mapping2), provenance="cache-hit"
+            )
         return result
 
-    def put(self, key: Hashable, result: ContainmentResult) -> None:
+    def put(
+        self,
+        key: Hashable,
+        result: ContainmentResult,
+        labelings: Optional[PairLabelings] = None,
+    ) -> ContainmentResult:
+        """Insert a result; returns the entry as stored.
+
+        With ``labelings`` the result's evidence is renamed onto the
+        canonical ``c<i>`` variables first, so the entry answers every
+        isomorphic pair (the returned canonical result is also what the
+        durable store persists).  Without, the result is stored verbatim —
+        the caller asserts it is already in canonical form.
+        """
+        if labelings is not None and isinstance(result, ContainmentResult):
+            mapping1, mapping2 = canonical_mappings(labelings)
+            result = rename_result(result, mapping1, mapping2)
         self._entries[key] = result
         self._entries.move_to_end(key)
         if self.maxsize is not None:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+        return result
 
     def clear(self) -> None:
         self._entries.clear()

@@ -189,3 +189,26 @@ def pair_key(
     positionally, and the head positions are part of each query's key).
     """
     return (canonical_query_key(q1, budget), canonical_query_key(q2, budget))
+
+
+# Per-side labelings (variable → canonical index) accompanying a PairKey.
+PairLabelings = Tuple[Dict[str, int], Dict[str, int]]
+
+
+def pair_key_with_labelings(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    budget: int = DEFAULT_SEARCH_BUDGET,
+) -> Tuple[PairKey, PairLabelings]:
+    """:func:`pair_key` plus the per-side labelings that produced it.
+
+    The labelings are the isomorphisms onto the canonical form: two pairs
+    with equal keys are mapped onto *the same* canonical pair, so composing
+    one pair's labeling with the inverse of the other's is always a sound
+    variable bijection between them.  This is what lets the plan cache (and
+    the durable store behind it) keep evidence in canonical variables and
+    rename it onto each requester's variables on a hit.
+    """
+    key1, labeling1 = canonical_labeling(q1, budget)
+    key2, labeling2 = canonical_labeling(q2, budget)
+    return (key1, key2), (labeling1, labeling2)

@@ -36,10 +36,12 @@ process-management helpers the CLI uses (:func:`spawn_daemon`,
 
 from __future__ import annotations
 
+import errno
 import heapq
 import os
 import socket
 import socketserver
+import stat
 import subprocess
 import sys
 import tempfile
@@ -287,7 +289,20 @@ class ContainmentDaemon:
                 "default_deadline": self.shed.default_deadline,
             },
             "plan_cache_entries": len(self.service.cache),
+            "store": self._store_status(),
             "stats": self.service.stats.as_dict(),
+        }
+
+    def _store_status(self) -> Optional[Dict[str, object]]:
+        store = self.service.store
+        if store is None:
+            return None
+        return {
+            "path": store.path,
+            "entries": len(store),
+            "recovered": store.recovered,
+            "dropped": store.dropped,
+            "appended": store.appended,
         }
 
     def handle_batch(self, request: BatchRequest) -> BatchResponse:
@@ -385,6 +400,8 @@ class ContainmentDaemon:
         degraded.options = replace(self.service.options, pair_budget=pair_budget)
         degraded.stats = self.service.stats
         degraded.cache = self.service.cache
+        # Same durable store tier (or None): degraded verdicts persist too.
+        degraded.store = self.service.store
         # Borrow the warm worker pool too (process mode): the view must never
         # spawn a pool of its own, and it never closes the shared one.
         degraded._process_pool = self.service._shared_process_pool()
@@ -401,16 +418,41 @@ class _Handler(socketserver.StreamRequestHandler):
             if not line.strip():
                 continue
             response = daemon.handle_line(line)
+            stopping = daemon.stopping.is_set()
+            if stopping:
+                # Unlink the socket path *before* the ack goes out, so a
+                # client that saw the stop reply never finds a lingering
+                # socket file (the established connection is unaffected).
+                _unlink_bound_socket(self.server)
             try:
                 self.wfile.write(response.encode("utf-8") + b"\n")
                 self.wfile.flush()
             except (BrokenPipeError, ConnectionResetError):
                 return
-            if daemon.stopping.is_set():
+            if stopping:
                 # Acknowledge first, then bring the server down from a side
                 # thread (shutdown() deadlocks when called from a handler).
                 threading.Thread(target=self.server.shutdown, daemon=True).start()
                 return
+
+
+def _unlink_bound_socket(server) -> None:
+    """Remove the Unix socket file ``server`` bound, and only that one.
+
+    Inode-guarded: a newer daemon may have already replaced a stale file
+    with its own socket, and its socket must survive our cleanup.  A path
+    someone else already removed is fine too.
+    """
+    daemon = getattr(server, "containment_daemon", None)
+    address = getattr(daemon, "address", None)
+    inode = getattr(server, "bound_inode", None)
+    if address is None or address.kind != "unix" or inode is None:
+        return
+    try:
+        if os.lstat(address.path).st_ino == inode:
+            os.unlink(address.path)
+    except OSError:
+        pass
 
 
 class _ThreadingMixIn(socketserver.ThreadingMixIn):
@@ -430,6 +472,31 @@ class _TCPServer(_ThreadingMixIn, socketserver.TCPServer):
     allow_reuse_address = True
 
 
+def _clear_stale_socket(address: Address) -> None:
+    """Remove a dead leftover socket file at ``address.path``, if any.
+
+    A SIGKILLed daemon leaves its socket file behind; binding over it fails
+    with EADDRINUSE even though nothing is listening.  Refuse to touch a
+    path that is not a socket (a config typo must not delete a real file),
+    refuse to steal a *live* socket, and tolerate another starter winning
+    the unlink race.
+    """
+    try:
+        mode = os.lstat(address.path).st_mode
+    except FileNotFoundError:
+        return
+    if not stat.S_ISSOCK(mode):
+        raise DaemonUnavailable(
+            f"refusing to replace {address.path}: it exists but is not a socket"
+        )
+    if _probe(address, timeout=1.0):
+        raise DaemonUnavailable(f"a daemon is already serving {address.path}")
+    try:
+        os.unlink(address.path)
+    except FileNotFoundError:
+        pass  # a concurrent starter removed it first
+
+
 def make_server(daemon: ContainmentDaemon, address: Address):
     """Bind a threading socketserver for ``daemon`` at ``address``."""
     if address.kind == "unix":
@@ -437,13 +504,17 @@ def make_server(daemon: ContainmentDaemon, address: Address):
             raise DaemonUnavailable(
                 "this platform has no AF_UNIX; use a host:port TCP address"
             )
-        if os.path.exists(address.path):
-            # A previous daemon may have crashed without unlinking.  Refuse
-            # to steal a *live* socket; replace a dead one.
-            if _probe(address, timeout=1.0):
-                raise DaemonUnavailable(f"a daemon is already serving {address.path}")
-            os.unlink(address.path)
-        server = _UnixServer(address.path, _Handler)
+        _clear_stale_socket(address)
+        try:
+            server = _UnixServer(address.path, _Handler)
+        except OSError as error:
+            if error.errno != errno.EADDRINUSE:
+                raise
+            # Lost a race: someone created the path between our unlink and
+            # bind.  Re-run the liveness check once — if that occupant is
+            # dead too, clear it and bind; if it is live, this raises.
+            _clear_stale_socket(address)
+            server = _UnixServer(address.path, _Handler)
     else:
         server = _TCPServer((address.host, address.port), _Handler)
     server.containment_daemon = daemon
@@ -464,15 +535,22 @@ def serve(
     """
     daemon = ContainmentDaemon(options=options, shed=shed)
     server = make_server(daemon, address)
+    server.bound_inode = None
+    if address.kind == "unix":
+        try:
+            server.bound_inode = os.lstat(address.path).st_ino
+        except OSError:  # pragma: no cover - bind just created it
+            pass
     try:
         if ready_callback is not None:
             ready_callback(daemon)
         server.serve_forever(poll_interval=0.1)
     finally:
         server.server_close()
+        # Normally already gone (the stop handler unlinks before its ack);
+        # this covers exits that never saw a stop request.
+        _unlink_bound_socket(server)
         daemon.service.close()
-        if address.kind == "unix" and os.path.exists(address.path):
-            os.unlink(address.path)
 
 
 # ---------------------------------------------------------------------- #

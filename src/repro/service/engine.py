@@ -405,6 +405,8 @@ class BatchEngine:
         # The current run's batch span id: chunk solves run on pool threads
         # whose span stacks are empty, so they parent here explicitly.
         self._batch_span_id: Optional[int] = None
+        # Per-pair pipeline seconds of the most recent run (see _collect).
+        self.last_pair_seconds: List[float] = []
 
     # ------------------------------------------------------------------ #
     # Worker-pool plumbing
@@ -780,6 +782,9 @@ class BatchEngine:
         self._finalize_run(run)
 
     def _collect(self, runs) -> List[ContainmentResult]:
+        # Per-pair pipeline wall clock, index-aligned with the returned
+        # results; the service records it as store provenance.
+        self.last_pair_seconds = [run.elapsed for run in runs]
         results: List[ContainmentResult] = []
         for run in runs:
             if run.error is not None:

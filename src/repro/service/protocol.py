@@ -15,7 +15,11 @@ Requests
     Liveness probe; answered immediately, never queued.
 ``{"op": "status"}``
     Daemon metadata (pid, uptime, address, queue depth, worker pool) plus a
-    full :class:`~repro.service.stats.ServiceStats` snapshot.
+    full :class:`~repro.service.stats.ServiceStats` snapshot.  When the
+    daemon runs with a durable verdict store (``--store``), the reply also
+    carries a ``store`` block (path, entries, recovered/dropped counts from
+    the open-time replay, rows appended this process); without one,
+    ``store`` is ``null``.
 ``{"op": "metrics"}``
     The daemon's metrics in the Prometheus text exposition format: the
     response carries ``content_type`` (``text/plain; version=0.0.4``) and
@@ -152,7 +156,12 @@ def encode_request(request: Request) -> str:
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class PairVerdict:
-    """One pair's outcome on the wire (mirrors a service PairOutcome)."""
+    """One pair's outcome on the wire (mirrors a service PairOutcome).
+
+    ``source`` is the service's provenance tag: ``"solved"``,
+    ``"batch-dedup"``, ``"plan-cache"`` or ``"store"`` (answered from the
+    durable verdict store on disk).
+    """
 
     index: int
     status: str

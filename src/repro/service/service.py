@@ -6,6 +6,15 @@ plan cache, routes the unique survivors through the grouped block-LP engine,
 and keeps service-level statistics across calls.  The module-level
 :func:`decide_containment_many` wraps a one-shot service for the common
 "decide this list of pairs" use.
+
+With :attr:`BatchOptions.store_path` set, the service also runs a durable
+second tier behind the in-memory plan cache: a pair that misses the cache is
+probed against the :class:`~repro.store.VerdictStore` (counted separately as
+``store_hits``), a store hit is promoted back into the cache, and every
+cacheable solved verdict is recorded to the store with provenance — so a
+restarted service replays previously decided pairs without a single LP
+solve.  Evidence from either tier is renamed onto the requesting pair's own
+variable names (see :mod:`repro.service.evidence`).
 """
 
 from __future__ import annotations
@@ -20,8 +29,9 @@ from repro.exceptions import QueryError
 from repro.obs import tracer as obs_tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import PlanCache
-from repro.service.canonical import pair_key
+from repro.service.canonical import PairLabelings, pair_key_with_labelings
 from repro.service.engine import BatchEngine, PipelineSpec
+from repro.service.evidence import rename_result, requester_mappings
 from repro.service.stats import ServiceStats
 
 QueryPair = Tuple[ConjunctiveQuery, ConjunctiveQuery]
@@ -36,7 +46,7 @@ _USE_OPTIONS_DEADLINE = object()
 
 def _pair_key_task(pair: QueryPair):
     """Module-level (hence picklable) canonicalization step for pool fan-out."""
-    return pair_key(pair[0], pair[1])
+    return pair_key_with_labelings(pair[0], pair[1])
 
 
 @dataclass(frozen=True)
@@ -64,6 +74,11 @@ class BatchOptions:
     bound in seconds for each :meth:`ContainmentService.run` call: pairs
     still undecided when it expires are reported as UNKNOWN
     ``"deadline-exceeded"`` results in the batch report, never raised.
+
+    ``store_path`` points the service at a durable
+    :class:`~repro.store.VerdictStore` behind the plan cache (``None`` = no
+    persistence).  Requires ``canonicalize=True`` — the store is keyed by
+    canonical pair keys.
     """
 
     method: str = "auto"
@@ -79,6 +94,7 @@ class BatchOptions:
     lp_backend: str = "auto"
     worker_mode: str = "auto"
     deadline: Optional[float] = None
+    store_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -86,8 +102,9 @@ class PairOutcome:
     """Provenance of one submitted pair's result.
 
     ``source`` is ``"solved"`` (the pair ran its own pipeline),
-    ``"batch-dedup"`` (folded into an equivalent pair of the same batch) or
-    ``"plan-cache"`` (answered from a previous call of the same service).
+    ``"batch-dedup"`` (folded into an equivalent pair of the same batch),
+    ``"plan-cache"`` (answered from a previous call of the same service) or
+    ``"store"`` (answered from the durable verdict store on disk).
     """
 
     index: int
@@ -136,6 +153,22 @@ class ContainmentService:
         # private one.
         self.stats = ServiceStats(registry)
         self.cache = PlanCache(maxsize=options.cache_size)
+        self.store = None
+        if options.store_path is not None:
+            if not options.canonicalize:
+                raise ValueError(
+                    "the durable verdict store requires canonicalize=True "
+                    "(it is keyed by canonical pair keys)"
+                )
+            from repro.store import VerdictStore
+
+            self.store = VerdictStore(options.store_path)
+            store = self.store
+            self.stats.registry.gauge(
+                "repro_store_entries",
+                "Distinct verdicts held by the durable store.",
+                callback=lambda: float(len(store)),
+            )
         # In process mode the worker pool is as much long-lived warm state as
         # the plan cache: it lives on the service and is lent to each run's
         # engine, so a persistent service (e.g. the daemon) pays the worker
@@ -154,10 +187,13 @@ class ContainmentService:
         return self._process_pool
 
     def close(self) -> None:
-        """Release the shared worker-process pool (idempotent)."""
+        """Release the worker-process pool and the verdict store (idempotent)."""
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
             self._process_pool = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
     def __enter__(self) -> "ContainmentService":
         return self
@@ -221,51 +257,98 @@ class ContainmentService:
             if not isinstance(q1, ConjunctiveQuery) or not isinstance(q2, ConjunctiveQuery):
                 raise QueryError("pairs must be (ConjunctiveQuery, ConjunctiveQuery) tuples")
 
-        # Canonical-labeling keys: pure GIL-bound query-side work, fanned out
-        # over the engine's worker processes in process mode.
+        # Canonical-labeling keys (with per-side labelings): pure GIL-bound
+        # query-side work, fanned out over the engine's worker processes in
+        # process mode.
         with obs_tracer.span("canonicalize", pairs=len(pairs)):
             if self.options.canonicalize and pairs:
-                keys = engine.map_query_side(_pair_key_task, pairs)
+                keyed = engine.map_query_side(_pair_key_task, pairs)
             else:
-                keys = [None] * len(pairs)
+                keyed = [(None, None)] * len(pairs)
 
-        jobs: List[Tuple[QueryPair, Optional[Hashable]]] = []
-        # Per input pair: ("cache", result) | ("job", job_index, source)
-        placements: List[Tuple[str, object, str]] = []
+        jobs: List[Tuple[QueryPair, Optional[Hashable], Optional[PairLabelings]]] = []
+        # Per input pair: ("hit", result, source) | ("job", job_index, source,
+        # labelings) — hits resolve immediately, jobs after the engine run.
+        placements: List[Tuple] = []
         first_seen: Dict[Hashable, int] = {}
         with obs_tracer.span("plan-cache", pairs=len(pairs)) as cache_span:
-            hits = duplicates = 0
-            for (q1, q2), key in zip(pairs, keys):
+            hits = store_hits = duplicates = 0
+            for (q1, q2), (key, labelings) in zip(pairs, keyed):
                 if key is not None:
-                    cached = self.cache.get(key)
+                    cached = self.cache.get(key, labelings)
                     if cached is not None:
                         self.stats.cache_hits += 1
                         hits += 1
-                        placements.append(("cache", cached, "plan-cache"))
+                        placements.append(("hit", cached, "plan-cache"))
                         continue
+                    if self.store is not None:
+                        stored = self.store.get(key)
+                        if stored is not None:
+                            self.stats.store_hits += 1
+                            store_hits += 1
+                            # Promote the canonical entry into the memory tier,
+                            # then rename onto this requester's variables.
+                            self.cache.put(key, stored)
+                            mapping1, mapping2 = requester_mappings(labelings)
+                            placements.append(
+                                ("hit", rename_result(stored, mapping1, mapping2), "store")
+                            )
+                            continue
                     if key in first_seen:
                         self.stats.batch_duplicates += 1
                         duplicates += 1
-                        placements.append(("job", first_seen[key], "batch-dedup"))
+                        placements.append(
+                            ("job", first_seen[key], "batch-dedup", labelings)
+                        )
                         continue
                     first_seen[key] = len(jobs)
-                placements.append(("job", len(jobs), "solved"))
-                jobs.append(((q1, q2), key))
-            cache_span.set(hits=hits, duplicates=duplicates)
+                placements.append(("job", len(jobs), "solved", labelings))
+                jobs.append(((q1, q2), key, labelings))
+            cache_span.set(hits=hits, store_hits=store_hits, duplicates=duplicates)
 
-        solved = engine.run_specs([self._spec(q1, q2) for (q1, q2), _ in jobs])
-        for ((_, _), key), result in zip(jobs, solved):
-            if key is not None and result.method not in _UNCACHEABLE_METHODS:
-                self.cache.put(key, result)
+        solved = engine.run_specs([self._spec(q1, q2) for (q1, q2), _, _ in jobs])
+        canonical_by_job: Dict[int, ContainmentResult] = {}
+        for job_index, (((_, _), key, labelings), result) in enumerate(
+            zip(jobs, solved)
+        ):
+            if key is None or result.method in _UNCACHEABLE_METHODS:
+                continue
+            canonical = self.cache.put(key, result, labelings)
+            canonical_by_job[job_index] = canonical
+            if self.store is not None:
+                pair_seconds = None
+                if job_index < len(engine.last_pair_seconds):
+                    pair_seconds = engine.last_pair_seconds[job_index]
+                self.store.record(
+                    key,
+                    canonical,
+                    provenance={
+                        "origin": "containment-service",
+                        "backend": self.options.lp_backend,
+                        "lp_method": self.options.lp_method,
+                        "created_at": time.time(),
+                        "pair_seconds": pair_seconds,
+                    },
+                )
+        if self.store is not None:
+            self.store.flush()
 
         outcomes: List[PairOutcome] = []
-        for index, (kind, payload, source) in enumerate(placements):
-            if kind == "cache":
-                result = payload
+        for index, placement in enumerate(placements):
+            if placement[0] == "hit":
+                _, result, source = placement
                 key = None
             else:
-                result = solved[payload]
-                key = jobs[payload][1]
+                _, job_index, source, labelings = placement
+                result = solved[job_index]
+                key = jobs[job_index][1]
+                if source == "batch-dedup":
+                    # The duplicate's evidence must be in *its* variables, not
+                    # the variables of the batch-mate that ran the pipeline.
+                    canonical = canonical_by_job.get(job_index)
+                    if canonical is not None and labelings is not None:
+                        mapping1, mapping2 = requester_mappings(labelings)
+                        result = rename_result(canonical, mapping1, mapping2)
             outcomes.append(
                 PairOutcome(index=index, result=result, source=source, key=key)
             )

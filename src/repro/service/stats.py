@@ -102,6 +102,10 @@ class ServiceStats:
         "repro_plan_cache_hits_total",
         "Pairs answered from the canonical-form plan cache.",
     )
+    store_hits = _CounterField(
+        "repro_store_hits_total",
+        "Pairs answered from the durable verdict store (disk tier).",
+    )
     batch_duplicates = _CounterField(
         "repro_batch_duplicates_total",
         "Pairs deduplicated against an identical pair in the same batch.",
@@ -222,6 +226,7 @@ class ServiceStats:
             "pairs_submitted": self.pairs_submitted,
             "pipelines_run": self.pipelines_run,
             "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
             "batch_duplicates": self.batch_duplicates,
             "pair_errors": self.pair_errors,
             "pairs_over_budget": self.pairs_over_budget,

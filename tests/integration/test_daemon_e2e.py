@@ -90,3 +90,103 @@ def test_start_refuses_a_second_daemon_on_the_same_socket(spawned_daemon):
     socket_path, _, _ = spawned_daemon
     with pytest.raises(DaemonUnavailable):
         spawn_daemon(socket_path)
+
+
+def test_restart_over_stale_socket_after_sigkill(spawned_daemon, tmp_path):
+    socket_path, pid, _ = spawned_daemon
+    # SIGKILL skips the daemon's cleanup: the socket file stays behind.
+    os.kill(pid, signal.SIGKILL)
+    os.waitpid(pid, 0)
+    assert os.path.exists(socket_path)
+    assert not daemon_available(socket_path, timeout=1.0)
+
+    # A fresh start must clear the dead socket and bind cleanly.
+    new_pid = spawn_daemon(
+        socket_path,
+        extra_args=["--jobs", "2"],
+        log_path=str(tmp_path / "restart.log"),
+    )
+    try:
+        assert daemon_available(socket_path, timeout=1.0)
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text(PAIRS_TEXT)
+        code, output = run_cli(
+            "batch", str(pairs), "--daemon", socket_path, "--daemon-only"
+        )
+        assert code == 0, output
+    finally:
+        try:
+            os.kill(new_pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+
+
+def test_refuses_to_replace_a_regular_file(tmp_path):
+    from repro.service.daemon import _clear_stale_socket
+    from repro.service.protocol import parse_address
+
+    decoy = tmp_path / "not-a-socket"
+    decoy.write_text("precious data\n")
+    with pytest.raises(DaemonUnavailable, match="not a socket"):
+        _clear_stale_socket(parse_address(str(decoy)))
+    # The file survives untouched.
+    assert decoy.read_text() == "precious data\n"
+
+
+def test_restarted_daemon_replays_from_store(tmp_path, capsys):
+    socket_path = str(tmp_path / "store.sock")
+    store_path = str(tmp_path / "verdicts.sqlite")
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text(PAIRS_TEXT)
+
+    def start():
+        return spawn_daemon(
+            socket_path,
+            extra_args=["--jobs", "2", "--store", store_path],
+            log_path=str(tmp_path / "daemon-store.log"),
+        )
+
+    pid = start()
+    try:
+        code, _ = run_cli(
+            "batch", str(pairs), "--daemon", socket_path, "--daemon-only"
+        )
+        assert code == 0
+        code, _ = run_cli("daemon", "stop", "--socket", socket_path)
+        assert code == 0
+    finally:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+
+    # Restart: the store warms the new process, so the replay makes zero
+    # new LP solves.
+    pid = start()
+    try:
+        code, output = run_cli(
+            "batch", str(pairs), "--daemon", socket_path, "--daemon-only", "--stats"
+        )
+        assert code == 0, output
+        records = [json.loads(line) for line in output.splitlines()]
+        stats = json.loads(capsys.readouterr().err.splitlines()[-1])["stats"]
+        assert all(
+            r["source"] in ("store", "plan-cache", "batch-dedup") for r in records
+        )
+        assert stats["store_hits"] > 0
+        assert stats["pipelines_run"] == 0
+        assert stats["block_solves"] == 0 and stats["scalar_solves"] == 0
+
+        code, output = run_cli("daemon", "status", "--socket", socket_path)
+        assert code == 0
+        status = json.loads(output)
+        assert status["store"]["path"] == store_path
+        assert status["store"]["entries"] > 0
+
+        code, _ = run_cli("daemon", "stop", "--socket", socket_path)
+        assert code == 0
+    finally:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass

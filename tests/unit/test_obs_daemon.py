@@ -37,6 +37,7 @@ class TestServiceStatsView:
         "pairs_submitted",
         "pipelines_run",
         "cache_hits",
+        "store_hits",
         "batch_duplicates",
         "pair_errors",
         "pairs_over_budget",

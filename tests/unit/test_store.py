@@ -1,0 +1,247 @@
+"""Tests for the durable SQLite verdict store (:mod:`repro.store`)."""
+
+import json
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.core.containment import ContainmentStatus, decide_containment
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.exceptions import StoreError
+from repro.service import BatchOptions, ContainmentService
+from repro.service.cache import PlanCache
+from repro.service.canonical import pair_key_with_labelings
+from repro.store import VerdictStore, build_record, structural_hash, verify_store
+from repro.store.serialize import (
+    canonical_json,
+    decode_key,
+    encode_key,
+    queries_from_key,
+    validate_record,
+)
+
+CORPUS = Path(__file__).resolve().parents[1] / "regression" / "containment_corpus.json"
+
+TRIANGLE = parse_query("R(x,y), R(y,z), R(z,x)")
+VEE = parse_query("R(a,b), R(a,c)")
+PATH2 = parse_query("R(x,y), R(y,z)")
+EDGE = parse_query("R(a,b)")
+
+
+def canonical_result(q1, q2):
+    """Solve a pair and return (key, canonical-variable result)."""
+    key, labelings = pair_key_with_labelings(q1, q2)
+    result = decide_containment(q1, q2)
+    return key, PlanCache().put(key, result, labelings)
+
+
+class TestSerialization:
+    def test_key_roundtrip(self):
+        key, _ = pair_key_with_labelings(TRIANGLE, VEE)
+        assert decode_key(json.loads(canonical_json(encode_key(key)))) == key
+
+    def test_queries_from_key_rebuild_the_canonical_pair(self):
+        key, _ = pair_key_with_labelings(TRIANGLE, VEE)
+        q1, q2 = queries_from_key(key)
+        rebuilt, _ = pair_key_with_labelings(q1, q2)
+        assert rebuilt == key
+
+    def test_contained_record_carries_certificate(self):
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        record = build_record(key, canonical)
+        assert record["status"] == "contained"
+        assert record["evidence"]["certificate"] is not None
+        validate_record(json.loads(canonical_json(record)))
+
+    def test_not_contained_record_carries_witness(self):
+        key, canonical = canonical_result(PATH2, EDGE)
+        record = build_record(key, canonical)
+        assert record["status"] == "not_contained"
+        witness = record["evidence"]["witness"]
+        assert witness["hom_q1"] > witness["hom_q2"]
+
+    def test_validate_record_rejects_wrong_hash(self):
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        record = build_record(key, canonical)
+        record["hash"] = "0" * 64
+        with pytest.raises(StoreError):
+            validate_record(record)
+
+
+class TestVerdictStore:
+    def test_roundtrip_through_reopen(self, tmp_path):
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        path = str(tmp_path / "store.sqlite")
+        with VerdictStore(path) as store:
+            store.record(key, canonical, provenance={"origin": "test"})
+        with VerdictStore(path) as store:
+            assert store.recovered == 1 and store.dropped == 0
+            hit = store.get(key)
+            assert hit.status is ContainmentStatus.CONTAINED
+            assert hit.method == canonical.method
+            assert hit.provenance == "store-hit"
+            assert hit.verdict is not None and hit.verdict.certificate is not None
+
+    def test_record_is_first_wins(self, tmp_path):
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        with VerdictStore(str(tmp_path / "s.sqlite")) as store:
+            store.record(key, canonical)
+            store.record(key, canonical)
+            store.flush()
+            assert len(store) == 1
+            assert store.appended == 1
+
+    def test_torn_final_record_recovers_longest_valid_prefix(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        keys = []
+        with VerdictStore(path) as store:
+            for q1, q2 in [(TRIANGLE, VEE), (PATH2, EDGE)]:
+                key, canonical = canonical_result(q1, q2)
+                keys.append(key)
+                store.record(key, canonical)
+        # Tear the final record: a crash mid-write leaves a payload whose
+        # checksum no longer matches.
+        connection = sqlite3.connect(path)
+        (last_seq,) = connection.execute("SELECT MAX(seq) FROM log").fetchone()
+        connection.execute(
+            "UPDATE log SET payload = substr(payload, 1, length(payload) / 2) "
+            "WHERE seq = ?",
+            (last_seq,),
+        )
+        connection.commit()
+        connection.close()
+
+        with VerdictStore(path) as store:
+            assert store.recovered == 1 and store.dropped == 1
+            assert store.get(keys[0]) is not None
+            assert store.get(keys[1]) is None
+            # The recovered prefix is fully intact: the audit flags nothing.
+            assert verify_store(store).ok
+        # The torn tail was dropped from disk: the next open is clean.
+        with VerdictStore(path) as store:
+            assert store.recovered == 1 and store.dropped == 0
+
+    def test_corrupt_middle_row_drops_everything_after_it(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        pairs = [(TRIANGLE, VEE), (PATH2, EDGE), (parse_query("R(u,u)"), EDGE)]
+        with VerdictStore(path) as store:
+            for q1, q2 in pairs:
+                key, canonical = canonical_result(q1, q2)
+                store.record(key, canonical)
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE log SET checksum = 'bogus' WHERE seq = "
+            "(SELECT seq FROM log ORDER BY seq LIMIT 1 OFFSET 1)"
+        )
+        connection.commit()
+        connection.close()
+        with VerdictStore(path) as store:
+            assert store.recovered == 1 and store.dropped == 2
+
+    def test_compact_removes_superseded_rows(self, tmp_path):
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        record = build_record(key, canonical)
+        with VerdictStore(str(tmp_path / "s.sqlite")) as store:
+            store.append_record(record)
+            store.append_record(record)
+            store.flush()
+            assert store.info()["log_rows"] == 2
+            assert store.compact() == 1
+            assert store.info()["log_rows"] == 1
+            assert len(store) == 1
+
+    def test_import_skips_present_hashes(self, tmp_path):
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        with VerdictStore(str(tmp_path / "a.sqlite")) as source:
+            source.record(key, canonical)
+            source.flush()
+            import io
+
+            dump = io.StringIO()
+            source.export_jsonl(dump)
+        with VerdictStore(str(tmp_path / "b.sqlite")) as target:
+            dump.seek(0)
+            assert target.import_jsonl(dump) == (1, 0)
+            dump.seek(0)
+            assert target.import_jsonl(dump) == (0, 1)
+
+    def test_closed_store_refuses_writes(self, tmp_path):
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        store = VerdictStore(str(tmp_path / "s.sqlite"))
+        store.close()
+        with pytest.raises(StoreError):
+            store.record(key, canonical)
+
+
+def _corpus_query(record):
+    parsed = parse_query(record["body"], name=record["name"])
+    if record["head"]:
+        return ConjunctiveQuery(
+            atoms=parsed.atoms, head=tuple(record["head"]), name=record["name"]
+        )
+    return parsed
+
+
+def _corpus_pairs():
+    corpus = json.loads(CORPUS.read_text())
+    return (
+        [(_corpus_query(e["q1"]), _corpus_query(e["q2"])) for e in corpus["pairs"]],
+        [e["status"] for e in corpus["pairs"]],
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus_store(tmp_path_factory):
+    """The frozen known-verdict corpus solved once into a store."""
+    pairs, expected = _corpus_pairs()
+    path = str(tmp_path_factory.mktemp("corpus") / "corpus.sqlite")
+    service = ContainmentService(
+        BatchOptions(on_error="capture", store_path=path)
+    )
+    statuses = [result.status.value for result in service.run(pairs).results]
+    service.close()
+    assert statuses == expected
+    return path
+
+
+class TestCorpusRoundTrip:
+    def test_export_import_roundtrips_byte_identically_and_verifies(
+        self, corpus_store, tmp_path
+    ):
+        import io
+
+        with VerdictStore(corpus_store) as store:
+            first = io.StringIO()
+            store.export_jsonl(first)
+            assert verify_store(store).ok
+        with VerdictStore(str(tmp_path / "copy.sqlite")) as copy:
+            source = io.StringIO(first.getvalue())
+            imported, skipped = copy.import_jsonl(source)
+            assert skipped == 0 and imported > 0
+            second = io.StringIO()
+            copy.export_jsonl(second)
+            assert second.getvalue() == first.getvalue()
+            report = verify_store(copy)
+            assert report.ok
+            assert report.checked == imported
+
+    def test_restarted_service_replays_corpus_without_solving(self, corpus_store):
+        pairs, expected = _corpus_pairs()
+        service = ContainmentService(
+            BatchOptions(on_error="capture", store_path=corpus_store)
+        )
+        try:
+            report = service.run(pairs)
+            assert [r.status.value for r in report.results] == expected
+            # Store hits promote their key into the plan cache, so an
+            # isomorphic duplicate later in the batch hits the memory tier.
+            assert all(
+                outcome.source in ("store", "plan-cache", "batch-dedup")
+                for outcome in report.outcomes
+            )
+            assert service.stats.store_hits > 0
+            assert service.stats.pipelines_run == 0
+        finally:
+            service.close()
