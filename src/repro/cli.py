@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -75,6 +76,13 @@ from repro.service.daemon import (
     stop_daemon,
 )
 from repro.service.engine import WORKER_MODES
+from repro.service.fleet import (
+    fleet_metrics,
+    fleet_status,
+    serve_gateway,
+    start_fleet,
+    stop_fleet,
+)
 from repro.service.protocol import PRIORITIES, SHED_POLICIES, parse_address
 
 
@@ -305,6 +313,15 @@ def _batch_via_daemon(args, pairs, texts, out) -> Optional[int]:
 
 
 def _cmd_batch(args, out) -> int:
+    if args.fleet is not None:
+        if args.daemon is not None:
+            print("error: --fleet and --daemon are mutually exclusive", file=out)
+            return 2
+        # The gateway speaks the daemon protocol, so --fleet is --daemon
+        # pointed at the gateway — minus the in-process fallback: a fleet
+        # outage should be loud, not silently absorbed by one local solve.
+        args.daemon = args.fleet
+        args.daemon_only = True
     pairs, texts = _read_pairs(args.pairs_file)
     if args.daemon is not None:
         if args.trace:
@@ -453,6 +470,76 @@ def _cmd_daemon_status(args, out) -> int:
     status.pop("ok", None)
     status.pop("protocol", None)
     print(json.dumps(status, indent=2, sort_keys=True), file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Fleet management
+# ---------------------------------------------------------------------- #
+def _cmd_fleet_start(args, out) -> int:
+    if args.store is not None:
+        print(
+            "error: --store is per-replica in a fleet and is derived from "
+            "--dir; remove the flag",
+            file=out,
+        )
+        return 2
+    manifest = start_fleet(
+        directory=args.dir,
+        replicas=args.replicas,
+        gateway_address=args.socket,
+        engine_args=_daemon_run_args(args),
+        probe_interval=args.probe_interval,
+        verify_every=args.verify_every,
+    )
+    gateway = manifest["gateway"]
+    print(
+        f"fleet started: {len(manifest['replicas'])} replicas behind "
+        f"gateway {gateway['address']} (pid {gateway['pid']})",
+        file=out,
+    )
+    for entry in manifest["replicas"]:
+        print(
+            f"  {entry['name']}: pid {entry['pid']}, address "
+            f"{entry['address']}, store {entry['store']}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_fleet_stop(args, out) -> int:
+    summary = stop_fleet(args.dir)
+    print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def _cmd_fleet_status(args, out) -> int:
+    if args.prom:
+        print(
+            fleet_metrics(address=args.socket, directory=args.dir),
+            end="",
+            file=out,
+        )
+        return 0
+    status = fleet_status(address=args.socket, directory=args.dir)
+    status.pop("ok", None)
+    status.pop("protocol", None)
+    print(json.dumps(status, indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def _cmd_fleet_gateway(args, out) -> int:
+    def announce(gateway):
+        print(
+            f"gateway pid {os.getpid()} serving {gateway.status()['fleet_size']} "
+            f"replicas at {gateway.address}",
+            file=out,
+        )
+        if out is sys.stdout:
+            out.flush()
+
+    serve_gateway(args.manifest, address=args.socket, ready_callback=announce)
+    print("gateway stopped", file=out)
     return 0
 
 
@@ -629,6 +716,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --daemon: fail instead of falling back when no daemon answers",
     )
     batch.add_argument(
+        "--fleet",
+        default=None,
+        metavar="ADDRESS",
+        help=(
+            "send the batch to a fleet gateway (see 'repro fleet start'); the "
+            "gateway speaks the daemon protocol, so this is --daemon pointed "
+            "at the gateway, without the in-process fallback"
+        ),
+    )
+    batch.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -783,6 +880,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Prometheus text exposition instead of the JSON status",
     )
     status.set_defaults(handler=_cmd_daemon_status)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="run N daemon replicas behind a hash-sharding asyncio gateway",
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def add_fleet_dir(sub):
+        sub.add_argument(
+            "--dir",
+            default=None,
+            metavar="DIRECTORY",
+            help=(
+                "the fleet directory holding the manifest, per-replica "
+                "sockets, stores and logs (default: repro-fleet-<uid> under "
+                "the temp dir)"
+            ),
+        )
+
+    fleet_start = fleet_commands.add_parser(
+        "start",
+        help="spawn N replicas on per-replica stores plus the gateway",
+    )
+    add_fleet_dir(fleet_start)
+    fleet_start.add_argument(
+        "--replicas", type=int, default=2, help="replica count (default 2)"
+    )
+    fleet_start.add_argument(
+        "--socket",
+        default=None,
+        metavar="ADDRESS",
+        help="gateway endpoint (default <dir>/gateway.sock)",
+    )
+    fleet_start.add_argument(
+        "--probe-interval",
+        type=float,
+        default=2.0,
+        help="seconds between gateway health probes of each replica (default 2)",
+    )
+    fleet_start.add_argument(
+        "--verify-every",
+        type=int,
+        default=0,
+        help=(
+            "additionally audit each replica's store (cache-verify semantics) "
+            "every N probe sweeps; 0 disables the audit (default)"
+        ),
+    )
+    _add_engine_arguments(fleet_start)
+    _add_shed_arguments(fleet_start)
+    fleet_start.set_defaults(handler=_cmd_fleet_start)
+
+    fleet_stop = fleet_commands.add_parser(
+        "stop", help="stop the gateway first, then every replica"
+    )
+    add_fleet_dir(fleet_stop)
+    fleet_stop.set_defaults(handler=_cmd_fleet_stop)
+
+    fleet_status_cmd = fleet_commands.add_parser(
+        "status", help="print the gateway's fleet status as JSON"
+    )
+    add_fleet_dir(fleet_status_cmd)
+    fleet_status_cmd.add_argument(
+        "--socket",
+        default=None,
+        metavar="ADDRESS",
+        help="gateway endpoint (default: resolved from the manifest in --dir)",
+    )
+    fleet_status_cmd.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the gateway's Prometheus exposition instead of JSON",
+    )
+    fleet_status_cmd.set_defaults(handler=_cmd_fleet_status)
+
+    fleet_gateway = fleet_commands.add_parser(
+        "gateway",
+        help="run the gateway in the foreground (used by 'fleet start')",
+    )
+    fleet_gateway.add_argument(
+        "--manifest", required=True, help="path to the fleet.json manifest"
+    )
+    fleet_gateway.add_argument(
+        "--socket",
+        default=None,
+        metavar="ADDRESS",
+        help="bind address override (default: the manifest's gateway address)",
+    )
+    fleet_gateway.set_defaults(handler=_cmd_fleet_gateway)
 
     cache = subparsers.add_parser(
         "cache",

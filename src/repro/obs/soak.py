@@ -38,6 +38,7 @@ from repro.obs.metrics import parse_exposition
 from repro.service.daemon import (
     ContainmentDaemon,
     DaemonClient,
+    DaemonConnectionBroken,
     DaemonUnavailable,
     make_server,
 )
@@ -201,7 +202,7 @@ def _client_worker(
                 deadline_seconds=options.deadline_seconds,
                 priority=options.priority,
             )
-        except DaemonUnavailable as error:
+        except (DaemonUnavailable, DaemonConnectionBroken) as error:
             outcomes[index] = _RequestOutcome(
                 index=index,
                 latency=time.perf_counter() - sent,

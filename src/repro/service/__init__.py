@@ -20,7 +20,11 @@ turns the library into a serving system that absorbs *workloads* of pairs:
 * :mod:`repro.service.daemon` — the persistent daemon: a long-lived server
   process that keeps one warm service (plan cache, cached provers, lattice
   contexts) alive across CLI invocations, with admission control
-  (queue-depth shedding, per-request deadlines, priorities).
+  (queue-depth shedding, per-request deadlines, priorities);
+* :mod:`repro.service.fleet` — N daemon replicas behind one asyncio
+  gateway that shards pairs by structural hash (per-replica cache
+  affinity), re-routes around dead replicas mid-batch, and re-warms
+  drained replicas from their peers' verdict stores.
 
 Quickstart
 ----------
@@ -39,6 +43,7 @@ from repro.service.cache import PlanCache
 from repro.service.daemon import (
     ContainmentDaemon,
     DaemonClient,
+    DaemonConnectionBroken,
     DaemonUnavailable,
     ShedOptions,
     daemon_available,
@@ -47,6 +52,16 @@ from repro.service.daemon import (
     stop_daemon,
 )
 from repro.service.engine import BatchEngine, PipelineSpec, PipelineStep, PipelineTask
+from repro.service.fleet import (
+    FleetError,
+    FleetGateway,
+    ReplicaSpec,
+    fleet_status,
+    merge_stores,
+    spawn_gateway,
+    start_fleet,
+    stop_fleet,
+)
 from repro.service.service import (
     BatchOptions,
     BatchReport,
@@ -63,13 +78,17 @@ __all__ = [
     "ContainmentDaemon",
     "ContainmentService",
     "DaemonClient",
+    "DaemonConnectionBroken",
     "DaemonUnavailable",
+    "FleetError",
+    "FleetGateway",
     "GroupTiming",
     "PairOutcome",
     "PipelineSpec",
     "PipelineStep",
     "PipelineTask",
     "PlanCache",
+    "ReplicaSpec",
     "ServiceStats",
     "ShedOptions",
     "canonical_query",
@@ -77,7 +96,12 @@ __all__ = [
     "daemon_available",
     "decide_containment_many",
     "default_socket_path",
+    "fleet_status",
+    "merge_stores",
     "pair_key",
     "spawn_daemon",
+    "spawn_gateway",
+    "start_fleet",
     "stop_daemon",
+    "stop_fleet",
 ]

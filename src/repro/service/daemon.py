@@ -80,7 +80,23 @@ from repro.service.service import BatchOptions, ContainmentService
 
 
 class DaemonUnavailable(ReproError):
-    """No daemon is reachable at the requested address."""
+    """No daemon is reachable at the requested address.
+
+    Raised only when the request never made it onto the wire (connect
+    refused, missing socket, send failure): callers such as the CLI fall
+    back to in-process execution on this, which is safe precisely because
+    the daemon cannot have started the work.
+    """
+
+
+class DaemonConnectionBroken(ReproError):
+    """The connection died *after* the request was sent.
+
+    Deliberately not a :class:`DaemonUnavailable`: the daemon may have
+    executed (or still be executing) the request, so falling back to an
+    in-process run would double-execute the batch.  The message carries the
+    partial-read context so a truncated response is diagnosable.
+    """
 
 
 #: Sentinel distinguishing "use the client's default timeout" from None.
@@ -583,25 +599,67 @@ class DaemonClient:
                 f"no containment daemon reachable at {self.address}: {error}"
             ) from None
         try:
-            sock.sendall(line.encode("utf-8") + b"\n")
-            reader = sock.makefile("rb")
-            response = reader.readline()
-            if not response:
+            try:
+                sock.sendall(line.encode("utf-8") + b"\n")
+            except socket.timeout:
                 raise DaemonUnavailable(
-                    f"the daemon at {self.address} closed the connection mid-request"
-                )
-            return response.decode("utf-8")
-        except socket.timeout:
-            raise DaemonUnavailable(
-                f"the daemon at {self.address} timed out after {timeout}s"
-            ) from None
-        except OSError as error:
-            # e.g. a broken pipe against a daemon that is mid-shutdown.
-            raise DaemonUnavailable(
-                f"lost the connection to the daemon at {self.address}: {error}"
-            ) from None
+                    f"the daemon at {self.address} did not accept the request "
+                    f"within {timeout}s"
+                ) from None
+            except OSError as error:
+                # The request never made it onto the wire: the daemon cannot
+                # have started the work, so falling back is safe.
+                raise DaemonUnavailable(
+                    f"could not send the request to the daemon at "
+                    f"{self.address}: {error}"
+                ) from None
+            return self._read_response_line(sock, timeout)
         finally:
             sock.close()
+
+    def _read_response_line(self, sock: socket.socket, timeout: object) -> str:
+        """Read one response line; failures here are *not* retriable.
+
+        The request is already on the wire, so every error past this point is
+        a :class:`DaemonConnectionBroken` — never a :class:`DaemonUnavailable`
+        — and carries how much of the response was read when the connection
+        died.
+        """
+        chunks: List[bytes] = []
+        received = 0
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                raise DaemonConnectionBroken(
+                    f"the daemon at {self.address} accepted the request but "
+                    f"sent no complete response within {timeout}s "
+                    f"({received} bytes read); the request may still be "
+                    "executing server-side"
+                ) from None
+            except OSError as error:
+                raise DaemonConnectionBroken(
+                    f"lost the connection to the daemon at {self.address} "
+                    f"after {received} bytes of the response: {error}"
+                ) from None
+            if not chunk:
+                if received == 0:
+                    raise DaemonConnectionBroken(
+                        f"the daemon at {self.address} closed the connection "
+                        "before sending any response; the request may still "
+                        "have executed server-side"
+                    )
+                prefix = b"".join(chunks)[:80]
+                raise DaemonConnectionBroken(
+                    f"the daemon at {self.address} closed the connection "
+                    f"mid-response after {received} bytes "
+                    f"(partial read starts {prefix!r})"
+                )
+            chunks.append(chunk)
+            received += len(chunk)
+            if chunk.endswith(b"\n") or b"\n" in chunk:
+                break
+        return b"".join(chunks).decode("utf-8")
 
     def ping(self) -> Dict[str, object]:
         return self._control("ping")
@@ -674,7 +732,7 @@ def _probe(address: Address, timeout: float = 1.0) -> bool:
     """True when something at ``address`` answers a ping."""
     try:
         response = DaemonClient(str(address), timeout=timeout).ping()
-    except (DaemonUnavailable, ProtocolError):
+    except (DaemonUnavailable, DaemonConnectionBroken, ProtocolError):
         return False
     return bool(response.get("ok"))
 

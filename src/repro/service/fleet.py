@@ -1,0 +1,1046 @@
+"""A hash-sharded fleet of containment daemons behind one asyncio gateway.
+
+One warm daemon is a ceiling: a single process, one plan cache, one socket.
+The fleet removes it without touching the wire protocol.  N ordinary daemon
+replicas (each a normal ``repro daemon run`` process on its own durable
+store) sit behind a front-end **gateway** built on :mod:`asyncio` streams
+that speaks the same JSONL protocol on both sides — any existing client
+(``DaemonClient``, ``repro batch --daemon``, ``socat``) can point at the
+gateway and see a single, faster daemon.
+
+Routing is by **structural hash**: each pair's queries are parsed and
+canonicalized through :func:`repro.service.canonical.pair_key`, and
+``int(structural_hash(key), 16) % n`` picks the replica.  Structurally
+isomorphic pairs therefore always land on the same replica, so every
+replica's plan cache and verdict store concentrate on a stable shard of the
+key space — per-replica cache affinity for free, and the reason the gateway
+hashes the *canonical key* rather than the raw pair text (the UCQ frontier
+can extend the pair shape without touching the router).
+
+A batch request is split into per-replica sub-batches, fanned out
+concurrently, and the verdicts are stitched back together in the original
+request order.  Failure handling:
+
+* a replica whose connection drops mid-batch is **drained** (marked
+  unhealthy, counted in ``repro_gateway_drain_events_total``) and its pairs
+  are re-routed to the surviving replicas within the same request — a killed
+  replica still yields a complete, correct batch report;
+* a drained replica is **re-warmed**: the gateway's re-warmer merges the
+  peers' stores into the replica's store (``repro cache export | import``
+  semantics — first-wins records make the merge idempotent and order-free),
+  respawns the daemon process, and re-admits it once it answers pings;
+* a periodic health probe pings every replica (optionally auditing its
+  store with :func:`repro.store.verify_store` every ``verify_every`` sweeps)
+  and drains any replica that stops answering.
+
+Deadlines propagate: the remaining budget (original deadline minus time
+already spent in the gateway) is forwarded to each sub-batch, and pairs
+whose budget is exhausted before a replica answers come back as UNKNOWN
+``deadline-exceeded`` verdicts synthesized by the gateway — reassembly
+never hangs on a late replica.
+
+Process management mirrors the single daemon: :func:`start_fleet` spawns N
+replicas (per-replica sockets and stores under one directory) plus a
+detached gateway process, recording everything in a ``fleet.json``
+manifest; :func:`stop_fleet` tears the fleet down gateway-first (so the
+probe loop cannot resurrect a replica mid-shutdown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cq.parser import parse_query
+from repro.exceptions import ReproError
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.service.canonical import pair_key
+from repro.service.daemon import (
+    DaemonClient,
+    _clear_stale_socket,
+    daemon_available,
+    spawn_daemon,
+    stop_daemon,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Address,
+    BatchRequest,
+    BatchResponse,
+    ControlRequest,
+    PairVerdict,
+    ProtocolError,
+    encode_batch_response,
+    encode_request,
+    encode_response,
+    parse_address,
+    parse_batch_response,
+    parse_request,
+    parse_response,
+)
+from repro.store import VerdictStore, structural_hash, verify_store
+
+
+class FleetError(ReproError):
+    """A fleet-level operational failure (manifest, spawn, or teardown)."""
+
+
+#: Byte limit for one protocol line on the gateway's streams.  A 4096-pair
+#: batch response with stats runs to a few hundred KB; asyncio's default
+#: 64 KiB readline limit would truncate it.
+_STREAM_LIMIT = 16 * 1024 * 1024
+
+#: Name of the manifest file a running fleet keeps in its directory.
+MANIFEST_NAME = "fleet.json"
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica endpoint: its name, address, and (optional) store path."""
+
+    name: str
+    address: str
+    store_path: Optional[str] = None
+
+
+class _ReplicaState:
+    """The gateway's mutable view of one replica."""
+
+    def __init__(self, spec: ReplicaSpec):
+        self.spec = spec
+        self.healthy = True
+        self.recovering = False
+        self.requests = 0
+        self.pairs = 0
+        self.drains = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "address": self.spec.address,
+            "store": self.spec.store_path,
+            "healthy": self.healthy,
+            "recovering": self.recovering,
+            "requests": self.requests,
+            "pairs": self.pairs,
+            "drains": self.drains,
+        }
+
+
+#: A re-warmer: bring ``spec`` back to life, warming its store from
+#: ``peers``.  Runs in an executor thread (it may block on subprocesses).
+Rewarmer = Callable[[ReplicaSpec, Sequence[ReplicaSpec]], None]
+
+
+class FleetGateway:
+    """Route batches across daemon replicas by structural hash.
+
+    The gateway is transport-complete on its own: :meth:`handle_batch` (and
+    :meth:`handle_line`) can be driven directly under ``asyncio.run`` in
+    tests, and :meth:`serve` binds the asyncio-streams front door.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[ReplicaSpec],
+        *,
+        probe_interval: Optional[float] = 2.0,
+        probe_timeout: float = 2.0,
+        verify_every: int = 0,
+        replica_timeout: Optional[float] = None,
+        reply_margin: float = 5.0,
+        rewarmer: Optional[Rewarmer] = None,
+        registry: Optional[MetricsRegistry] = None,
+        hash_cache_size: int = 4096,
+    ):
+        if not replicas:
+            raise FleetError("a fleet gateway needs at least one replica")
+        names = [spec.name for spec in replicas]
+        if len(set(names)) != len(names):
+            raise FleetError(f"replica names must be unique, got {names}")
+        self._states = [_ReplicaState(spec) for spec in replicas]
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.verify_every = verify_every
+        self.replica_timeout = replica_timeout
+        self.reply_margin = reply_margin
+        self._rewarmer = rewarmer
+        self.address: Optional[Address] = None
+        self.started_at = time.monotonic()
+        self.requests_served = 0
+        self._stop_requested = False
+        self._stopping: Optional[asyncio.Event] = None
+        self._bound_inode: Optional[int] = None
+        self._hash_cache: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self._hash_cache_size = hash_cache_size
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests_total = self.registry.counter(
+            "repro_gateway_requests_total",
+            "Batch requests handled by the gateway, by outcome.",
+            labelnames=("outcome",),
+        )
+        self._replica_requests = self.registry.counter(
+            "repro_gateway_replica_requests_total",
+            "Sub-batches dispatched to each replica.",
+            labelnames=("replica",),
+        )
+        self._pairs_routed = self.registry.counter(
+            "repro_gateway_pairs_routed_total",
+            "Pairs routed to each replica.",
+            labelnames=("replica",),
+        )
+        self._drain_events = self.registry.counter(
+            "repro_gateway_drain_events_total",
+            "Times each replica was drained (probe failure or mid-batch loss).",
+            labelnames=("replica",),
+        )
+        self._readmit_events = self.registry.counter(
+            "repro_gateway_readmit_total",
+            "Times each replica was re-admitted after a drain.",
+            labelnames=("replica",),
+        )
+        self._deadline_pairs = self.registry.counter(
+            "repro_gateway_deadline_pairs_total",
+            "Pairs answered with gateway-synthesized deadline-exceeded verdicts.",
+        )
+        self._subbatch_pairs = self.registry.histogram(
+            "repro_gateway_subbatch_pairs",
+            "Pairs per dispatched sub-batch (the routing histogram).",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+        )
+        self._request_seconds = self.registry.histogram(
+            "repro_gateway_request_seconds",
+            "Wall-clock seconds per gateway batch request.",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.registry.gauge(
+            "repro_gateway_replicas_healthy",
+            "Replicas currently admitted for routing.",
+            callback=lambda: float(
+                sum(1 for state in self._states if state.healthy)
+            ),
+        )
+        self.registry.gauge(
+            "repro_gateway_uptime_seconds",
+            "Seconds since the gateway started.",
+            callback=lambda: time.monotonic() - self.started_at,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _route_hashes(self, pairs) -> List[int]:
+        """The structural-hash routing integer for every pair (parses)."""
+        out = []
+        for spec in pairs:
+            cache_key = (spec.q1, spec.q2)
+            value = self._hash_cache.get(cache_key)
+            if value is None:
+                key = pair_key(
+                    parse_query(spec.q1, name="Q1"),
+                    parse_query(spec.q2, name="Q2"),
+                )
+                value = int(structural_hash(key), 16)
+                self._hash_cache[cache_key] = value
+                if len(self._hash_cache) > self._hash_cache_size:
+                    self._hash_cache.popitem(last=False)
+            else:
+                self._hash_cache.move_to_end(cache_key)
+            out.append(value)
+        return out
+
+    def _replica_for(self, hash_int: int, candidates: Sequence[int]) -> int:
+        """Primary shard when admitted, else a stable fallback candidate."""
+        primary = hash_int % len(self._states)
+        if primary in candidates:
+            return primary
+        return candidates[hash_int % len(candidates)]
+
+    # ------------------------------------------------------------------ #
+    # The batch path
+    # ------------------------------------------------------------------ #
+    async def handle_batch(self, request: BatchRequest) -> BatchResponse:
+        started = time.monotonic()
+        loop = asyncio.get_running_loop()
+        try:
+            hashes = await loop.run_in_executor(
+                None, self._route_hashes, request.pairs
+            )
+        except ReproError as error:
+            self._requests_total.inc(outcome="parse-error")
+            return BatchResponse(ok=False, error=f"unparseable pair: {error}")
+
+        deadline = request.deadline_seconds
+        verdicts: List[Optional[PairVerdict]] = [None] * len(request.pairs)
+        stats_parts: List[Dict[str, object]] = []
+        degraded = False
+        synthesized = 0
+        pending: "OrderedDict[int, int]" = OrderedDict(enumerate(hashes))
+
+        while pending:
+            candidates = [
+                index
+                for index, state in enumerate(self._states)
+                if state.healthy
+            ]
+            if not candidates:
+                self._requests_total.inc(outcome="no-replicas")
+                return BatchResponse(
+                    ok=False,
+                    error="no healthy replicas available",
+                    stats=_merge_stats(stats_parts),
+                )
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - started)
+                if remaining <= 0:
+                    for index in pending:
+                        verdicts[index] = _deadline_verdict(index)
+                    synthesized += len(pending)
+                    pending.clear()
+                    break
+            groups: "OrderedDict[int, List[int]]" = OrderedDict()
+            for index, hash_int in pending.items():
+                replica = self._replica_for(hash_int, candidates)
+                groups.setdefault(replica, []).append(index)
+            results = await asyncio.gather(
+                *(
+                    self._dispatch(replica, indices, request, remaining)
+                    for replica, indices in groups.items()
+                )
+            )
+            pending_before = len(pending)
+            drained_this_round = False
+            for tag, replica, indices, payload in results:
+                if tag == "ok":
+                    sub: BatchResponse = payload
+                    if not sub.ok:
+                        # An explicit refusal (queue-full shed, internal
+                        # error) applies to the whole request: forward it.
+                        outcome = "shed" if sub.shed else "replica-error"
+                        self._requests_total.inc(outcome=outcome)
+                        return BatchResponse(
+                            ok=False,
+                            error=sub.error,
+                            shed=sub.shed,
+                            stats=_merge_stats(stats_parts + [sub.stats]),
+                        )
+                    degraded = degraded or sub.degraded
+                    stats_parts.append(sub.stats)
+                    for verdict in sub.verdicts:
+                        original = indices[verdict.index]
+                        verdicts[original] = replace(verdict, index=original)
+                        pending.pop(original, None)
+                    # A conforming daemon answers every pair; tolerate a
+                    # short response by re-routing whatever it skipped.
+                elif tag == "deadline":
+                    for index in indices:
+                        verdicts[index] = _deadline_verdict(index)
+                        pending.pop(index, None)
+                    synthesized += len(indices)
+                else:  # "failed": transport loss — drain and re-route.
+                    self._drain(replica, str(payload))
+                    drained_this_round = True
+                    degraded = True
+            if len(pending) == pending_before and not drained_this_round:
+                # A replica answered "ok" without resolving anything; the
+                # shard map cannot change, so looping again would spin.
+                self._requests_total.inc(outcome="replica-error")
+                return BatchResponse(
+                    ok=False,
+                    error="replicas answered without resolving any pairs",
+                    stats=_merge_stats(stats_parts),
+                )
+
+        if synthesized:
+            self._deadline_pairs.inc(synthesized)
+        self.requests_served += 1
+        self._requests_total.inc(outcome="degraded" if degraded else "ok")
+        self._request_seconds.observe(time.monotonic() - started)
+        return BatchResponse(
+            ok=True,
+            verdicts=tuple(verdicts),
+            stats=_merge_stats(stats_parts),
+            degraded=degraded,
+        )
+
+    async def _dispatch(
+        self,
+        replica: int,
+        indices: List[int],
+        request: BatchRequest,
+        remaining: Optional[float],
+    ) -> Tuple[str, int, List[int], object]:
+        """Send one sub-batch; returns ``(tag, replica, indices, payload)``.
+
+        ``tag`` is ``"ok"`` (payload: the :class:`BatchResponse`),
+        ``"deadline"`` (the budget ran out waiting) or ``"failed"``
+        (payload: the transport error message — the caller drains and
+        re-routes).
+        """
+        state = self._states[replica]
+        sub = BatchRequest(
+            pairs=tuple(request.pairs[i] for i in indices),
+            deadline_seconds=remaining,
+            priority=request.priority,
+        )
+        timeout = self.replica_timeout
+        if remaining is not None:
+            budget = remaining + self.reply_margin
+            timeout = budget if timeout is None else min(timeout, budget)
+        state.requests += 1
+        state.pairs += len(indices)
+        self._replica_requests.inc(replica=state.spec.name)
+        self._pairs_routed.inc(len(indices), replica=state.spec.name)
+        self._subbatch_pairs.observe(len(indices))
+        try:
+            line = await asyncio.wait_for(
+                self._replica_roundtrip(state.spec, encode_request(sub)),
+                timeout,
+            )
+            return ("ok", replica, indices, parse_batch_response(line))
+        except asyncio.TimeoutError:
+            if remaining is not None:
+                # The request's own deadline expired: these pairs are
+                # answered by the gateway, not re-routed.
+                return ("deadline", replica, indices, None)
+            return ("failed", replica, indices, f"timed out after {timeout}s")
+        except (OSError, ConnectionError, ProtocolError, ValueError) as error:
+            return ("failed", replica, indices, f"{type(error).__name__}: {error}")
+
+    async def _replica_roundtrip(self, spec: ReplicaSpec, line: str) -> bytes:
+        """One request/response line against a replica (fresh connection)."""
+        address = parse_address(spec.address)
+        if address.kind == "unix":
+            reader, writer = await asyncio.open_unix_connection(
+                address.path, limit=_STREAM_LIMIT
+            )
+        else:
+            reader, writer = await asyncio.open_connection(
+                address.host, address.port, limit=_STREAM_LIMIT
+            )
+        try:
+            writer.write(line.encode("utf-8") + b"\n")
+            await writer.drain()
+            data = await reader.readline()
+            if not data:
+                raise ConnectionError(
+                    f"replica {spec.name} closed the connection mid-request"
+                )
+            return data
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------ #
+    # Health: drain / re-warm / re-admit
+    # ------------------------------------------------------------------ #
+    def _drain(self, replica: int, reason: str) -> None:
+        state = self._states[replica]
+        if not state.healthy:
+            return
+        state.healthy = False
+        state.drains += 1
+        self._drain_events.inc(replica=state.spec.name)
+        self._log(f"drained replica {state.spec.name}: {reason}")
+        if self._rewarmer is not None and not state.recovering:
+            state.recovering = True
+            asyncio.get_running_loop().create_task(self._recover(replica))
+
+    def _readmit(self, state: _ReplicaState) -> None:
+        if state.healthy:
+            return
+        state.healthy = True
+        self._readmit_events.inc(replica=state.spec.name)
+        self._log(f"re-admitted replica {state.spec.name}")
+
+    async def _recover(self, replica: int) -> None:
+        """Re-warm a drained replica and re-admit it once it answers."""
+        state = self._states[replica]
+        loop = asyncio.get_running_loop()
+        try:
+            peers = [
+                other.spec
+                for index, other in enumerate(self._states)
+                if index != replica
+            ]
+            try:
+                await loop.run_in_executor(
+                    None, self._rewarmer, state.spec, peers
+                )
+            except Exception as error:  # the probe loop will retry later
+                self._log(
+                    f"re-warm of replica {state.spec.name} failed: {error!r}"
+                )
+                return
+            if await self._ping_replica(state):
+                self._readmit(state)
+        finally:
+            state.recovering = False
+
+    async def _ping_replica(self, state: _ReplicaState) -> bool:
+        try:
+            line = await asyncio.wait_for(
+                self._replica_roundtrip(
+                    state.spec, encode_request(ControlRequest("ping"))
+                ),
+                self.probe_timeout,
+            )
+            return bool(parse_response(line).get("ok"))
+        except Exception:
+            return False
+
+    def _store_passes_audit(self, spec: ReplicaSpec) -> bool:
+        try:
+            with VerdictStore(spec.store_path) as store:
+                return verify_store(store).ok
+        except Exception:
+            return False
+
+    async def _probe_loop(self) -> None:
+        sweeps = 0
+        while True:
+            await asyncio.sleep(self.probe_interval)
+            sweeps += 1
+            audit = self.verify_every > 0 and sweeps % self.verify_every == 0
+            loop = asyncio.get_running_loop()
+            for index, state in enumerate(self._states):
+                if state.recovering:
+                    continue
+                alive = await self._ping_replica(state)
+                if alive and audit and state.spec.store_path:
+                    alive = await loop.run_in_executor(
+                        None, self._store_passes_audit, state.spec
+                    )
+                    if not alive and state.healthy:
+                        self._drain(index, "store failed its verify sweep")
+                        continue
+                if state.healthy and not alive:
+                    self._drain(index, "health probe went unanswered")
+                elif not state.healthy and alive:
+                    # An operator (or the re-warmer in a prior loop) brought
+                    # it back: readmit without waiting for a recover task.
+                    self._readmit(state)
+
+    # ------------------------------------------------------------------ #
+    # The front door
+    # ------------------------------------------------------------------ #
+    def status(self) -> Dict[str, object]:
+        return {
+            "role": "gateway",
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "address": str(self.address) if self.address else None,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "requests_served": self.requests_served,
+            "fleet_size": len(self._states),
+            "healthy_replicas": sum(1 for s in self._states if s.healthy),
+            "replicas": [state.snapshot() for state in self._states],
+        }
+
+    async def handle_line(self, line: bytes) -> str:
+        try:
+            request = parse_request(line)
+        except ProtocolError as error:
+            return encode_response({"ok": False, "error": str(error)})
+        if isinstance(request, ControlRequest):
+            if request.op == "ping":
+                return encode_response(
+                    {"ok": True, "op": "ping", "pid": os.getpid(), "role": "gateway"}
+                )
+            if request.op == "status":
+                return encode_response({"ok": True, **self.status()})
+            if request.op == "metrics":
+                return encode_response(
+                    {
+                        "ok": True,
+                        "content_type": "text/plain; version=0.0.4",
+                        "body": self.registry.render(),
+                    }
+                )
+            # "stop": ack now; the connection loop unlinks and shuts down.
+            self._stop_requested = True
+            return encode_response({"ok": True, "stopping": True})
+        try:
+            return encode_batch_response(await self.handle_batch(request))
+        except Exception as error:  # never leave a client hanging
+            return encode_batch_response(
+                BatchResponse(ok=False, error=f"gateway internal error: {error!r}")
+            )
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.handle_line(line)
+                stopping = self._stop_requested
+                if stopping:
+                    # Mirror the daemon: unlink before the ack so a starter
+                    # polling the path cannot race a half-dead gateway.
+                    self._unlink_socket()
+                try:
+                    writer.write(response.encode("utf-8") + b"\n")
+                    await writer.drain()
+                except (ConnectionError, BrokenPipeError):
+                    break
+                if stopping:
+                    if self._stopping is not None:
+                        self._stopping.set()
+                    break
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def serve(self, address: Address, ready_callback=None) -> None:
+        """Bind the gateway at ``address`` and serve until ``stop``."""
+        self.address = address
+        self._stopping = asyncio.Event()
+        self._bound_inode = None
+        if address.kind == "unix":
+            _clear_stale_socket(address)
+            server = await asyncio.start_unix_server(
+                self._on_client, path=address.path, limit=_STREAM_LIMIT
+            )
+            with contextlib.suppress(OSError):
+                self._bound_inode = os.lstat(address.path).st_ino
+        else:
+            server = await asyncio.start_server(
+                self._on_client,
+                host=address.host,
+                port=address.port,
+                limit=_STREAM_LIMIT,
+            )
+        probe_task = (
+            asyncio.ensure_future(self._probe_loop())
+            if self.probe_interval
+            else None
+        )
+        try:
+            if ready_callback is not None:
+                ready_callback(self)
+            async with server:
+                await self._stopping.wait()
+        finally:
+            if probe_task is not None:
+                probe_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await probe_task
+            server.close()
+            await server.wait_closed()
+            self._unlink_socket()
+
+    def _unlink_socket(self) -> None:
+        """Unlink our bound socket path (inode-guarded, idempotent)."""
+        address = self.address
+        if address is None or address.kind != "unix":
+            return
+        try:
+            if (
+                self._bound_inode is not None
+                and os.lstat(address.path).st_ino != self._bound_inode
+            ):
+                return  # someone else owns the path now
+            os.unlink(address.path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _log(message: str) -> None:
+        print(f"[gateway] {message}", file=sys.stderr, flush=True)
+
+
+def _deadline_verdict(index: int) -> PairVerdict:
+    return PairVerdict(
+        index=index,
+        status="unknown",
+        method="deadline-exceeded",
+        source="gateway",
+    )
+
+
+def _merge_stats(parts: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Sum the replicas' numeric stats snapshots (nested dicts included)."""
+    merged: Dict[str, object] = {}
+    for stats in parts:
+        if not isinstance(stats, dict):
+            continue
+        _merge_into(merged, stats)
+    return merged
+
+
+def _merge_into(target: Dict[str, object], source: Dict[str, object]) -> None:
+    for key, value in source.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            current = target.get(key, 0)
+            if isinstance(current, (int, float)) and not isinstance(current, bool):
+                target[key] = current + value
+            else:
+                target[key] = value
+        elif isinstance(value, dict):
+            bucket = target.setdefault(key, {})
+            if isinstance(bucket, dict):
+                _merge_into(bucket, value)
+        elif key not in target:
+            target[key] = value
+
+
+# ---------------------------------------------------------------------- #
+# Store-merge warm-up
+# ---------------------------------------------------------------------- #
+def merge_stores(target_path: str, peer_paths: Sequence[str]) -> Tuple[int, int]:
+    """Import every peer store into ``target_path`` (export | import).
+
+    First-wins record semantics make this idempotent and order-free: a
+    record already present in the target is skipped, so merging the same
+    peers twice — or in any order — converges to the same store.  Returns
+    ``(imported, skipped)`` totals.
+    """
+    imported = skipped = 0
+    with VerdictStore(target_path) as target:
+        for path in peer_paths:
+            if not path or not os.path.exists(path):
+                continue
+            buffer = io.StringIO()
+            with VerdictStore(path) as peer:
+                peer.export_jsonl(buffer)
+            buffer.seek(0)
+            new, dup = target.import_jsonl(buffer)
+            imported += new
+            skipped += dup
+    return imported, skipped
+
+
+def manifest_rewarmer(manifest_path: str) -> Rewarmer:
+    """The production re-warmer for a manifest-managed fleet.
+
+    Stops (or kills) the drained replica's process, merges its peers'
+    stores into its store, respawns ``repro daemon run`` with the fleet's
+    engine arguments, and records the new pid in the manifest.
+    """
+
+    def rewarm(spec: ReplicaSpec, peers: Sequence[ReplicaSpec]) -> None:
+        manifest = read_manifest(manifest_path)
+        entry = next(
+            (r for r in manifest["replicas"] if r["name"] == spec.name), None
+        )
+        with contextlib.suppress(ReproError):
+            stop_daemon(spec.address, wait_seconds=3.0)
+        if entry and entry.get("pid"):
+            with contextlib.suppress(OSError):
+                os.kill(int(entry["pid"]), signal.SIGKILL)
+        if spec.store_path:
+            merge_stores(
+                spec.store_path,
+                [peer.store_path for peer in peers if peer.store_path],
+            )
+        extra = list(manifest.get("engine_args", []))
+        if spec.store_path:
+            extra += ["--store", spec.store_path]
+        log_path = os.path.join(manifest["directory"], f"{spec.name}.log")
+        pid = spawn_daemon(spec.address, extra_args=extra, log_path=log_path)
+        if entry is not None:
+            entry["pid"] = pid
+            write_manifest(manifest_path, manifest)
+
+    return rewarm
+
+
+# ---------------------------------------------------------------------- #
+# Fleet process management (used by the CLI)
+# ---------------------------------------------------------------------- #
+def default_fleet_dir() -> str:
+    return os.path.join(tempfile.gettempdir(), f"repro-fleet-{os.getuid()}")
+
+
+def manifest_path_for(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+def read_manifest(path: str) -> Dict[str, object]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise FleetError(
+            f"no fleet manifest at {path}; is a fleet running there?"
+        ) from None
+    except (OSError, ValueError) as error:
+        raise FleetError(f"unreadable fleet manifest at {path}: {error}") from error
+
+
+def write_manifest(path: str, manifest: Dict[str, object]) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def replica_specs_for(directory: str, count: int) -> List[ReplicaSpec]:
+    return [
+        ReplicaSpec(
+            name=f"replica-{index}",
+            address=os.path.join(directory, f"replica-{index}.sock"),
+            store_path=os.path.join(directory, f"replica-{index}.sqlite"),
+        )
+        for index in range(count)
+    ]
+
+
+def specs_from_manifest(manifest: Dict[str, object]) -> List[ReplicaSpec]:
+    return [
+        ReplicaSpec(
+            name=entry["name"],
+            address=entry["address"],
+            store_path=entry.get("store"),
+        )
+        for entry in manifest["replicas"]
+    ]
+
+
+def start_fleet(
+    directory: Optional[str] = None,
+    replicas: int = 2,
+    gateway_address: Optional[str] = None,
+    engine_args: Sequence[str] = (),
+    probe_interval: float = 2.0,
+    verify_every: int = 0,
+    wait_seconds: float = 30.0,
+) -> Dict[str, object]:
+    """Spawn N replicas + the gateway; returns the written manifest."""
+    if replicas < 1:
+        raise FleetError("a fleet needs at least one replica")
+    directory = os.path.abspath(directory or default_fleet_dir())
+    os.makedirs(directory, exist_ok=True)
+    manifest_path = manifest_path_for(directory)
+    if os.path.exists(manifest_path):
+        raise FleetError(
+            f"a fleet manifest already exists at {manifest_path}; "
+            "run 'repro fleet stop' first"
+        )
+    specs = replica_specs_for(directory, replicas)
+    gateway_address = gateway_address or os.path.join(directory, "gateway.sock")
+    manifest: Dict[str, object] = {
+        "directory": directory,
+        "gateway": {"address": gateway_address, "pid": None},
+        "replicas": [],
+        "engine_args": list(engine_args),
+        "probe_interval": probe_interval,
+        "verify_every": verify_every,
+    }
+    spawned_pids: List[int] = []
+    try:
+        for spec in specs:
+            pid = spawn_daemon(
+                spec.address,
+                extra_args=list(engine_args) + ["--store", spec.store_path],
+                wait_seconds=wait_seconds,
+                log_path=os.path.join(directory, f"{spec.name}.log"),
+            )
+            spawned_pids.append(pid)
+            manifest["replicas"].append(
+                {
+                    "name": spec.name,
+                    "address": spec.address,
+                    "store": spec.store_path,
+                    "pid": pid,
+                }
+            )
+        write_manifest(manifest_path, manifest)
+        gateway_pid = spawn_gateway(
+            manifest_path,
+            gateway_address,
+            wait_seconds=wait_seconds,
+            log_path=os.path.join(directory, "gateway.log"),
+        )
+        manifest["gateway"]["pid"] = gateway_pid
+        write_manifest(manifest_path, manifest)
+        return manifest
+    except BaseException:
+        # Half-started fleets are worse than none: tear down best-effort.
+        for pid in spawned_pids:
+            with contextlib.suppress(OSError):
+                os.kill(pid, signal.SIGKILL)
+        for spec in specs:
+            with contextlib.suppress(OSError):
+                os.unlink(spec.address)
+        with contextlib.suppress(OSError):
+            os.unlink(manifest_path)
+        raise
+
+
+def spawn_gateway(
+    manifest_path: str,
+    address: str,
+    wait_seconds: float = 30.0,
+    log_path: Optional[str] = None,
+) -> int:
+    """Start a detached gateway process and wait until it answers pings."""
+    if daemon_available(address, timeout=1.0):
+        raise FleetError(f"something is already answering pings at {address}")
+    if log_path is None:
+        log_path = os.path.join(
+            tempfile.gettempdir(), f"repro-gateway-{os.getpid()}.log"
+        )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "fleet",
+        "gateway",
+        "--manifest",
+        manifest_path,
+        "--socket",
+        address,
+    ]
+    env = dict(os.environ)
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    with open(log_path, "ab") as log:
+        child = subprocess.Popen(
+            command,
+            stdout=log,
+            stderr=log,
+            stdin=subprocess.DEVNULL,
+            start_new_session=True,
+            env=env,
+        )
+    waited = 0.0
+    while waited < wait_seconds:
+        if daemon_available(address, timeout=1.0):
+            return child.pid
+        if child.poll() is not None:
+            raise FleetError(
+                f"the gateway exited with code {child.returncode} before "
+                f"binding {address} (log: {log_path})"
+            )
+        time.sleep(0.1)
+        waited += 0.1
+    child.terminate()
+    raise FleetError(
+        f"the gateway did not answer pings at {address} within "
+        f"{wait_seconds}s (log: {log_path})"
+    )
+
+
+def serve_gateway(
+    manifest_path: str,
+    address: Optional[str] = None,
+    ready_callback=None,
+) -> None:
+    """Run a gateway (foreground) for the fleet described by a manifest."""
+    manifest = read_manifest(manifest_path)
+    specs = specs_from_manifest(manifest)
+    text = address or manifest["gateway"]["address"]
+    gateway = FleetGateway(
+        specs,
+        probe_interval=float(manifest.get("probe_interval", 2.0)) or None,
+        verify_every=int(manifest.get("verify_every", 0)),
+        rewarmer=manifest_rewarmer(manifest_path),
+    )
+    asyncio.run(gateway.serve(parse_address(text), ready_callback=ready_callback))
+
+
+def stop_fleet(
+    directory: Optional[str] = None, wait_seconds: float = 10.0
+) -> Dict[str, object]:
+    """Tear a fleet down: gateway first (so it cannot resurrect replicas).
+
+    Best-effort per process — an already-dead member is not an error —
+    and removes the manifest so the directory can host a fresh fleet.
+    """
+    directory = os.path.abspath(directory or default_fleet_dir())
+    manifest_path = manifest_path_for(directory)
+    manifest = read_manifest(manifest_path)
+    summary: Dict[str, object] = {"gateway": None, "replicas": []}
+
+    gateway = manifest.get("gateway") or {}
+    summary["gateway"] = _stop_member(
+        gateway.get("address"), gateway.get("pid"), wait_seconds
+    )
+    for entry in manifest.get("replicas", []):
+        result = _stop_member(entry.get("address"), entry.get("pid"), wait_seconds)
+        result["name"] = entry.get("name")
+        summary["replicas"].append(result)
+    with contextlib.suppress(OSError):
+        os.unlink(manifest_path)
+    return summary
+
+
+def _stop_member(
+    address: Optional[str], pid: Optional[int], wait_seconds: float
+) -> Dict[str, object]:
+    stopped_via = None
+    if address:
+        try:
+            stop_daemon(address, wait_seconds=wait_seconds)
+            stopped_via = "stop"
+        except ReproError:
+            pass
+    if stopped_via is None and pid:
+        with contextlib.suppress(OSError):
+            os.kill(int(pid), signal.SIGKILL)
+            stopped_via = "kill"
+    if address:
+        path = parse_address(address)
+        if path.kind == "unix":
+            with contextlib.suppress(OSError):
+                os.unlink(path.path)
+    return {"address": address, "pid": pid, "stopped_via": stopped_via or "dead"}
+
+
+def fleet_status(
+    address: Optional[str] = None,
+    directory: Optional[str] = None,
+    timeout: float = 10.0,
+) -> Dict[str, object]:
+    """The gateway's status block (resolved from the manifest if needed)."""
+    if address is None:
+        directory = os.path.abspath(directory or default_fleet_dir())
+        manifest = read_manifest(manifest_path_for(directory))
+        address = manifest["gateway"]["address"]
+    return DaemonClient(address, timeout=timeout).status()
+
+
+def fleet_metrics(
+    address: Optional[str] = None,
+    directory: Optional[str] = None,
+    timeout: float = 10.0,
+) -> str:
+    """The gateway's Prometheus exposition document."""
+    if address is None:
+        directory = os.path.abspath(directory or default_fleet_dir())
+        manifest = read_manifest(manifest_path_for(directory))
+        address = manifest["gateway"]["address"]
+    return DaemonClient(address, timeout=timeout).metrics()

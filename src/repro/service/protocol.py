@@ -303,6 +303,13 @@ def parse_address(text: str) -> Address:
     ``host:port`` (the last colon-separated field all digits) selects the TCP
     fallback; anything else is a Unix socket path.  An explicit ``tcp:`` or
     ``unix:`` prefix overrides the heuristic.
+
+    Two shapes are close enough to a TCP endpoint to be typos rather than
+    socket paths, and are rejected outright instead of surfacing later as a
+    confusing ``socket`` error: a bare integer (``"8080"`` — is it a port or
+    a relative path?) and a colon-bearing name with the port missing
+    (``"localhost:"``, ``":8080"``).  A path with a directory separator
+    (``"/tmp/odd:name"``) is never mistaken for TCP.
     """
     if not text:
         raise ProtocolError("the daemon address must be non-empty")
@@ -314,9 +321,20 @@ def parse_address(text: str) -> Address:
     if text.startswith("tcp:"):
         text = text[len("tcp:"):]
         return _parse_tcp(text)
-    host, _, port = text.rpartition(":")
-    if host and port.isdigit():
+    if text.isdigit():
+        raise ProtocolError(
+            f"ambiguous address {text!r}: a bare integer is neither a socket "
+            f"path nor a TCP endpoint — use host:port (e.g. 'localhost:{text}') "
+            "or an explicit unix:PATH"
+        )
+    host, colon, port = text.rpartition(":")
+    if colon and port.isdigit():
         return _parse_tcp(text)
+    if colon and not port and "/" not in text:
+        raise ProtocolError(
+            f"TCP address {text!r} is missing its port — use host:port, "
+            "or unix:PATH for a socket path that happens to end in a colon"
+        )
     return Address(kind="unix", path=text)
 
 

@@ -96,7 +96,14 @@ class VerdictStore:
         #: hash -> (payload string, parsed record).  Payloads are kept
         #: verbatim so exports round-trip byte-identically.
         self._index: Dict[str, Tuple[str, Dict[str, object]]] = {}
-        self._replay()
+        try:
+            self._replay()
+        except BaseException:
+            # A half-constructed store must not leak its SQLite handle: the
+            # caller never receives the object, so nothing else can close it.
+            self._closed = True
+            self._connection.close()
+            raise
 
     # ------------------------------------------------------------------ #
     # Open-time replay

@@ -8,6 +8,7 @@ to end (client, JSONL framing, stop semantics).
 """
 
 import json
+import socket
 import threading
 import time
 
@@ -17,6 +18,7 @@ from repro.service import BatchOptions
 from repro.service.daemon import (
     ContainmentDaemon,
     DaemonClient,
+    DaemonConnectionBroken,
     DaemonUnavailable,
     ServiceGate,
     ShedOptions,
@@ -367,3 +369,90 @@ class TestClientErrors:
         assert captured["timeout"] is None
         client.batch([(TRIANGLE_TEXT, VEE_TEXT)], deadline_seconds=10.0)
         assert captured["timeout"] == 10.0 + DaemonClient.DEADLINE_MARGIN
+
+
+class _FakeSocket:
+    """A scripted socket: each recv() pops the next chunk (or raises it)."""
+
+    def __init__(self, chunks=()):
+        self.chunks = list(chunks)
+        self.sent = b""
+        self.closed = False
+
+    def sendall(self, data):
+        self.sent += data
+
+    def recv(self, _size):
+        if not self.chunks:
+            return b""  # EOF
+        item = self.chunks.pop(0)
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+    def close(self):
+        self.closed = True
+
+
+class TestClientReadPath:
+    """The mid-batch truncation bugfix: connect failures fall back
+    (:class:`DaemonUnavailable`), but once the request is on the wire every
+    failure is :class:`DaemonConnectionBroken` with partial-read context —
+    re-running the batch elsewhere could double-execute it."""
+
+    def _client(self, monkeypatch, fake):
+        import repro.service.daemon as daemon_module
+
+        monkeypatch.setattr(daemon_module, "_connect", lambda *a, **k: fake)
+        return DaemonClient("/tmp/fake.sock", timeout=5.0)
+
+    def test_broken_is_not_a_fallback_signal(self):
+        # The CLI falls back in-process on DaemonUnavailable only; a broken
+        # connection must never be mistaken for "no daemon there".
+        assert not issubclass(DaemonConnectionBroken, DaemonUnavailable)
+
+    def test_complete_response_roundtrips(self, monkeypatch):
+        fake = _FakeSocket([b'{"ok": true}\n'])
+        client = self._client(monkeypatch, fake)
+        assert client._roundtrip('{"op": "ping"}') == '{"ok": true}\n'
+        assert fake.sent == b'{"op": "ping"}\n'
+        assert fake.closed
+
+    def test_chunked_response_is_reassembled(self, monkeypatch):
+        fake = _FakeSocket([b'{"ok": ', b"tr", b"ue}\n"])
+        client = self._client(monkeypatch, fake)
+        assert client._roundtrip("x") == '{"ok": true}\n'
+
+    def test_eof_before_any_byte_is_connection_broken(self, monkeypatch):
+        client = self._client(monkeypatch, _FakeSocket([]))
+        with pytest.raises(DaemonConnectionBroken, match="before sending any"):
+            client._roundtrip("x")
+
+    def test_eof_mid_response_carries_partial_read_context(self, monkeypatch):
+        fake = _FakeSocket([b'{"ok": tru'])  # EOF mid-line
+        client = self._client(monkeypatch, fake)
+        with pytest.raises(DaemonConnectionBroken) as excinfo:
+            client._roundtrip("x")
+        message = str(excinfo.value)
+        assert "10 bytes" in message
+        assert '{"ok": tru' in message
+
+    def test_read_timeout_is_connection_broken_not_unavailable(self, monkeypatch):
+        fake = _FakeSocket([socket.timeout("timed out")])
+        client = self._client(monkeypatch, fake)
+        with pytest.raises(DaemonConnectionBroken, match="no complete response"):
+            client._roundtrip("x")
+
+    def test_reset_mid_read_is_connection_broken(self, monkeypatch):
+        fake = _FakeSocket([b'{"ok"', ConnectionResetError("peer reset")])
+        client = self._client(monkeypatch, fake)
+        with pytest.raises(DaemonConnectionBroken, match="after 5 bytes"):
+            client._roundtrip("x")
+
+    def test_send_failure_is_still_unavailable(self, monkeypatch):
+        # The request never left: falling back in-process is safe.
+        fake = _FakeSocket()
+        fake.sendall = lambda data: (_ for _ in ()).throw(BrokenPipeError("gone"))
+        client = self._client(monkeypatch, fake)
+        with pytest.raises(DaemonUnavailable, match="could not send"):
+            client._roundtrip("x")

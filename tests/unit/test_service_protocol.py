@@ -126,7 +126,37 @@ class TestAddresses:
     def test_path_with_colon_but_no_port_is_unix(self):
         assert parse_address("/tmp/odd:name").kind == "unix"
 
+    def test_path_with_trailing_colon_stays_unix_when_it_has_a_slash(self):
+        # A directory separator disambiguates: this is a path, not a typo'd
+        # TCP endpoint, even though it ends in a colon.
+        assert parse_address("/tmp/odd:").kind == "unix"
+
+    def test_port_boundaries(self):
+        assert parse_address("localhost:1").port == 1
+        assert parse_address("localhost:65535").port == 65535
+
     @pytest.mark.parametrize("text", ["", "tcp:nohost", "tcp::123", "tcp:host:0", "unix:"])
     def test_bad_addresses(self, text):
         with pytest.raises(ProtocolError):
+            parse_address(text)
+
+    @pytest.mark.parametrize(
+        "text, hint",
+        [
+            # Port 0 and out-of-range ports: rejected eagerly, not left to
+            # fail inside socket.connect much later.
+            ("localhost:0", "out of range"),
+            ("localhost:65536", "out of range"),
+            ("tcp:localhost:99999", "out of range"),
+            # A bare integer is ambiguous (port? relative path?): refuse.
+            ("8080", "ambiguous"),
+            # A colon-bearing name with the port missing is a typo'd TCP
+            # endpoint, not a socket path.
+            ("localhost:", "missing its port"),
+            # Missing host.
+            (":8080", "host:port"),
+        ],
+    )
+    def test_tcp_grammar_edge_cases_fail_eagerly(self, text, hint):
+        with pytest.raises(ProtocolError, match=hint):
             parse_address(text)

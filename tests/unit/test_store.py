@@ -245,3 +245,69 @@ class TestCorpusRoundTrip:
             assert service.stats.pipelines_run == 0
         finally:
             service.close()
+
+
+class TestLifecycle:
+    """Close/flush lifecycle: rows recorded since the last flush must
+    survive a close-then-reopen, with or without the context manager."""
+
+    def test_close_flushes_buffered_rows(self, tmp_path):
+        path = str(tmp_path / "lifecycle.sqlite")
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        store = VerdictStore(path)
+        store.record(key, canonical)
+        # Deliberately no flush(): close() must not discard the buffer.
+        store.close()
+
+        reopened = VerdictStore(path)
+        try:
+            assert reopened.recovered == 1
+            assert key in reopened
+            assert reopened.get(key).status == canonical.status
+        finally:
+            reopened.close()
+
+    def test_context_manager_flushes_on_exit(self, tmp_path):
+        path = str(tmp_path / "ctx.sqlite")
+        key, canonical = canonical_result(PATH2, EDGE)
+        with VerdictStore(path) as store:
+            store.record(key, canonical)
+        with VerdictStore(path) as reopened:
+            assert len(reopened) == 1
+            assert reopened.get(key).status == canonical.status
+
+    def test_context_manager_flushes_even_when_the_body_raises(self, tmp_path):
+        path = str(tmp_path / "raise.sqlite")
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        with pytest.raises(RuntimeError):
+            with VerdictStore(path) as store:
+                store.record(key, canonical)
+                raise RuntimeError("caller bug")
+        with VerdictStore(path) as reopened:
+            assert len(reopened) == 1
+
+    def test_close_is_idempotent_and_seals_the_handle(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "seal.sqlite"))
+        store.close()
+        store.close()  # second close is a no-op, not an error
+        key, canonical = canonical_result(TRIANGLE, VEE)
+        with pytest.raises(StoreError):
+            store.record(key, canonical)
+
+    def test_failed_open_does_not_leak_the_connection(self, tmp_path, monkeypatch):
+        # If the open-time replay blows up, __init__ never returns a handle,
+        # so the constructor itself must close the SQLite connection.
+        path = str(tmp_path / "broken.sqlite")
+        VerdictStore(path).close()  # create a valid store file first
+        closed = {}
+
+        def exploding_replay(self):
+            closed["conn"] = self._connection
+            raise StoreError("synthetic replay failure")
+
+        monkeypatch.setattr(VerdictStore, "_replay", exploding_replay)
+        with pytest.raises(StoreError, match="synthetic replay failure"):
+            VerdictStore(path)
+        # A closed sqlite3 connection refuses further use.
+        with pytest.raises(sqlite3.ProgrammingError):
+            closed["conn"].execute("SELECT 1")
