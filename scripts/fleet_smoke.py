@@ -6,20 +6,27 @@ locally with ``PYTHONPATH=src python scripts/fleet_smoke.py``):
 
 1. ``repro fleet start --replicas 2``: two daemon replicas on scratch Unix
    sockets, each with its own SQLite verdict store, behind an asyncio
-   gateway that shards pairs by structural hash;
+   gateway that dedups each batch by canonical key and shards the
+   representatives over a consistent-hash ring;
 2. replay the frozen 20-pair known-verdict corpus
    (``tests/regression/containment_corpus.json``) through
    ``repro batch --fleet`` and check every verdict against the corpus;
 3. replay it a second time and assert the warm fleet answers **every** pair
-   from a cache tier (plan cache, verdict store, or batch dedup) — sharding
-   is deterministic, so the second replay routes each pair to the same
-   replica whose plan cache the first replay warmed;
-4. check the gateway's fleet status: both replicas healthy, and **both**
+   from a cache tier (plan cache, verdict store, batch dedup, or a
+   gateway-side fold) — routing is deterministic, so the second replay
+   routes each representative to the same replica whose plan cache the
+   first replay warmed;
+4. replay a **duplicate-salted** corpus (every pair plus a variable-renamed
+   isomorphic copy) and assert the gateway folded the copies: the salted
+   verdicts still match the corpus, at least one verdict per copy carries
+   ``source="gateway-dedup"``, and ``repro_gateway_dedup_folded_total``
+   is positive;
+5. check the gateway's fleet status: both replicas healthy, and **both**
    actually routed pairs (the corpus must not collapse onto one shard);
-5. scrape the gateway's own metrics (``repro fleet status --prom``) and
-   assert the exposition parses, the routed-pair counters cover two full
-   replays, and no drain events fired;
-6. ``repro fleet stop`` and assert the shutdown is clean: exit code 0, the
+6. scrape the gateway's own metrics (``repro fleet status --prom``) and
+   assert the exposition parses, every submitted pair is accounted for as
+   either routed or folded, and no drain events fired;
+7. ``repro fleet stop`` and assert the shutdown is clean: exit code 0, the
    gateway and replica socket files unlinked, pings unanswered.
 
 Any violated expectation exits non-zero with a message, so the CI job fails
@@ -45,7 +52,7 @@ from repro.service.daemon import daemon_available  # noqa: E402
 from repro.service.fleet import manifest_path_for, read_manifest  # noqa: E402
 
 CORPUS = REPO_ROOT / "tests" / "regression" / "containment_corpus.json"
-WARM_SOURCES = ("plan-cache", "store", "batch-dedup")
+WARM_SOURCES = ("plan-cache", "store", "batch-dedup", "gateway-dedup")
 
 
 def fail(message: str, log_dir: Path | None = None) -> None:
@@ -70,6 +77,34 @@ def corpus_pair_lines() -> tuple[list[str], list[str]]:
         lines.append(json.dumps({"q1": texts[0], "q2": texts[1]}))
         expected.append(pair["status"])
     return lines, expected
+
+
+def salted_pair_lines(lines: list[str]) -> list[str]:
+    """Each corpus pair followed by a variable-renamed isomorphic copy.
+
+    The copies are exactly what the gateway's dedup pass must fold: a
+    different surface text, the same canonical key.
+    """
+    from repro.cq.parser import parse_query
+
+    def rename_text(text: str) -> str:
+        query = parse_query(text, name="Q")
+        renamed = query.rename({v: f"{v}_salt" for v in query.variables})
+        body = ", ".join(str(atom) for atom in renamed.atoms)
+        if renamed.head:
+            return f"({', '.join(renamed.head)}) :- {body}"
+        return body
+
+    salted = []
+    for line in lines:
+        record = json.loads(line)
+        salted.append(line)
+        salted.append(
+            json.dumps(
+                {"q1": rename_text(record["q1"]), "q2": rename_text(record["q2"])}
+            )
+        )
+    return salted
 
 
 def run_cli(*argv: str) -> tuple[int, str]:
@@ -155,7 +190,31 @@ def main() -> int:
             )
         print(
             f"fleet-smoke: replay 2 ok — all {len(lines)} pairs from "
-            "cache/store tiers (hash affinity held)"
+            "cache/store tiers (routing affinity held)"
+        )
+
+        salted_lines = salted_pair_lines(lines)
+        salted_file = scratch / "corpus_pairs_salted.jsonl"
+        salted_file.write_text("\n".join(salted_lines) + "\n")
+        salted_expected = [status for status in expected for _ in range(2)]
+        salted_records = replay(salted_file, gateway_socket, fleet_dir)
+        if [record["status"] for record in salted_records] != salted_expected:
+            fail("salted replay statuses diverge from the corpus", fleet_dir)
+        folded_records = [
+            record
+            for record in salted_records
+            if record["source"] == "gateway-dedup"
+        ]
+        if len(folded_records) < len(lines):
+            fail(
+                f"salted replay folded only {len(folded_records)} of "
+                f"{len(lines)} duplicate copies at the gateway",
+                fleet_dir,
+            )
+        pairs_sent = 2 * len(lines) + len(salted_lines)
+        print(
+            f"fleet-smoke: salted replay ok — {len(folded_records)} of "
+            f"{len(salted_lines)} pairs folded at the gateway"
         )
 
         code, output = run_cli("fleet", "status", "--dir", str(fleet_dir))
@@ -195,10 +254,22 @@ def main() -> int:
         routed_total = sum(
             samples.get("repro_gateway_pairs_routed_total", {}).values()
         )
-        if routed_total < 2 * len(lines):
+        folded_total = sum(
+            samples.get("repro_gateway_dedup_folded_total", {}).values()
+        )
+        if folded_total <= 0:
             fail(
-                f"exposition reports {routed_total} routed pairs, expected at "
-                f"least {2 * len(lines)} (two full replays)",
+                "repro_gateway_dedup_folded_total is not positive after the "
+                "duplicate-salted replay",
+                fleet_dir,
+            )
+        # Conservation: every pair the client sent was either dispatched to
+        # a replica or folded onto a representative at the gateway.
+        if routed_total + folded_total != pairs_sent:
+            fail(
+                f"exposition accounts for {routed_total} routed + "
+                f"{folded_total} folded pairs, expected {pairs_sent} total "
+                "across the three replays",
                 fleet_dir,
             )
         drains = sum(samples.get("repro_gateway_drain_events_total", {}).values())
@@ -209,7 +280,7 @@ def main() -> int:
             fail(f"exposition reports {healthy} healthy replicas", fleet_dir)
         print(
             f"fleet-smoke: metrics scrape ok — {int(routed_total)} pairs "
-            "routed, 0 drains"
+            f"routed, {int(folded_total)} folded, 0 drains"
         )
 
         manifest = read_manifest(manifest_path_for(str(fleet_dir)))

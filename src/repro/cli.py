@@ -84,6 +84,7 @@ from repro.service.fleet import (
     stop_fleet,
 )
 from repro.service.protocol import PRIORITIES, SHED_POLICIES, parse_address
+from repro.service.ring import DEFAULT_VNODES
 
 
 def _parse_structure(text: str) -> Structure:
@@ -440,6 +441,7 @@ def _cmd_daemon_run(args, out) -> int:
         options=_daemon_options(args),
         shed=_daemon_shed(args),
         ready_callback=announce,
+        warmup=args.warmup,
     )
     print("daemon stopped", file=out)
     return 0
@@ -491,6 +493,8 @@ def _cmd_fleet_start(args, out) -> int:
         engine_args=_daemon_run_args(args),
         probe_interval=args.probe_interval,
         verify_every=args.verify_every,
+        ring_vnodes=args.ring_vnodes,
+        dispatch_parallelism=args.dispatch_parallelism,
     )
     gateway = manifest["gateway"]
     print(
@@ -849,6 +853,15 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run a daemon in the foreground until 'repro daemon stop'"
     )
     add_address(run)
+    run.add_argument(
+        "--warmup",
+        action="store_true",
+        help=(
+            "pre-solve a tiny built-in batch before binding the socket, so "
+            "the first real request hits warm code paths (fleets always "
+            "warm their replicas)"
+        ),
+    )
     _add_engine_arguments(run)
     _add_shed_arguments(run)
     run.set_defaults(handler=_cmd_daemon_run)
@@ -926,6 +939,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "additionally audit each replica's store (cache-verify semantics) "
             "every N probe sweeps; 0 disables the audit (default)"
+        ),
+    )
+    fleet_start.add_argument(
+        "--ring-vnodes",
+        type=int,
+        default=DEFAULT_VNODES,
+        help=(
+            "virtual nodes per replica on the consistent-hash routing ring "
+            f"(default {DEFAULT_VNODES}); recorded in the manifest so every "
+            "gateway restart rebuilds the identical ring"
+        ),
+    )
+    fleet_start.add_argument(
+        "--dispatch-parallelism",
+        type=int,
+        default=None,
+        help=(
+            "cap on concurrently in-flight sub-batch dispatches (default: "
+            "the gateway host's CPU count — replicas spawned by 'fleet "
+            "start' share its cores; set to the fleet size for replicas "
+            "on other hosts)"
         ),
     )
     _add_engine_arguments(fleet_start)

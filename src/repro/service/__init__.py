@@ -36,6 +36,10 @@ Quickstart
 ... ]
 >>> [r.status.value for r in decide_containment_many(pairs)]
 ['contained', 'contained']
+
+The layer map and the life of one pair through this stack are documented in
+``docs/architecture.md``; the operator runbook (lifecycle, failure modes,
+metric catalogs) is ``docs/operations.md``.
 """
 
 from repro.service.canonical import canonical_query, canonical_query_key, pair_key

@@ -15,6 +15,9 @@ accounting relative to the entries they actually consume, and a just-probed
 entry is the *most* recently used one (a probe can never be followed by the
 probed entry's eviction before the get).  Use :meth:`PlanCache.peek` for
 side-effect-free introspection.
+
+Where the cache sits in the stack (and the durable tier behind it) is
+diagrammed in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -20,6 +20,9 @@ the same key *only if* a variable bijection maps one onto the other, because
 the key is the serialization of the query under a concrete relabeling.  The
 search budget (``budget`` leaves) only bounds how much symmetry is explored —
 exceeding it can at worst miss a cache hit, never corrupt one.
+
+The same keys drive the plan cache, the durable store, the gateway's
+cross-shard dedup, and ring routing — see ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -32,6 +32,9 @@ the gate's wait line *is* the daemon's queue:
 The module also provides the client side (:class:`DaemonClient`) and the
 process-management helpers the CLI uses (:func:`spawn_daemon`,
 :func:`stop_daemon`).
+
+Operator documentation — lifecycle, warmup, shedding, deadlines, exit
+codes, the metric catalog — lives in ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -252,6 +255,37 @@ class ContainmentDaemon:
             "Batch requests by outcome (ok, degraded, rejected, error, parse-error).",
             labelnames=("outcome",),
         )
+
+    #: A contained pair and its refuted reverse: together they walk the
+    #: positive path, the witness/refutation path, one LP solve, and (when
+    #: a store is attached) the first store transaction.
+    WARMUP_PAIRS = (
+        ("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)"),
+        ("R(a,b), R(a,c)", "R(x,y), R(y,z), R(z,x)"),
+    )
+
+    def warmup(self) -> None:
+        """Pre-solve a tiny built-in batch before the first real request.
+
+        A fresh daemon process pays lazy one-time costs on its first solve
+        — allocator and solver first-call setup, parser tables, lattice
+        caches, the store's first transaction.  Fleets spawn one process
+        per replica, so without warmup a cold batch pays that bill once
+        *per shard*; with it, spawn time absorbs the bill (``spawn_daemon``
+        only reports ready once pings answer, which is after warmup).
+        Never raises: an unsolvable warmup pair must not block serving.
+        """
+        from repro.cq.parser import parse_query
+
+        try:
+            self.service.run(
+                [
+                    (parse_query(a, name="Q1"), parse_query(b, name="Q2"))
+                    for a, b in self.WARMUP_PAIRS
+                ]
+            )
+        except Exception:  # pragma: no cover - warmup is best-effort
+            pass
 
     # ------------------------------------------------------------------ #
     # Request handling
@@ -543,13 +577,18 @@ def serve(
     options: Optional[BatchOptions] = None,
     shed: Optional[ShedOptions] = None,
     ready_callback=None,
+    warmup: bool = False,
 ) -> None:
     """Run a daemon at ``address`` until a ``stop`` request arrives.
 
     Blocks the calling thread; ``ready_callback`` (if given) fires with the
     daemon once the socket is bound — tests use it to serve from a thread.
+    With ``warmup`` the daemon pre-solves a tiny built-in batch *before*
+    binding, so the socket only answers once the heavy code paths are warm.
     """
     daemon = ContainmentDaemon(options=options, shed=shed)
+    if warmup:
+        daemon.warmup()
     server = make_server(daemon, address)
     server.bound_inode = None
     if address.kind == "unix":

@@ -54,6 +54,9 @@ building — all GIL-bound pure Python) are spread over workers:
 
 Both modes drive the *same* pipeline generator with the same grouped LP
 answers, so their verdicts are pair-for-pair identical by construction.
+
+Where the engine sits between the decision core and the serving layers is
+diagrammed in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -25,6 +25,11 @@ witness relation carries attribute names).  The Boolean reduction of
 Lemma A.1 adds guard atoms but never variables, so the pipeline's evidence
 only ever mentions variables of the submitted queries — both mappings are
 total on everything that needs renaming.
+
+This renaming invariant — evidence is stored canonical, delivered in the
+requester's variables — is what makes plan-cache hits, store hits, and the
+gateway's cross-shard dedup indistinguishable from fresh solves; see
+``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""A hash-sharded fleet of containment daemons behind one asyncio gateway.
+"""A ring-sharded, deduping fleet of containment daemons behind one gateway.
 
 One warm daemon is a ceiling: a single process, one plan cache, one socket.
 The fleet removes it without touching the wire protocol.  N ordinary daemon
@@ -8,17 +8,41 @@ that speaks the same JSONL protocol on both sides — any existing client
 (``DaemonClient``, ``repro batch --daemon``, ``socat``) can point at the
 gateway and see a single, faster daemon.
 
-Routing is by **structural hash**: each pair's queries are parsed and
-canonicalized through :func:`repro.service.canonical.pair_key`, and
-``int(structural_hash(key), 16) % n`` picks the replica.  Structurally
-isomorphic pairs therefore always land on the same replica, so every
-replica's plan cache and verdict store concentrate on a stable shard of the
-key space — per-replica cache affinity for free, and the reason the gateway
-hashes the *canonical key* rather than the raw pair text (the UCQ frontier
-can extend the pair shape without touching the router).
+The gateway **dedups before it shards**: every pair in the incoming batch
+is parsed and canonicalized through :func:`repro.service.canonical.pair_key`
+(LRU-cached on the raw pair text), exact-duplicate *and* isomorphic pairs
+fold onto one representative per canonical key, and only representatives
+are dispatched.  The representative's verdict then fans back out to every
+folded requester (``source="gateway-dedup"``).  This is sound for the same
+reason the single-service dedup is: the paper's reduction makes bag
+containment a property of the canonical pair alone (containment ⇔ a
+max-information inequality over the canonicalized queries), and the wire
+verdict — status, method, provenance, witness row count — is invariant
+under variable renaming.  Evidence that *does* mention variables
+(certificates, witness databases) lives replica-side in canonical
+variables and is renamed into each requester's variables by the service
+layer via :mod:`repro.service.evidence`; the gateway never has to undo a
+renaming because the protocol never carries renamed payloads.
+
+Routing is by **consistent-hash ring** (:mod:`repro.service.ring`): the
+canonical key's structural hash is looked up on a ring with a configurable
+number of virtual nodes per replica, deterministic from the manifest.
+Structurally isomorphic pairs always land on the same replica, so every
+replica's plan cache and verdict store concentrate on a stable shard of
+the key space; and because drain/re-admit is a ring membership filter, a
+replica leaving or rejoining moves only ~1/n of the keys instead of
+remapping the whole space the way ``hash % n`` did — a re-warmed replica
+comes back to a mostly-warm shard.  The gateway hashes the *canonical key*
+rather than the raw pair text so the UCQ frontier can extend the pair
+shape without touching the router.
 
 A batch request is split into per-replica sub-batches, fanned out
-concurrently, and the verdicts are stitched back together in the original
+concurrently — but with at most ``dispatch_parallelism`` sub-batches in
+flight (default: the gateway host's CPU count).  Replicas started by
+:func:`start_fleet` share the gateway host's cores, and dispatching more
+concurrent CPU-bound solves than cores only interleaves them and thrashes
+their working sets; operators running replicas on other hosts set the cap
+to the fleet size.  Verdicts are stitched back together in the original
 request order.  Failure handling:
 
 * a replica whose connection drops mid-batch is **drained** (marked
@@ -42,8 +66,25 @@ never hangs on a late replica.
 Process management mirrors the single daemon: :func:`start_fleet` spawns N
 replicas (per-replica sockets and stores under one directory) plus a
 detached gateway process, recording everything in a ``fleet.json``
-manifest; :func:`stop_fleet` tears the fleet down gateway-first (so the
-probe loop cannot resurrect a replica mid-shutdown).
+manifest (including ``ring_vnodes``, so every gateway built from the same
+manifest owns the identical ring); :func:`stop_fleet` tears the fleet down
+gateway-first (so the probe loop cannot resurrect a replica mid-shutdown).
+
+Consistency invariants (see ``docs/architecture.md`` for the layer map and
+``docs/operations.md`` for the operator runbook):
+
+* **request-order reassembly** — verdicts are returned indexed exactly as
+  the pairs arrived, whatever replica answered them and however many
+  re-route rounds it took;
+* **first-wins appends** — re-warm merges peer stores with
+  ``export | import`` semantics, so merging is idempotent and order-free;
+* **dedup-evidence renaming** — gateway folding relies on wire verdicts
+  being renaming-invariant; per-requester evidence renaming stays in
+  :mod:`repro.service.evidence` on the replica side.
+
+The fleet's place in the stack is diagrammed in ``docs/architecture.md``;
+the operator runbook (lifecycle, drain/re-warm, failure modes, gateway
+metric catalog) is ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -73,6 +114,7 @@ from repro.service.daemon import (
     spawn_daemon,
     stop_daemon,
 )
+from repro.service.ring import DEFAULT_VNODES, HashRing
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Address,
@@ -163,13 +205,30 @@ class FleetGateway:
         rewarmer: Optional[Rewarmer] = None,
         registry: Optional[MetricsRegistry] = None,
         hash_cache_size: int = 4096,
+        ring_vnodes: int = DEFAULT_VNODES,
+        dispatch_parallelism: Optional[int] = None,
     ):
         if not replicas:
             raise FleetError("a fleet gateway needs at least one replica")
         names = [spec.name for spec in replicas]
         if len(set(names)) != len(names):
             raise FleetError(f"replica names must be unique, got {names}")
+        if dispatch_parallelism is None:
+            # Replicas started by ``start_fleet`` share this host's cores:
+            # dispatching more concurrent CPU-bound sub-batches than cores
+            # only interleaves the solves and thrashes their working sets.
+            # Operators running replicas on *other* hosts should pass the
+            # fleet size explicitly.
+            dispatch_parallelism = max(1, os.cpu_count() or 1)
+        if dispatch_parallelism < 1:
+            raise FleetError("dispatch_parallelism must be positive (or None)")
         self._states = [_ReplicaState(spec) for spec in replicas]
+        try:
+            self._ring = HashRing(names, vnodes=ring_vnodes)
+        except ValueError as error:
+            raise FleetError(str(error)) from error
+        self._replica_index = {spec.name: i for i, spec in enumerate(replicas)}
+        self.dispatch_parallelism = dispatch_parallelism
         self.probe_interval = probe_interval
         self.probe_timeout = probe_timeout
         self.verify_every = verify_every
@@ -214,6 +273,25 @@ class FleetGateway:
         self._deadline_pairs = self.registry.counter(
             "repro_gateway_deadline_pairs_total",
             "Pairs answered with gateway-synthesized deadline-exceeded verdicts.",
+        )
+        self._dedup_folded = self.registry.counter(
+            "repro_gateway_dedup_folded_total",
+            "Pairs folded onto a canonical-key representative before dispatch.",
+        )
+        self._ring_reroutes = self.registry.counter(
+            "repro_gateway_ring_reroutes_total",
+            "Pairs routed past a drained primary owner to a ring fallback.",
+            labelnames=("replica",),
+        )
+        self.registry.gauge(
+            "repro_gateway_ring_points",
+            "Virtual nodes on the routing ring (replicas x vnodes).",
+            callback=lambda: float(len(self._ring)),
+        )
+        self.registry.gauge(
+            "repro_gateway_dispatch_parallelism",
+            "Cap on concurrently in-flight sub-batch dispatches.",
+            callback=lambda: float(self.dispatch_parallelism),
         )
         self._subbatch_pairs = self.registry.histogram(
             "repro_gateway_subbatch_pairs",
@@ -262,11 +340,19 @@ class FleetGateway:
         return out
 
     def _replica_for(self, hash_int: int, candidates: Sequence[int]) -> int:
-        """Primary shard when admitted, else a stable fallback candidate."""
-        primary = hash_int % len(self._states)
-        if primary in candidates:
-            return primary
-        return candidates[hash_int % len(candidates)]
+        """The ring owner among the admitted candidates.
+
+        When every replica is admitted this is the key's primary owner;
+        while some are drained the ring walks clockwise past their points,
+        so only the drained members' keys move (~1/n of the space each)
+        and they snap back on re-admit.  Fallback routing is counted in
+        ``repro_gateway_ring_reroutes_total``.
+        """
+        eligible = [self._states[i].spec.name for i in candidates]
+        owner = self._ring.owner(hash_int, eligible)
+        if len(candidates) != len(self._states) and owner != self._ring.owner(hash_int):
+            self._ring_reroutes.inc(replica=owner)
+        return self._replica_index[owner]
 
     # ------------------------------------------------------------------ #
     # The batch path
@@ -287,7 +373,40 @@ class FleetGateway:
         stats_parts: List[Dict[str, object]] = []
         degraded = False
         synthesized = 0
-        pending: "OrderedDict[int, int]" = OrderedDict(enumerate(hashes))
+
+        # Fold duplicates before sharding: one representative per canonical
+        # key is dispatched; every later occurrence (exact duplicate or a
+        # variable-renamed isomorph — same key either way) is answered by
+        # fanning the representative's verdict back out.  The wire verdict
+        # is renaming-invariant, so the fan-out is a pure re-index; see the
+        # module docstring for why this is sound.
+        first_seen: Dict[int, int] = {}
+        folds: Dict[int, List[int]] = {}
+        pending: "OrderedDict[int, int]" = OrderedDict()
+        for index, hash_int in enumerate(hashes):
+            representative = first_seen.setdefault(hash_int, index)
+            if representative == index:
+                pending[index] = hash_int
+            else:
+                folds.setdefault(representative, []).append(index)
+        folded = len(request.pairs) - len(pending)
+        if folded:
+            self._dedup_folded.inc(folded)
+
+        def settle(original: int, verdict: PairVerdict) -> None:
+            verdicts[original] = replace(verdict, index=original)
+            for duplicate in folds.get(original, ()):
+                verdicts[duplicate] = replace(
+                    verdict, index=duplicate, source="gateway-dedup"
+                )
+
+        def settle_deadline(original: int) -> int:
+            verdicts[original] = _deadline_verdict(original)
+            count = 1
+            for duplicate in folds.get(original, ()):
+                verdicts[duplicate] = _deadline_verdict(duplicate)
+                count += 1
+            return count
 
         while pending:
             candidates = [
@@ -307,19 +426,33 @@ class FleetGateway:
                 remaining = deadline - (time.monotonic() - started)
                 if remaining <= 0:
                     for index in pending:
-                        verdicts[index] = _deadline_verdict(index)
-                    synthesized += len(pending)
+                        synthesized += settle_deadline(index)
                     pending.clear()
                     break
             groups: "OrderedDict[int, List[int]]" = OrderedDict()
             for index, hash_int in pending.items():
                 replica = self._replica_for(hash_int, candidates)
                 groups.setdefault(replica, []).append(index)
+            # Bound in-flight dispatches at the host's effective parallelism
+            # (the semaphore is per-round so the gateway can be driven from
+            # any event loop).  A queued dispatch re-computes its deadline
+            # budget when its slot opens — the time spent waiting behind
+            # other shards is part of the request's budget, not a bonus.
+            slots = asyncio.Semaphore(self.dispatch_parallelism)
+
+            async def bounded(
+                replica: int, indices: List[int]
+            ) -> Tuple[str, int, List[int], object]:
+                async with slots:
+                    budget = remaining
+                    if deadline is not None:
+                        budget = deadline - (time.monotonic() - started)
+                        if budget <= 0:
+                            return ("deadline", replica, indices, None)
+                    return await self._dispatch(replica, indices, request, budget)
+
             results = await asyncio.gather(
-                *(
-                    self._dispatch(replica, indices, request, remaining)
-                    for replica, indices in groups.items()
-                )
+                *(bounded(replica, indices) for replica, indices in groups.items())
             )
             pending_before = len(pending)
             drained_this_round = False
@@ -341,15 +474,14 @@ class FleetGateway:
                     stats_parts.append(sub.stats)
                     for verdict in sub.verdicts:
                         original = indices[verdict.index]
-                        verdicts[original] = replace(verdict, index=original)
+                        settle(original, verdict)
                         pending.pop(original, None)
                     # A conforming daemon answers every pair; tolerate a
                     # short response by re-routing whatever it skipped.
                 elif tag == "deadline":
                     for index in indices:
-                        verdicts[index] = _deadline_verdict(index)
+                        synthesized += settle_deadline(index)
                         pending.pop(index, None)
-                    synthesized += len(indices)
                 else:  # "failed": transport loss — drain and re-route.
                     self._drain(replica, str(payload))
                     drained_this_round = True
@@ -369,10 +501,22 @@ class FleetGateway:
         self.requests_served += 1
         self._requests_total.inc(outcome="degraded" if degraded else "ok")
         self._request_seconds.observe(time.monotonic() - started)
+        stats = _merge_stats(stats_parts)
+        # Replicas only saw representatives, and their snapshots are summed
+        # numerically, so the merged pair total must be restated at the
+        # gateway: the authoritative count for this request is the number of
+        # pairs the client sent, with the fold accounted separately.
+        stats["pairs_submitted"] = len(request.pairs)
+        stats["gateway"] = {
+            "pairs_received": len(request.pairs),
+            "dedup_folded": folded,
+            "representatives_dispatched": len(request.pairs) - folded,
+            "deadline_synthesized": synthesized,
+        }
         return BatchResponse(
             ok=True,
             verdicts=tuple(verdicts),
-            stats=_merge_stats(stats_parts),
+            stats=stats,
             degraded=degraded,
         )
 
@@ -761,6 +905,9 @@ def manifest_rewarmer(manifest_path: str) -> Rewarmer:
         extra = list(manifest.get("engine_args", []))
         if spec.store_path:
             extra += ["--store", spec.store_path]
+        # A re-warmed replica is a fresh process: warm it at spawn like
+        # start_fleet does, so re-admission does not serve cold.
+        extra += ["--warmup"]
         log_path = os.path.join(manifest["directory"], f"{spec.name}.log")
         pid = spawn_daemon(spec.address, extra_args=extra, log_path=log_path)
         if entry is not None:
@@ -830,6 +977,8 @@ def start_fleet(
     engine_args: Sequence[str] = (),
     probe_interval: float = 2.0,
     verify_every: int = 0,
+    ring_vnodes: int = DEFAULT_VNODES,
+    dispatch_parallelism: Optional[int] = None,
     wait_seconds: float = 30.0,
 ) -> Dict[str, object]:
     """Spawn N replicas + the gateway; returns the written manifest."""
@@ -852,13 +1001,20 @@ def start_fleet(
         "engine_args": list(engine_args),
         "probe_interval": probe_interval,
         "verify_every": verify_every,
+        "ring_vnodes": ring_vnodes,
+        # null = auto-size to the gateway host's cores at gateway start.
+        "dispatch_parallelism": dispatch_parallelism,
     }
     spawned_pids: List[int] = []
     try:
         for spec in specs:
+            # Replicas always warm up at spawn: each is a fresh process, and
+            # a cold fleet batch would otherwise pay first-solve lazy init
+            # once per shard instead of never.
             pid = spawn_daemon(
                 spec.address,
-                extra_args=list(engine_args) + ["--store", spec.store_path],
+                extra_args=list(engine_args)
+                + ["--store", spec.store_path, "--warmup"],
                 wait_seconds=wait_seconds,
                 log_path=os.path.join(directory, f"{spec.name}.log"),
             )
@@ -963,10 +1119,13 @@ def serve_gateway(
     manifest = read_manifest(manifest_path)
     specs = specs_from_manifest(manifest)
     text = address or manifest["gateway"]["address"]
+    parallelism = manifest.get("dispatch_parallelism")
     gateway = FleetGateway(
         specs,
         probe_interval=float(manifest.get("probe_interval", 2.0)) or None,
         verify_every=int(manifest.get("verify_every", 0)),
+        ring_vnodes=int(manifest.get("ring_vnodes", DEFAULT_VNODES)),
+        dispatch_parallelism=int(parallelism) if parallelism else None,
         rewarmer=manifest_rewarmer(manifest_path),
     )
     asyncio.run(gateway.serve(parse_address(text), ready_callback=ready_callback))

@@ -40,6 +40,10 @@ Responses always carry ``"ok"``; batch responses add one verdict record per
 input pair (in submission order) and the post-request stats snapshot.  A
 request shed by the admission policy answers ``ok=false`` with
 ``error="queue-full"`` and ``shed="rejected"``.
+
+The gateway speaks this exact protocol on both sides, so every wire
+invariant here (one line per message, verdicts in submission order) holds
+for fleets too — see ``docs/operations.md`` for the operator view.
 """
 
 from __future__ import annotations

@@ -15,6 +15,9 @@ cacheable solved verdict is recorded to the store with provenance — so a
 restarted service replays previously decided pairs without a single LP
 solve.  Evidence from either tier is renamed onto the requesting pair's own
 variable names (see :mod:`repro.service.evidence`).
+
+The cache→store→solve tiering is diagrammed in ``docs/architecture.md``;
+store operations are documented in ``docs/operations.md``.
 """
 
 from __future__ import annotations

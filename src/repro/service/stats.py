@@ -6,6 +6,9 @@ descriptor reading and writing a registered Prometheus counter, so the
 historical mutation style (``stats.cache_hits += 1``) and the ``as_dict()``
 wire format both keep working while the same numbers flow out of the
 daemon's ``metrics`` verb and ``repro daemon status --prom``.
+
+The full metric catalog (names, types, labels, meanings) is maintained in
+``docs/operations.md``.
 """
 
 from __future__ import annotations

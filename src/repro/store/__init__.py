@@ -13,6 +13,11 @@ isomorphic pair and can be re-audited forever without re-running the LP.
 * :func:`verify_store` — solver-independent re-verification of every stored
   certificate and witness (``repro cache verify``).
 * :mod:`repro.store.serialize` — the canonical JSON record format.
+
+Consistency invariant: records are **first-wins** — re-deciding a known
+hash never rewrites history, which makes peer-store merges (``export`` |
+``import``, used by fleet re-warming) idempotent and order-free.  The
+operator runbook is ``docs/operations.md``.
 """
 
 from repro.store.audit import AuditReport, verify_store

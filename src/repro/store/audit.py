@@ -19,6 +19,9 @@ the verdicts:
   queries (``|hom(Q1, D)| > |hom(Q2, D)|``).
 * **Anything else** (UNKNOWN verdicts, certificates skipped for size) is
   reported ``unchecked`` — present but carrying no re-checkable evidence.
+
+Operator usage (including the fleet's ``--verify-every`` periodic audit
+that drains a replica on failure) is documented in ``docs/operations.md``.
 """
 
 from __future__ import annotations

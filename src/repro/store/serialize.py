@@ -17,6 +17,9 @@ Witness databases range over *domain values*, not variables; tuples inside
 the domain (the annotated values of the normal-witness construction) are
 encoded as ``{"t": [...]}`` objects so they survive JSON's tuple/list
 collapse.
+
+This format is also the ``repro cache export``/``import`` interchange
+format (byte-identical round trips) — see ``docs/operations.md``.
 """
 
 from __future__ import annotations

@@ -27,6 +27,9 @@ Writes are batched: :meth:`record` buffers rows and :meth:`flush` commits
 them in one transaction (the service flushes once per batch, not per pair).
 The handle is thread-safe — daemon handler threads share one store under an
 internal lock.
+
+Recovery semantics, merge semantics, and the operator CLI are documented in
+``docs/operations.md``.
 """
 
 from __future__ import annotations

@@ -63,6 +63,13 @@ class TestArgumentParsing:
             args = parser.parse_args(argv)
             assert callable(args.handler)
 
+    def test_warmup_flag_defaults_off(self):
+        parser = build_parser()
+        args = parser.parse_args(["daemon", "run"])
+        assert args.warmup is False
+        args = parser.parse_args(["daemon", "run", "--warmup"])
+        assert args.warmup is True
+
     def test_batch_daemon_flags_parse(self):
         parser = build_parser()
         args = parser.parse_args(

@@ -19,6 +19,7 @@ from repro.service import BatchOptions
 from repro.service.daemon import DaemonConnectionBroken, ShedOptions, serve
 from repro.service.fleet import FleetGateway, ReplicaSpec
 from repro.service.protocol import parse_address
+from repro.service.ring import DEFAULT_VNODES
 
 PAIRS_TEXT = (
     "R(x,y), R(y,z), R(z,x) | R(a,b), R(a,c)\n"
@@ -106,6 +107,22 @@ class TestArgumentParsing:
     def test_gateway_requires_a_manifest(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "gateway"])
+
+    def test_ring_vnodes_flag_parses_with_a_manifest_stable_default(self):
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "start"])
+        assert args.ring_vnodes == DEFAULT_VNODES
+        args = parser.parse_args(["fleet", "start", "--ring-vnodes", "16"])
+        assert args.ring_vnodes == 16
+
+    def test_dispatch_parallelism_flag_defaults_to_auto(self):
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "start"])
+        assert args.dispatch_parallelism is None  # auto: the host's cores
+        args = parser.parse_args(
+            ["fleet", "start", "--dispatch-parallelism", "4"]
+        )
+        assert args.dispatch_parallelism == 4
 
 
 class TestBatchViaFleet:

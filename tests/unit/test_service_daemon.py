@@ -89,6 +89,28 @@ class TestDaemonBatches:
         assert second.stats["pipelines_run"] == first.stats["pipelines_run"]
         assert daemon.requests_served == 2
 
+    def test_warmup_pre_solves_so_the_first_request_hits_warm_paths(self):
+        daemon = ContainmentDaemon()
+        daemon.warmup()
+        # The warmup batch went through the real service: replaying a
+        # warmup pair must answer from the plan cache, not a fresh solve.
+        response = daemon.handle_batch(
+            batch_request(ContainmentDaemon.WARMUP_PAIRS[0])
+        )
+        assert response.ok
+        assert response.verdicts[0].source == "plan-cache"
+        # Warmup is pre-traffic plumbing, not served traffic.
+        assert daemon.requests_served == 1
+
+    def test_warmup_never_raises(self, monkeypatch):
+        daemon = ContainmentDaemon()
+        monkeypatch.setattr(
+            daemon.service, "run", lambda *a, **k: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            )
+        )
+        daemon.warmup()  # best-effort: a failed warmup must not kill boot
+
     def test_unparseable_pair_is_a_request_error(self):
         daemon = ContainmentDaemon()
         response = daemon.handle_batch(batch_request(("R(x,y", VEE_TEXT)))

@@ -1,4 +1,4 @@
-"""Tests for the hash-sharded fleet gateway.
+"""Tests for the ring-sharded, deduping fleet gateway.
 
 The gateway is transport-complete without a bound socket: ``handle_batch``
 and ``handle_line`` are coroutines driven directly under ``asyncio.run``,
@@ -130,12 +130,42 @@ class TestRouting:
         specs = [ReplicaSpec(f"r{i}", f"/tmp/r{i}.sock") for i in range(3)]
         gateway = FleetGateway(specs, probe_interval=None)
         hash_int = 7
-        assert gateway._replica_for(hash_int, [0, 1, 2]) == 7 % 3
-        # With the primary (index 1) excluded, the fallback is deterministic
-        # and one of the remaining candidates.
-        fallback = gateway._replica_for(hash_int, [0, 2])
-        assert fallback in (0, 2)
-        assert gateway._replica_for(hash_int, [0, 2]) == fallback
+        primary = gateway._replica_for(hash_int, [0, 1, 2])
+        assert primary in (0, 1, 2)
+        # With the primary drained, the ring walks to a deterministic
+        # fallback among the remaining candidates...
+        survivors = [i for i in (0, 1, 2) if i != primary]
+        fallback = gateway._replica_for(hash_int, survivors)
+        assert fallback in survivors
+        assert gateway._replica_for(hash_int, survivors) == fallback
+        # ...and the key snaps back to its primary owner on re-admit.
+        assert gateway._replica_for(hash_int, [0, 1, 2]) == primary
+
+    def test_draining_one_replica_leaves_other_keys_in_place(self):
+        # The consistent-hashing contract at the gateway: keys whose
+        # primary owner is still admitted never move while another
+        # replica drains.
+        specs = [ReplicaSpec(f"r{i}", f"/tmp/r{i}.sock") for i in range(3)]
+        gateway = FleetGateway(specs, probe_interval=None)
+        sample = range(0, 4000, 7)
+        owners = {h: gateway._replica_for(h, [0, 1, 2]) for h in sample}
+        drained = 1
+        survivors = [0, 2]
+        for h, owner in owners.items():
+            if owner != drained:
+                assert gateway._replica_for(h, survivors) == owner
+
+    def test_ring_is_deterministic_across_gateways(self):
+        # Two gateways built from identical manifest specs own the
+        # identical ring and route every key the same way.
+        specs = [ReplicaSpec(f"r{i}", f"/tmp/r{i}.sock") for i in range(3)]
+        first = FleetGateway(specs, probe_interval=None)
+        second = FleetGateway(specs, probe_interval=None)
+        sample = range(0, 3000, 13)
+        for h in sample:
+            assert first._replica_for(h, [0, 1, 2]) == second._replica_for(
+                h, [0, 1, 2]
+            )
 
 
 class TestBatchPath:
@@ -155,8 +185,13 @@ class TestBatchPath:
             "not_contained",
             "contained",
         ]
-        # Stats are the sum of the replicas' per-request snapshots.
+        # Pair 2 is isomorphic to pair 0, so it folds at the gateway and
+        # never reaches a replica; the merged report must still account
+        # for every requested pair exactly once.
+        assert response.verdicts[2].source == "gateway-dedup"
         assert response.stats["pairs_submitted"] == 3
+        assert response.stats["gateway"]["dedup_folded"] == 1
+        assert response.stats["gateway"]["representatives_dispatched"] == 2
         assert gateway.requests_served == 1
 
     def test_unparseable_pair_fails_without_touching_replicas(self):
@@ -241,6 +276,215 @@ class TestBatchPath:
         )
         assert not response.ok
         assert "without resolving" in response.error
+
+
+class TestGatewayDedup:
+    """The tentpole: fold duplicates before sharding, fan verdicts back out."""
+
+    def test_all_isomorphic_batch_dispatches_one_representative(self, monkeypatch):
+        gateway = FleetGateway(
+            [ReplicaSpec("only", "/tmp/x.sock")], probe_interval=None
+        )
+        dispatched = []
+
+        async def capture(spec, line):
+            sub = parse_request(line)
+            dispatched.append(sub.pairs)
+            return encode_batch_response(
+                BatchResponse(
+                    ok=True,
+                    verdicts=tuple(
+                        PairVerdict(i, "contained", "theorem-3.1", "solved")
+                        for i in range(len(sub.pairs))
+                    ),
+                    stats={"pairs_submitted": len(sub.pairs)},
+                )
+            ).encode("utf-8")
+
+        monkeypatch.setattr(gateway, "_replica_roundtrip", capture)
+        request = batch_request(
+            (TRIANGLE_TEXT, VEE_TEXT),
+            (TRIANGLE_ISO, VEE_ISO),
+            (TRIANGLE_TEXT, VEE_TEXT),
+            (TRIANGLE_ISO, VEE_TEXT),
+        )
+        response = asyncio.run(gateway.handle_batch(request))
+        assert response.ok
+        # One canonical key -> one dispatched pair, four answered verdicts.
+        assert len(dispatched) == 1
+        assert len(dispatched[0]) == 1
+        assert [v.index for v in response.verdicts] == [0, 1, 2, 3]
+        assert all(v.status == "contained" for v in response.verdicts)
+        assert response.verdicts[0].source == "solved"
+        assert [v.source for v in response.verdicts[1:]] == ["gateway-dedup"] * 3
+        # Merged totals must equal the request pair count, not the
+        # representative count the replica saw.
+        assert response.stats["pairs_submitted"] == 4
+        assert response.stats["gateway"]["dedup_folded"] == 3
+        assert response.stats["gateway"]["representatives_dispatched"] == 1
+
+    def test_dedup_counter_is_exported(self, monkeypatch):
+        gateway = FleetGateway(
+            [ReplicaSpec("only", "/tmp/x.sock")], probe_interval=None
+        )
+
+        async def answer(spec, line):
+            sub = parse_request(line)
+            return encode_batch_response(
+                BatchResponse(
+                    ok=True,
+                    verdicts=tuple(
+                        PairVerdict(i, "contained", "theorem-3.1", "solved")
+                        for i in range(len(sub.pairs))
+                    ),
+                )
+            ).encode("utf-8")
+
+        monkeypatch.setattr(gateway, "_replica_roundtrip", answer)
+        request = batch_request(
+            (TRIANGLE_TEXT, VEE_TEXT),
+            (TRIANGLE_TEXT, VEE_TEXT),
+        )
+        asyncio.run(gateway.handle_batch(request))
+        samples = parse_exposition(gateway.registry.render())
+        assert sum(samples["repro_gateway_dedup_folded_total"].values()) == 1.0
+
+    def test_folded_pairs_share_deadline_synthesis(self, monkeypatch):
+        # When the budget dies before dispatch, folded duplicates are
+        # synthesized alongside their representative — nobody hangs.
+        gateway = FleetGateway(
+            [ReplicaSpec("only", "/tmp/x.sock")], probe_interval=None
+        )
+        original = gateway._route_hashes
+
+        def slow_route(pairs):
+            time.sleep(0.05)
+            return original(pairs)
+
+        monkeypatch.setattr(gateway, "_route_hashes", slow_route)
+        response = asyncio.run(
+            gateway.handle_batch(
+                batch_request(
+                    (TRIANGLE_TEXT, VEE_TEXT),
+                    (TRIANGLE_ISO, VEE_ISO),
+                    deadline_seconds=0.01,
+                )
+            )
+        )
+        assert response.ok
+        assert [v.method for v in response.verdicts] == [
+            "deadline-exceeded",
+            "deadline-exceeded",
+        ]
+        assert gateway._states[0].requests == 0
+
+    def test_folded_pairs_survive_a_drain_reroute(self, tmp_path, live_replicas):
+        # Duplicates fold onto a representative that first routes to a dead
+        # replica; the re-route must still resolve every folded requester.
+        dead = ReplicaSpec("dead", str(tmp_path / "dead.sock"))
+        gateway = FleetGateway([live_replicas[0], dead], probe_interval=None)
+        request = batch_request(
+            (TRIANGLE_TEXT, VEE_TEXT),
+            (TRIANGLE_ISO, VEE_ISO),
+            (VEE_TEXT, TRIANGLE_TEXT),
+            (VEE_ISO, TRIANGLE_ISO),
+        )
+        response = asyncio.run(gateway.handle_batch(request))
+        assert response.ok
+        assert all(v is not None for v in response.verdicts)
+        assert [v.status for v in response.verdicts] == [
+            "contained",
+            "contained",
+            "not_contained",
+            "not_contained",
+        ]
+        assert {v.source for v in response.verdicts} >= {"gateway-dedup"}
+        assert response.stats["pairs_submitted"] == 4
+        assert response.stats["gateway"]["dedup_folded"] == 2
+
+
+class TestBoundedDispatch:
+    """In-flight dispatches are capped at the host's effective parallelism."""
+
+    # These four pairs split 2/2 across an a/b ring, giving two shards.
+    SPLIT_PAIRS = (
+        (TRIANGLE_TEXT, VEE_TEXT),
+        (VEE_TEXT, TRIANGLE_TEXT),
+        (TRIANGLE_TEXT, TRIANGLE_TEXT),
+        (VEE_TEXT, VEE_TEXT),
+    )
+
+    def two_replica_gateway(self, **kwargs):
+        return FleetGateway(
+            [ReplicaSpec("a", "/tmp/a.sock"), ReplicaSpec("b", "/tmp/b.sock")],
+            probe_interval=None,
+            **kwargs,
+        )
+
+    def test_parallelism_defaults_to_the_host_cpu_count(self):
+        import os
+
+        gateway = self.two_replica_gateway()
+        assert gateway.dispatch_parallelism == max(1, os.cpu_count() or 1)
+
+    def test_rejects_a_nonpositive_cap(self):
+        with pytest.raises(FleetError):
+            self.two_replica_gateway(dispatch_parallelism=0)
+
+    def test_one_slot_serializes_the_shards(self, monkeypatch):
+        gateway = self.two_replica_gateway(dispatch_parallelism=1)
+        in_flight = {"now": 0, "peak": 0}
+
+        async def answer(spec, line):
+            in_flight["now"] += 1
+            in_flight["peak"] = max(in_flight["peak"], in_flight["now"])
+            await asyncio.sleep(0.02)
+            in_flight["now"] -= 1
+            sub = parse_request(line)
+            return encode_batch_response(
+                BatchResponse(
+                    ok=True,
+                    verdicts=tuple(
+                        PairVerdict(i, "contained", "theorem-3.1", "solved")
+                        for i in range(len(sub.pairs))
+                    ),
+                )
+            ).encode("utf-8")
+
+        monkeypatch.setattr(gateway, "_replica_roundtrip", answer)
+        response = asyncio.run(gateway.handle_batch(batch_request(*self.SPLIT_PAIRS)))
+        assert response.ok
+        assert [v.index for v in response.verdicts] == [0, 1, 2, 3]
+        assert in_flight["peak"] == 1
+        # Both shards were really dispatched, one after the other.
+        assert gateway._states[0].requests == 1
+        assert gateway._states[1].requests == 1
+
+    def test_queued_dispatch_does_not_inherit_a_stale_budget(self, monkeypatch):
+        # A shard that waits behind a slow peer must see its *remaining*
+        # budget at slot-open — not the budget computed when the round
+        # started.  Here the first shard eats the whole deadline, so the
+        # queued shard synthesizes without a roundtrip.
+        gateway = self.two_replica_gateway(
+            dispatch_parallelism=1, reply_margin=0.01
+        )
+        roundtrips = []
+
+        async def stall(spec, line):
+            roundtrips.append(spec.name)
+            await asyncio.sleep(10.0)  # cancelled by the dispatch timeout
+
+        monkeypatch.setattr(gateway, "_replica_roundtrip", stall)
+        response = asyncio.run(
+            gateway.handle_batch(
+                batch_request(*self.SPLIT_PAIRS, deadline_seconds=0.2)
+            )
+        )
+        assert response.ok
+        assert all(v.method == "deadline-exceeded" for v in response.verdicts)
+        # Only the first shard ever reached a replica; the queued shard
+        # found its budget already spent and synthesized at slot-open.
+        assert len(roundtrips) == 1
 
 
 class TestDeadlinePropagation:

@@ -1,0 +1,130 @@
+"""Tests for the consistent-hash ring behind fleet routing.
+
+The contract under test is the one the gateway leans on: deterministic,
+order-insensitive construction (so every gateway built from the same
+manifest routes identically), drain expressed as an eligibility filter
+(so only the drained member's keys move), and bounded reshuffle on
+membership change (~1/n of a key sample, not all of it).
+"""
+
+import random
+
+import pytest
+
+from repro.service.ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    assignment_counts,
+    reshuffle_fraction,
+    ring_point,
+)
+
+
+def sample_hashes(count=1000, seed=99):
+    rng = random.Random(seed)
+    return [rng.getrandbits(256) for _ in range(count)]
+
+
+class TestConstruction:
+    def test_rejects_empty_membership(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+
+    def test_rejects_nonpositive_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+    def test_point_count_is_members_times_vnodes(self):
+        assert len(HashRing(["a", "b", "c"], vnodes=16)) == 48
+
+    def test_ring_point_is_deterministic(self):
+        assert ring_point("replica-0#3") == ring_point("replica-0#3")
+        assert ring_point("replica-0#3") != ring_point("replica-0#4")
+
+
+class TestOwnership:
+    def test_single_member_owns_everything(self):
+        ring = HashRing(["only"], vnodes=8)
+        assert all(ring.owner(h) == "only" for h in sample_hashes(200))
+
+    def test_owner_is_deterministic_and_order_insensitive(self):
+        # Same member set, different declaration order: identical routing.
+        first = HashRing(["a", "b", "c"])
+        second = HashRing(["c", "a", "b"])
+        for h in sample_hashes(500):
+            assert first.owner(h) == second.owner(h)
+
+    def test_all_members_drained_raises(self):
+        ring = HashRing(["a", "b"])
+        with pytest.raises(LookupError):
+            ring.owner(7, eligible=[])
+
+    def test_unknown_eligible_member_raises(self):
+        ring = HashRing(["a", "b"])
+        with pytest.raises(KeyError):
+            ring.owner(7, eligible=["ghost"])
+
+    def test_drain_moves_only_the_drained_members_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        hashes = sample_hashes()
+        for h in hashes:
+            owner = ring.owner(h)
+            if owner != "b":
+                assert ring.owner(h, eligible=["a", "c"]) == owner
+            else:
+                assert ring.owner(h, eligible=["a", "c"]) in ("a", "c")
+
+    def test_reroute_when_every_primary_choice_is_drained(self):
+        # Walking clockwise past *all* other members still terminates on
+        # the one survivor, wherever the key lands.
+        ring = HashRing(["a", "b", "c", "d"])
+        for h in sample_hashes(200):
+            assert ring.owner(h, eligible=["d"]) == "d"
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing([f"replica-{i}" for i in range(4)], vnodes=DEFAULT_VNODES)
+        counts = assignment_counts(ring, sample_hashes(4000))
+        for member_count in counts.values():
+            assert 0.5 * 1000 < member_count < 2.0 * 1000
+
+
+class TestReshuffle:
+    """Membership changes remap ~1/n of a 1k-key sample, not the world."""
+
+    TOLERANCE = 0.10
+
+    def test_add_one_member_reshuffles_at_most_one_nth(self):
+        hashes = sample_hashes(1000)
+        for n in (1, 2, 4):
+            members = [f"replica-{i}" for i in range(n)]
+            before = HashRing(members)
+            after = HashRing(members + [f"replica-{n}"])
+            moved = reshuffle_fraction(before, after, hashes)
+            assert moved <= 1.0 / (n + 1) + self.TOLERANCE
+            # The new member actually takes a shard: some keys must move.
+            assert moved > 0.0
+
+    def test_remove_one_member_reshuffles_at_most_one_nth(self):
+        hashes = sample_hashes(1000)
+        for n in (2, 3, 5):
+            members = [f"replica-{i}" for i in range(n)]
+            before = HashRing(members)
+            after = HashRing(members[:-1])
+            moved = reshuffle_fraction(before, after, hashes)
+            assert moved <= 1.0 / n + self.TOLERANCE
+
+    def test_identical_membership_reshuffles_nothing(self):
+        members = ["a", "b", "c"]
+        assert (
+            reshuffle_fraction(
+                HashRing(members), HashRing(members), sample_hashes(500)
+            )
+            == 0.0
+        )
+
+    def test_empty_sample_is_zero_not_an_error(self):
+        assert reshuffle_fraction(HashRing(["a"]), HashRing(["a", "b"]), []) == 0.0
